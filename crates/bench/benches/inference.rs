@@ -1,0 +1,62 @@
+//! End-to-end inference benchmarks: exact vs best-effort approximated
+//! forward passes through zoo models (the host-CPU analogue of the per-
+//! invocation times the runtime phase monitors).
+
+use at_core::knobs::{KnobId, KnobRegistry};
+use at_core::Config;
+use at_ir::{execute, ExecOptions};
+use at_models::{build, BenchmarkId, ModelScale};
+use at_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn inference_benches(c: &mut Criterion) {
+    let registry = KnobRegistry::new();
+    for id in [BenchmarkId::LeNet, BenchmarkId::AlexNetCifar10, BenchmarkId::ResNet18] {
+        let bench = build(id, ModelScale::Tiny);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::uniform(bench.input_shape, -1.0, 1.0, &mut rng);
+        let mut g = c.benchmark_group(format!("inference_{}", id.name()));
+        g.bench_function("exact_fp32", |b| {
+            b.iter(|| execute(&bench.graph, black_box(&x), &ExecOptions::baseline()).unwrap())
+        });
+        // A representative approximated configuration: 50% row perforation
+        // on every conv (knob found by label), baseline elsewhere.
+        let perf_knob = registry
+            .table(at_ir::OpClass::Conv)
+            .iter()
+            .find(|k| k.label == "perf-50%-row-o0-fp32")
+            .map(|k| k.id)
+            .unwrap_or(KnobId::BASELINE);
+        let mut cfg = Config::baseline(&bench.graph);
+        for node in bench.graph.nodes() {
+            if node.op.class() == at_ir::OpClass::Conv {
+                cfg.set_knob(node.id.0 as usize, perf_knob);
+            }
+        }
+        let choices = cfg.decode(&registry, &bench.graph);
+        g.bench_function("perforated_50", |b| {
+            b.iter(|| {
+                execute(
+                    &bench.graph,
+                    black_box(&x),
+                    &ExecOptions {
+                        config: choices.clone(),
+                        promise_seed: 0,
+                    },
+                )
+                .unwrap()
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = inference_benches
+}
+criterion_main!(benches);

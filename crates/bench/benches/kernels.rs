@@ -1,0 +1,133 @@
+//! Kernel-level microbenchmarks: exact vs approximated tensor operators.
+//!
+//! These measure the *host-CPU* effect of the algorithmic approximations
+//! (the CPU side of §7.1: sampling/perforation give real time savings even
+//! without FP16 hardware; software-emulated FP16 is a QoS mechanism only).
+
+use at_tensor::ops::conv::{conv2d, Conv2dParams};
+use at_tensor::ops::{avg_pool2d, matmul};
+use at_tensor::{ConvApprox, PerforationDim, Precision, ReduceApprox, Shape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn conv_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor::uniform(Shape::nchw(1, 16, 32, 32), -1.0, 1.0, &mut rng);
+    let weight = Tensor::uniform(Shape::nchw(16, 16, 3, 3), -0.5, 0.5, &mut rng);
+    let mut g = c.benchmark_group("conv2d_16x32x32");
+    g.bench_function("exact_fp32", |b| {
+        b.iter(|| {
+            conv2d(
+                black_box(&input),
+                &weight,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("filter_sampling_50", |b| {
+        b.iter(|| {
+            conv2d(
+                black_box(&input),
+                &weight,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    approx: ConvApprox::FilterSampling { k: 2, offset: 0 },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("perforation_row_50", |b| {
+        b.iter(|| {
+            conv2d(
+                black_box(&input),
+                &weight,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    approx: ConvApprox::Perforation {
+                        dim: PerforationDim::Row,
+                        k: 2,
+                        offset: 0,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("exact_fp16_semantics", |b| {
+        b.iter(|| {
+            conv2d(
+                black_box(&input),
+                &weight,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    precision: Precision::Fp16,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn matmul_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Tensor::uniform(Shape::mat(64, 256), -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(Shape::mat(256, 64), -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_64x256x64_fp32", |bch| {
+        bch.iter(|| matmul(black_box(&a), &b, Precision::Fp32).unwrap())
+    });
+}
+
+fn pool_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let input = Tensor::uniform(Shape::nchw(1, 16, 32, 32), -1.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("avg_pool_4x4");
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            avg_pool2d(
+                black_box(&input),
+                (4, 4),
+                (0, 0),
+                (4, 4),
+                ReduceApprox::Exact,
+                Precision::Fp32,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("sampled_25", |b| {
+        b.iter(|| {
+            avg_pool2d(
+                black_box(&input),
+                (4, 4),
+                (0, 0),
+                (4, 4),
+                ReduceApprox::QUARTER,
+                Precision::Fp32,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = conv_benches, matmul_benches, pool_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Pareto-set and ε-relaxed curve construction at growing candidate-set
+//! sizes (the §3.5 curve-construction step).
+
+use at_core::config::Config;
+use at_core::pareto::{pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cloud(n: usize) -> Vec<TradeoffPoint> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.618_033_988_75).fract();
+            let y = (i as f64 * 0.414_213_562_37).fract();
+            TradeoffPoint {
+                qos: 80.0 + 20.0 * x,
+                perf: 1.0 + 2.0 * y,
+                config: Config::from_knobs(vec![]),
+            }
+        })
+        .collect()
+}
+
+fn pareto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto_construction");
+    for n in [100usize, 500, 2000] {
+        let pts = cloud(n);
+        g.bench_with_input(BenchmarkId::new("strict", n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_set(pts)))
+        });
+        g.bench_with_input(BenchmarkId::new("eps_0.5", n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_set_eps(pts, 0.5)))
+        });
+        g.bench_with_input(BenchmarkId::new("curve_build", n), &pts, |b, pts| {
+            b.iter(|| black_box(TradeoffCurve::from_points(pts.clone())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = pareto_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Predictor-throughput microbenchmarks: the mechanism behind Table 4.
+//!
+//! Π2 sums scalars; Π1 sums raw output tensors then re-applies the QoS
+//! function — "Π1 calculations are significantly slower than Π2's on large
+//! tensors" (§7.3). Empirical evaluation runs the whole program.
+
+use at_core::config::Config;
+use at_core::knobs::{KnobRegistry, KnobSet};
+use at_core::predict::{PredictionModel, Predictor};
+use at_core::profile::{collect_profiles, measure_config};
+use at_core::qos::{QosMetric, QosReference};
+use at_ir::{execute, ExecOptions, GraphBuilder};
+use at_tensor::{Shape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup() -> (
+    at_ir::Graph,
+    Vec<Tensor>,
+    QosReference,
+    KnobRegistry,
+    at_core::profile::QosProfiles,
+    Vec<Config>,
+) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut b = GraphBuilder::new("bench", Shape::nchw(16, 3, 16, 16), &mut rng);
+    b.conv(8, 3, (1, 1), (1, 1)).relu().conv(8, 3, (1, 1), (1, 1)).relu();
+    b.max_pool(2, 2).flatten().dense(10).softmax();
+    let g = b.finish();
+    let mut rng2 = StdRng::seed_from_u64(6);
+    let inputs: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::uniform(Shape::nchw(16, 3, 16, 16), -1.0, 1.0, &mut rng2))
+        .collect();
+    let mut labels = Vec::new();
+    for bt in &inputs {
+        let out = execute(&g, bt, &ExecOptions::baseline()).unwrap();
+        let (rows, c) = out.shape().as_mat().unwrap();
+        labels.push(
+            (0..rows)
+                .map(|r| {
+                    let row = &out.data()[r * c..(r + 1) * c];
+                    (0..c).max_by(|&i, &j| row[i].partial_cmp(&row[j]).unwrap()).unwrap()
+                })
+                .collect::<Vec<usize>>(),
+        );
+    }
+    let reference = QosReference::Labels(labels);
+    let registry = KnobRegistry::new();
+    let profiles = collect_profiles(
+        &g,
+        &registry,
+        KnobSet::HardwareIndependent,
+        &inputs,
+        QosMetric::Accuracy,
+        &reference,
+        true,
+        0,
+    )
+    .unwrap();
+    let nk = registry.node_knobs(&g, KnobSet::HardwareIndependent);
+    let mut rng3 = StdRng::seed_from_u64(7);
+    let configs: Vec<Config> = (0..16).map(|_| Config::random(&nk, &mut rng3)).collect();
+    (g, inputs, reference, registry, profiles, configs)
+}
+
+fn predictor_benches(c: &mut Criterion) {
+    let (g, inputs, reference, registry, profiles, configs) = setup();
+    let mut group = c.benchmark_group("qos_estimate_per_config");
+    let pi1 = Predictor::new(&profiles, PredictionModel::Pi1, QosMetric::Accuracy);
+    group.bench_function("pi1_predict", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % configs.len();
+            black_box(pi1.predict(&configs[i], &reference))
+        })
+    });
+    let pi2 = Predictor::new(&profiles, PredictionModel::Pi2, QosMetric::Accuracy);
+    group.bench_function("pi2_predict", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % configs.len();
+            black_box(pi2.predict(&configs[i], &reference))
+        })
+    });
+    group.bench_function("empirical_measure", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % configs.len();
+            black_box(
+                measure_config(
+                    &g,
+                    &registry,
+                    &configs[i],
+                    &inputs,
+                    QosMetric::Accuracy,
+                    &reference,
+                    0,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = predictor_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Runtime-controller decision latency — the §5 claim that "the runtime
+//! tuner can switch between configurations with negligible overhead": the
+//! per-invocation monitoring + selection cost must be microseconds, far
+//! below any batch execution time.
+
+use at_core::config::Config;
+use at_core::pareto::{TradeoffCurve, TradeoffPoint};
+use at_core::runtime::{Policy, RuntimeTuner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn curve(n: usize) -> TradeoffCurve {
+    TradeoffCurve::from_points(
+        (0..n)
+            .map(|i| TradeoffPoint {
+                qos: 95.0 - i as f64 * (10.0 / n as f64),
+                perf: 1.0 + i as f64 * (2.0 / n as f64),
+                config: Config::from_knobs(vec![]),
+            })
+            .collect(),
+    )
+}
+
+fn runtime_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_controller");
+    for policy in [Policy::EnforceEachInvocation, Policy::AverageOverTime] {
+        g.bench_function(format!("record_invocation_{policy:?}"), |b| {
+            let mut t = RuntimeTuner::new(curve(50), policy, 4, 1.0, 1);
+            let mut k = 0u64;
+            b.iter(|| {
+                // Alternate fast/slow invocations so selection logic runs.
+                k += 1;
+                let time = if k % 7 < 3 { 1.4 } else { 0.9 };
+                black_box(t.record_invocation(time).is_some())
+            })
+        });
+    }
+    // Policy 1 selection is O(log |PS|): show it stays flat as the curve
+    // grows.
+    for n in [10usize, 100, 1000] {
+        g.bench_function(format!("binary_search_curve_{n}"), |b| {
+            let cv = curve(n);
+            b.iter(|| black_box(cv.config_for_speedup(1.7).map(|p| p.perf)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = runtime_benches
+}
+criterion_main!(benches);

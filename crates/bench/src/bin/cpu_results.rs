@@ -1,0 +1,56 @@
+//! §7.1 "Improvements for CPU": speedups on the CPU, which has no FP16
+//! hardware, so only sampling and perforation help (paper geomeans:
+//! 1.31x / 1.38x / 1.42x at ΔQoS 1/2/3%; max 1.89x for VGG16-CIFAR10).
+//!
+//! The development-time curve is hardware-independent; the CPU numbers
+//! come from install-time software-only refinement against the CPU device
+//! model — exactly the paper's flow for a second target.
+
+use at_bench::harness::{geomean, Prepared, Sizing};
+use at_bench::report::{fx, Table};
+use at_core::install::EdgeDevice;
+use at_core::predict::PredictionModel;
+use at_hw::{DeviceSpec, TimingModel};
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    // The CPU device: no FP16 units.
+    let device = EdgeDevice {
+        timing: TimingModel::new(DeviceSpec::tx2_cpu()),
+        ..EdgeDevice::tx2()
+    };
+    let drops = [1.0, 2.0, 3.0];
+    let mut table = Table::new(&["Benchmark", "dQoS 1%", "dQoS 2%", "dQoS 3%"]);
+    let mut geo = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut json = Vec::new();
+    for id in BenchmarkId::ALL {
+        eprintln!("[cpu] {} …", id.name());
+        let p = Prepared::new(id, sizing);
+        let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+        let mut row = vec![id.name().to_string()];
+        for (di, &drop) in drops.iter().enumerate() {
+            let params = p.params(drop, PredictionModel::Pi1, sizing);
+            let result = p.tune(&profiles, &params);
+            let s = p
+                .evaluate_best(&result.curve, params.qos_min, &device)
+                .map_or(1.0, |e| e.speedup);
+            geo[di].push(s);
+            row.push(fx(s));
+            json.push(serde_json::json!({
+                "benchmark": id.name(), "qos_drop": drop, "cpu_speedup": s,
+            }));
+        }
+        table.row(row);
+    }
+    table.row(vec![
+        "Geo-mean".into(),
+        fx(geomean(&geo[0])),
+        fx(geomean(&geo[1])),
+        fx(geomean(&geo[2])),
+    ]);
+    println!("§7.1 CPU speedups (no FP16 hardware: sampling/perforation only)");
+    println!("(paper geomeans: 1.31x / 1.38x / 1.42x)\n");
+    table.print();
+    at_bench::report::write_json("cpu_results", &json);
+}

@@ -1,0 +1,31 @@
+//! Ad-hoc debugging binary for tuning behaviour (not part of the paper's
+//! experiment set).
+use at_bench::harness::{Prepared, Sizing};
+use at_core::install::EdgeDevice;
+use at_core::predict::PredictionModel;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let id = at_models::BenchmarkId::AlexNetCifar10;
+    let p = Prepared::new(id, sizing);
+    println!("baseline cal acc = {:.2}", p.baseline_cal_accuracy());
+    let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+    println!("qos_base={:.2} pairs={} ", profiles.qos_base, profiles.pairs.len());
+    // Distribution of dq.
+    let mut dq = profiles.dq.clone();
+    dq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("dq: min={:.2} p25={:.2} median={:.2} p75={:.2} max={:.2}",
+        dq[0], dq[dq.len()/4], dq[dq.len()/2], dq[3*dq.len()/4], dq[dq.len()-1]);
+    let params = p.params(3.0, PredictionModel::Pi1, sizing);
+    println!("qos_min={:.2}", params.qos_min);
+    let r = p.tune(&profiles, &params);
+    println!("alpha={:.3} iters={} curve_len={}", r.alpha, r.iterations, r.curve.len());
+    for pt in r.curve.points() {
+        println!("  point qos={:.2} predperf={:.3} approx_ops={}", pt.qos, pt.perf, pt.config.approximated_ops());
+    }
+    let device = EdgeDevice::tx2();
+    match p.evaluate_best(&r.curve, params.qos_min, &device) {
+        Some(e) => println!("best: speedup={:.3} energy={:.3} test_drop={:.2} hist={:?}", e.speedup, e.energy_reduction, e.test_drop, e.histogram),
+        None => println!("evaluate_best: None"),
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 3: predictive (Π1, Π2) vs empirical tuning — speedups at ΔQoS 3%.
+//!
+//! Paper geomeans: Π1 2.27x, Π2 1.97x, empirical 2.25x. Π2 trails because
+//! it systematically underestimates accuracy loss for some benchmarks, so
+//! more of its configurations are removed during validation.
+
+use at_bench::harness::{geomean, Prepared, Sizing};
+use at_bench::report::{fx, Table};
+use at_core::empirical::EmpiricalTuner;
+use at_core::install::EdgeDevice;
+use at_core::predict::PredictionModel;
+use at_core::qos::QosMetric;
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let device = EdgeDevice::tx2();
+    let mut table = Table::new(&["Benchmark", "Predictive-Pi1", "Predictive-Pi2", "Empirical"]);
+    let mut geo = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut json = Vec::new();
+    // Empirical tuning runs the program every iteration; cap its budget so
+    // the figure regenerates in reasonable time (the *time* comparison is
+    // Table 4's job; here both sides converge).
+    let emp_iters = std::env::var("AT_EMP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sizing.max_iters.min(200));
+
+    for id in BenchmarkId::ALL {
+        eprintln!("[fig3] {} …", id.name());
+        let p = Prepared::new(id, sizing);
+        let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+        let mut row = vec![id.name().to_string()];
+        let mut entry = serde_json::json!({ "benchmark": id.name() });
+        for (gi, model) in [PredictionModel::Pi1, PredictionModel::Pi2].iter().enumerate() {
+            let params = p.params(3.0, *model, sizing);
+            let result = p.tune(&profiles, &params);
+            let s = p
+                .evaluate_best(&result.curve, params.qos_min, &device)
+                .map_or(1.0, |e| e.speedup);
+            geo[gi].push(s);
+            row.push(fx(s));
+            entry[model.name()] = serde_json::json!(s);
+        }
+        // Empirical.
+        let mut params = p.params(3.0, PredictionModel::Pi2, sizing);
+        params.max_iters = emp_iters;
+        params.convergence_window = emp_iters;
+        let reference = p.cal_reference();
+        let etuner = EmpiricalTuner {
+            graph: &p.bench.graph,
+            registry: &p.registry,
+            inputs: &p.cal.batches,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: p.cal.batches[0].shape(),
+            promise_seed: 0,
+        };
+        let er = etuner.tune(&params).expect("empirical tuning");
+        let s = p
+            .evaluate_best(&er.curve, params.qos_min, &device)
+            .map_or(1.0, |e| e.speedup);
+        geo[2].push(s);
+        row.push(fx(s));
+        entry["Empirical"] = serde_json::json!(s);
+        table.row(row);
+        json.push(entry);
+    }
+    table.row(vec![
+        "Geo-mean".into(),
+        fx(geomean(&geo[0])),
+        fx(geomean(&geo[1])),
+        fx(geomean(&geo[2])),
+    ]);
+    println!("Figure 3: predictive vs empirical tuning, speedups at dQoS 3%");
+    println!("(paper geomeans: Pi1 2.27x, Pi2 1.97x, empirical 2.25x)\n");
+    table.print();
+    at_bench::report::write_json("fig3", &json);
+}

@@ -1,0 +1,161 @@
+//! Figure 4: install-time distributed predictive tuning with the PROMISE
+//! accelerator — energy reductions on GPU+PROMISE at ΔQoS 3%.
+//!
+//! Paper: geomean energy reductions of 4.7x (Π1), 3.3x (Π2) and 4.8x
+//! (empirical); individual benchmarks reach 10–16x when most convolutions
+//! map to PROMISE; ResNet-50 maps none. §7.4 also reports per-device
+//! profile-collection time and server autotuning time, printed here.
+
+use at_bench::harness::{geomean, Prepared, Sizing};
+use at_bench::report::{fx, Table};
+use at_core::empirical::EmpiricalTuner;
+use at_core::install::{distributed_install_tune, EdgeDevice, InstallObjective};
+use at_core::knobs::KnobSet;
+use at_core::predict::PredictionModel;
+use at_core::qos::{QosMetric, QosReference};
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let device = EdgeDevice::tx2();
+    // The paper emulates 100 edge devices; shards are per calibration
+    // batch, so at most #batches devices are active.
+    let n_edge = std::env::var("AT_EDGE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let bench_ids: Vec<BenchmarkId> = if std::env::var("AT_FULL").is_ok() {
+        BenchmarkId::ALL.to_vec()
+    } else {
+        vec![
+            BenchmarkId::LeNet,
+            BenchmarkId::AlexNetCifar10,
+            BenchmarkId::AlexNet2,
+            BenchmarkId::Vgg16Cifar10,
+            BenchmarkId::ResNet18,
+        ]
+    };
+    let mut table = Table::new(&[
+        "Benchmark",
+        "Pred-Pi1",
+        "Pred-Pi2",
+        "Empirical",
+        "ProfileTime(s)",
+        "ServerTune(s)",
+    ]);
+    let mut geo = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut json = Vec::new();
+
+    for id in bench_ids {
+        eprintln!("[fig4] {} …", id.name());
+        let p = Prepared::new(id, sizing);
+        let reference_full = p.cal_reference();
+        let labels = p.cal.labels.clone();
+        let shard_ref = move |i: usize, n: usize| {
+            QosReference::Labels(
+                labels
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % n == i)
+                    .map(|(_, l)| l.clone())
+                    .collect(),
+            )
+        };
+        let mut row = vec![id.name().to_string()];
+        let mut profile_t = 0.0f64;
+        let mut server_t = 0.0f64;
+        for (gi, model) in [PredictionModel::Pi1, PredictionModel::Pi2].iter().enumerate() {
+            let params = at_core::tuner::TunerParams {
+                knob_set: KnobSet::WithHardware,
+                ..p.params(3.0, *model, sizing)
+            };
+            let r = distributed_install_tune(
+                &p.bench.graph,
+                &p.registry,
+                &device,
+                InstallObjective::EnergyReduction,
+                &p.cal.batches,
+                QosMetric::Accuracy,
+                &shard_ref,
+                &reference_full,
+                n_edge,
+                &params,
+                p.cal.batches[0].shape(),
+                0,
+            )
+            .expect("install tuning");
+            let best = r
+                .curve
+                .points()
+                .iter()
+                .filter(|pt| pt.qos >= params.qos_min)
+                .map(|pt| pt.perf)
+                .fold(1.0f64, f64::max);
+            geo[gi].push(best);
+            row.push(fx(best));
+            profile_t = profile_t.max(r.device_profile_time_s);
+            server_t = server_t.max(r.server_tuning_time_s);
+        }
+        // Empirical with hardware knobs (bounded iterations).
+        let emp_iters = std::env::var("AT_EMP_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(sizing.max_iters.min(150));
+        let mut params = p.params(3.0, PredictionModel::Pi2, sizing);
+        params.knob_set = KnobSet::WithHardware;
+        params.max_iters = emp_iters;
+        params.convergence_window = emp_iters;
+        let etuner = EmpiricalTuner {
+            graph: &p.bench.graph,
+            registry: &p.registry,
+            inputs: &p.cal.batches,
+            metric: QosMetric::Accuracy,
+            reference: &reference_full,
+            input_shape: p.cal.batches[0].shape(),
+            promise_seed: 0,
+        };
+        let er = etuner.tune(&params).expect("empirical");
+        let perf_model = at_core::perf::PerfModel::new(
+            &p.bench.graph,
+            &p.registry,
+            p.cal.batches[0].shape(),
+        )
+        .unwrap();
+        let best_emp = er
+            .curve
+            .points()
+            .iter()
+            .filter(|pt| pt.qos >= params.qos_min)
+            .map(|pt| {
+                perf_model.device_energy_reduction(
+                    &pt.config,
+                    &device.timing,
+                    &device.promise,
+                    &device.power,
+                )
+            })
+            .fold(1.0f64, f64::max);
+        geo[2].push(best_emp);
+        row.push(fx(best_emp));
+        row.push(format!("{profile_t:.1}"));
+        row.push(format!("{server_t:.1}"));
+        json.push(serde_json::json!({
+            "benchmark": id.name(),
+            "pi1": geo[0].last(), "pi2": geo[1].last(), "empirical": best_emp,
+            "device_profile_time_s": profile_t, "server_tuning_time_s": server_t,
+        }));
+        table.row(row);
+    }
+    table.row(vec![
+        "Geo-mean".into(),
+        fx(geomean(&geo[0])),
+        fx(geomean(&geo[1])),
+        fx(geomean(&geo[2])),
+        "".into(),
+        "".into(),
+    ]);
+    println!("Figure 4: GPU+PROMISE energy reductions, install-time distributed tuning, dQoS 3%");
+    println!("(paper geomeans: Pi1 4.7x, Pi2 3.3x, empirical 4.8x)\n");
+    table.print();
+    at_bench::report::write_json("fig4", &json);
+}

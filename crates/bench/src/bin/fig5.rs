@@ -1,0 +1,38 @@
+//! Figure 5: GPU, DDR and total system power at each GPU DVFS step while
+//! running ResNet-18 (paper: GPU power drops ~7x, SYS ~1.9x from
+//! 1300 MHz to ~319 MHz; DDR decreases only slightly).
+
+use at_bench::report::Table;
+use at_hw::{FrequencyLadder, PowerModel};
+
+fn main() {
+    let ladder = FrequencyLadder::tx2_gpu();
+    let model = PowerModel::tx2();
+    let mut table = Table::new(&["Freq (MHz)", "GPU (W)", "CPU (W)", "DDR (W)", "SYS (W)"]);
+    let mut json = Vec::new();
+    for &f in ladder.frequencies() {
+        // Utilisation 1.0: the GPU is busy with inference (ResNet-18 run).
+        let r = model.rails(f, 1.0);
+        table.row(vec![
+            format!("{f:.0}"),
+            format!("{:.2}", r.gpu),
+            format!("{:.2}", r.cpu),
+            format!("{:.2}", r.ddr),
+            format!("{:.2}", r.sys()),
+        ]);
+        json.push(serde_json::json!({
+            "freq_mhz": f, "gpu_w": r.gpu, "cpu_w": r.cpu,
+            "ddr_w": r.ddr, "sys_w": r.sys(),
+        }));
+    }
+    let hi = model.rails(ladder.max(), 1.0);
+    let lo = model.rails(ladder.at(ladder.len() - 1), 1.0);
+    println!("Figure 5: rail power vs GPU frequency (ResNet-18 running)\n");
+    table.print();
+    println!(
+        "\nGPU power drop: {:.2}x (paper ~7x)   SYS power drop: {:.2}x (paper ~1.9x)",
+        hi.gpu / lo.gpu,
+        hi.sys() / lo.sys()
+    );
+    at_bench::report::write_json("fig5", &json);
+}

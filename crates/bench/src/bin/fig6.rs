@@ -1,0 +1,148 @@
+//! Figure 6: runtime approximation tuning under GPU frequency scaling.
+//!
+//! For ResNet-18, AlexNet-ImageNet and AlexNet2 the GPU frequency is swept
+//! down the 12-step ladder. Without dynamic approximation the normalized
+//! batch time grows like the slowdown; with the runtime tuner (control
+//! policy 2, sliding window of one batch) the time stays near 1.0 while
+//! inference accuracy degrades gracefully.
+
+use at_bench::harness::{Prepared, Sizing};
+use at_bench::report::Table;
+use at_core::install::EdgeDevice;
+use at_core::perf::PerfModel;
+use at_core::predict::PredictionModel;
+use at_core::profile::measure_config;
+use at_core::qos::QosMetric;
+use at_core::runtime::{Policy, RuntimeTuner};
+use at_hw::FrequencyLadder;
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let device = EdgeDevice::tx2();
+    let ladder = FrequencyLadder::tx2_gpu();
+    let policy = match std::env::var("AT_POLICY").as_deref() {
+        Ok("1") => Policy::EnforceEachInvocation,
+        _ => Policy::AverageOverTime,
+    };
+    let batches_per_freq = 20usize;
+    let mut json = Vec::new();
+
+    for id in [
+        BenchmarkId::ResNet18,
+        BenchmarkId::AlexNetImageNet,
+        BenchmarkId::AlexNet2,
+    ] {
+        eprintln!("[fig6] {} …", id.name());
+        let p = Prepared::new(id, sizing);
+        let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+        let params = p.params(3.0, PredictionModel::Pi1, sizing);
+        let dev_result = p.tune(&profiles, &params);
+        // Install-time: replace predicted perf with device-measured speedup.
+        let reference = p.cal_reference();
+        let curve = at_core::install::refine_software_only(
+            &p.bench.graph,
+            &p.registry,
+            &device,
+            at_core::install::InstallObjective::Speedup,
+            &dev_result.curve,
+            &p.cal.batches,
+            QosMetric::Accuracy,
+            &reference,
+            params.qos_min,
+            p.cal.batches[0].shape(),
+            0,
+        )
+        .expect("refinement succeeds");
+        if curve.is_empty() {
+            eprintln!("[fig6] {}: empty curve, skipping", id.name());
+            continue;
+        }
+        // Pre-measure the test accuracy of every curve point once.
+        let test_ref = p.test_reference();
+        let accuracies: Vec<f64> = curve
+            .points()
+            .iter()
+            .map(|pt| {
+                measure_config(
+                    &p.bench.graph,
+                    &p.registry,
+                    &pt.config,
+                    &p.test.batches,
+                    QosMetric::Accuracy,
+                    &test_ref,
+                    0,
+                )
+                .expect("measurement")
+            })
+            .collect();
+        let base_acc = measure_config(
+            &p.bench.graph,
+            &p.registry,
+            &at_core::Config::baseline(&p.bench.graph),
+            &p.test.batches,
+            QosMetric::Accuracy,
+            &test_ref,
+            0,
+        )
+        .expect("baseline");
+
+        // Simulated per-batch baseline time on the device model.
+        let perf = PerfModel::new(&p.bench.graph, &p.registry, p.cal.batches[0].shape())
+            .expect("perf model");
+        let base_time =
+            perf.device_time(&at_core::Config::baseline(&p.bench.graph), &device.timing, &device.promise);
+
+        let mut table = Table::new(&[
+            "Freq (MHz)",
+            "Static time (norm)",
+            "Dynamic time (norm)",
+            "Accuracy (%)",
+            "Acc drop (pp)",
+        ]);
+        let mut tuner = RuntimeTuner::new(curve.clone(), policy, 1, base_time, 7);
+        for step in 0..ladder.len() {
+            let slowdown = ladder.slowdown(step);
+            // Run a window of batches at this frequency.
+            let mut dyn_times = Vec::new();
+            let mut accs = Vec::new();
+            for _ in 0..batches_per_freq {
+                let speedup = tuner.current_speedup();
+                let t = base_time * slowdown / speedup;
+                dyn_times.push(t / base_time);
+                let acc = match tuner.current_point() {
+                    None => base_acc,
+                    Some(pt) => {
+                        let idx = curve
+                            .points()
+                            .iter()
+                            .position(|q| std::ptr::eq(q, pt))
+                            .unwrap_or(0);
+                        accuracies[idx]
+                    }
+                };
+                accs.push(acc);
+                tuner.record_invocation(t);
+            }
+            let avg_dyn = dyn_times.iter().sum::<f64>() / dyn_times.len() as f64;
+            let avg_acc = accs.iter().sum::<f64>() / accs.len() as f64;
+            table.row(vec![
+                format!("{:.0}", ladder.at(step)),
+                format!("{slowdown:.2}"),
+                format!("{avg_dyn:.2}"),
+                format!("{avg_acc:.2}"),
+                format!("{:.2}", base_acc - avg_acc),
+            ]);
+            json.push(serde_json::json!({
+                "benchmark": id.name(), "freq_mhz": ladder.at(step),
+                "static_norm_time": slowdown, "dynamic_norm_time": avg_dyn,
+                "accuracy": avg_acc, "accuracy_drop": base_acc - avg_acc,
+                "switches": tuner.switches,
+            }));
+        }
+        println!("\nFigure 6 ({}): runtime adaptation across GPU frequencies", id.name());
+        println!("(static time grows with slowdown; dynamic stays ~1.0 while accuracy degrades)\n");
+        table.print();
+    }
+    at_bench::report::write_json("fig6", &json);
+}

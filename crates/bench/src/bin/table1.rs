@@ -1,0 +1,70 @@
+//! Table 1: CNN benchmarks, datasets, layer counts, FP32 baseline accuracy
+//! and auto-tuning search-space size.
+//!
+//! Layer counts and search-space sizes are *computed* from the built
+//! graphs and the knob registry; baseline accuracy is *measured* on the
+//! held-out test split (the synthetic datasets are teacher-calibrated to
+//! the paper's accuracy, so measured ≈ paper up to sampling noise).
+
+use at_bench::harness::{Prepared, Sizing};
+use at_bench::report::{pct, Table};
+use at_core::knobs::KnobSet;
+use at_core::qos::QosMetric;
+use at_models::zoo::conv_dense_layers;
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let mut table = Table::new(&[
+        "Network",
+        "Dataset",
+        "Layers",
+        "Layers(paper)",
+        "Accuracy",
+        "Accuracy(paper)",
+        "log10(SearchSpace)",
+        "log10(paper)",
+    ]);
+    let mut rows_json = Vec::new();
+    for id in BenchmarkId::ALL {
+        let p = Prepared::new(id, sizing);
+        let layers = conv_dense_layers(&p.bench.graph);
+        let test_ref = p.test_reference();
+        let acc = at_core::profile::measure_config(
+            &p.bench.graph,
+            &p.registry,
+            &at_core::Config::baseline(&p.bench.graph),
+            &p.test.batches,
+            QosMetric::Accuracy,
+            &test_ref,
+            0,
+        )
+        .expect("baseline runs");
+        let space = p
+            .registry
+            .search_space_log10(&p.bench.graph, KnobSet::HardwareIndependent);
+        table.row(vec![
+            id.name().to_string(),
+            id.dataset().to_string(),
+            layers.to_string(),
+            id.paper_layers().to_string(),
+            pct(acc),
+            pct(id.paper_baseline_accuracy()),
+            format!("{space:.1}"),
+            format!("{:.1}", id.paper_search_space().log10()),
+        ]);
+        rows_json.push(serde_json::json!({
+            "network": id.name(),
+            "dataset": id.dataset(),
+            "layers": layers,
+            "layers_paper": id.paper_layers(),
+            "accuracy_measured": acc,
+            "accuracy_paper": id.paper_baseline_accuracy(),
+            "search_space_log10": space,
+            "search_space_log10_paper": id.paper_search_space().log10(),
+        }));
+    }
+    println!("Table 1: benchmarks, layer counts, baseline accuracy, search space\n");
+    table.print();
+    at_bench::report::write_json("table1", &rows_json);
+}

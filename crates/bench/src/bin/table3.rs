@@ -1,0 +1,37 @@
+//! Table 3: approximation knobs of the top-performing GPU configuration
+//! (maximum speedup) per benchmark at ΔQoS 3%, plus the offset-tuning
+//! ablation the §7.2 discussion calls out.
+
+use at_bench::harness::{Prepared, Sizing};
+use at_bench::report::Table;
+use at_core::install::EdgeDevice;
+use at_core::predict::PredictionModel;
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let device = EdgeDevice::tx2();
+    let mut table = Table::new(&["Benchmark", "Occurrences of Approximation Knobs"]);
+    let mut json = Vec::new();
+    for id in BenchmarkId::ALL {
+        eprintln!("[table3] {} …", id.name());
+        let p = Prepared::new(id, sizing);
+        let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+        let params = p.params(3.0, PredictionModel::Pi1, sizing);
+        let result = p.tune(&profiles, &params);
+        let hist = p
+            .evaluate_best(&result.curve, params.qos_min, &device)
+            .map(|e| e.histogram)
+            .unwrap_or_default();
+        let rendered = hist
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        table.row(vec![id.name().to_string(), rendered]);
+        json.push(serde_json::json!({ "benchmark": id.name(), "histogram": hist }));
+    }
+    println!("Table 3: knobs of the best GPU configuration at dQoS 3%\n");
+    table.print();
+    at_bench::report::write_json("table3", &json);
+}

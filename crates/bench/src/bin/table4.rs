@@ -1,0 +1,91 @@
+//! Table 4: predictive-tuning times compared to empirical tuning.
+//!
+//! Paper: Π1 is 12.76x and Π2 20.37x faster than empirical (geomean).
+//! Times are wall-clock for the search + validation phases at equal
+//! iteration budgets; empirical evaluates every iteration by running the
+//! program, predictive only validates the shipped candidates.
+
+use at_bench::harness::{geomean, Prepared, Sizing};
+use at_bench::report::Table;
+use at_core::empirical::EmpiricalTuner;
+use at_core::predict::PredictionModel;
+use at_core::qos::QosMetric;
+use at_models::BenchmarkId;
+
+fn main() {
+    let sizing = Sizing::from_env();
+    let mut table = Table::new(&[
+        "Benchmark",
+        "Empirical(s)",
+        "Pred-Pi1(s)",
+        "Pred-Pi2(s)",
+        "Pi1-red",
+        "Pi2-red",
+    ]);
+    let mut red1 = Vec::new();
+    let mut red2 = Vec::new();
+    let mut json = Vec::new();
+    // Equal iteration budgets for a fair per-iteration comparison.
+    let iters = std::env::var("AT_EMP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sizing.max_iters.min(200));
+
+    for id in BenchmarkId::ALL {
+        eprintln!("[table4] {} …", id.name());
+        let p = Prepared::new(id, sizing);
+        let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+        let mut times = [0.0f64; 2];
+        for (i, model) in [PredictionModel::Pi1, PredictionModel::Pi2].iter().enumerate() {
+            let mut params = p.params(3.0, *model, sizing);
+            params.max_iters = iters;
+            params.convergence_window = iters;
+            let r = p.tune(&profiles, &params);
+            times[i] = r.tuning_time_s();
+        }
+        let reference = p.cal_reference();
+        let mut params = p.params(3.0, PredictionModel::Pi2, sizing);
+        params.max_iters = iters;
+        params.convergence_window = iters;
+        let etuner = EmpiricalTuner {
+            graph: &p.bench.graph,
+            registry: &p.registry,
+            inputs: &p.cal.batches,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: p.cal.batches[0].shape(),
+            promise_seed: 0,
+        };
+        let er = etuner.tune(&params).expect("empirical tuning");
+        let emp = er.tuning_time_s();
+        let r1 = emp / times[0].max(1e-9);
+        let r2 = emp / times[1].max(1e-9);
+        red1.push(r1);
+        red2.push(r2);
+        table.row(vec![
+            id.name().to_string(),
+            format!("{emp:.2}"),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{r1:.2}x"),
+            format!("{r2:.2}x"),
+        ]);
+        json.push(serde_json::json!({
+            "benchmark": id.name(), "empirical_s": emp,
+            "pi1_s": times[0], "pi2_s": times[1],
+            "pi1_reduction": r1, "pi2_reduction": r2,
+        }));
+    }
+    table.row(vec![
+        "Geomean".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("{:.2}x", geomean(&red1)),
+        format!("{:.2}x", geomean(&red2)),
+    ]);
+    println!("Table 4: tuning times, predictive vs empirical");
+    println!("(paper geomean reductions: Pi1 12.76x, Pi2 20.37x)\n");
+    table.print();
+    at_bench::report::write_json("table4", &json);
+}

@@ -1,0 +1,10 @@
+//! # at-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§7); see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results. Shared setup (model + dataset + profile
+//! construction, with on-disk profile caching) lives in [`harness`];
+//! result formatting in [`report`].
+
+pub mod harness;
+pub mod report;

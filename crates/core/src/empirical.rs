@@ -1,0 +1,231 @@
+//! Conventional empirical (measurement-based) autotuning — the paper's
+//! comparison baseline.
+//!
+//! "conventional empirical autotuning evaluates a configuration by actually
+//! running the program binary (e.g., CNN inference) which can be expensive"
+//! (§3). The search engine and fitness shape are identical to the
+//! predictive tuner; only the QoS estimate differs: every iteration runs
+//! the program on the calibration inputs.
+
+use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve, TradeoffPoint};
+use crate::perf::PerfModel;
+use crate::profile::measure_config;
+use crate::search::{Autotuner, SearchSpace};
+use crate::tuner::{TunerParams, TuningResult};
+use crate::knobs::KnobRegistry;
+use crate::qos::{QosMetric, QosReference};
+use at_ir::Graph;
+use at_tensor::{Shape, Tensor, TensorError};
+
+/// The empirical tuner.
+pub struct EmpiricalTuner<'a> {
+    /// The program under tuning.
+    pub graph: &'a Graph,
+    /// The knob registry.
+    pub registry: &'a KnobRegistry,
+    /// Calibration input batches.
+    pub inputs: &'a [Tensor],
+    /// The QoS metric.
+    pub metric: QosMetric,
+    /// The metric's reference data.
+    pub reference: &'a QosReference,
+    /// Per-sample input shape for the performance model.
+    pub input_shape: Shape,
+    /// PROMISE noise seed for measured runs.
+    pub promise_seed: u64,
+}
+
+impl<'a> EmpiricalTuner<'a> {
+    /// Runs measurement-based tuning with the same parameters as
+    /// Algorithm 1 (the `model`/`calibrate` fields are ignored — there is
+    /// no predictor).
+    pub fn tune(&self, params: &TunerParams) -> Result<TuningResult, TensorError> {
+        let started = std::time::Instant::now();
+        let perf = PerfModel::new(self.graph, self.registry, self.input_shape)?;
+        let space = SearchSpace::new(self.registry.node_knobs(self.graph, params.knob_set));
+        let mut tuner = Autotuner::new(
+            space,
+            params.max_iters,
+            params.convergence_window,
+            params.seed,
+        );
+        let mut candidates: Vec<TradeoffPoint> = Vec::new();
+        // Same feasible anchors as the predictive tuner (baseline, all-FP16).
+        let seeds = crate::tuner::seed_configs(self.graph, self.registry);
+        let evaluate = |config: &crate::config::Config,
+                            tuner: &mut Autotuner,
+                            candidates: &mut Vec<TradeoffPoint>|
+         -> Result<(), TensorError> {
+            // Empirical: run the program for the QoS of every iteration.
+            let real_qos = measure_config(
+                self.graph,
+                self.registry,
+                config,
+                self.inputs,
+                self.metric,
+                self.reference,
+                self.promise_seed,
+            )?;
+            let pred_perf = perf.predicted_speedup(config);
+            let fitness = if real_qos >= params.qos_min {
+                pred_perf
+            } else {
+                real_qos - params.qos_min
+            };
+            if real_qos > params.qos_min {
+                candidates.push(TradeoffPoint {
+                    qos: real_qos,
+                    perf: pred_perf,
+                    config: config.clone(),
+                });
+            }
+            tuner.report(config, fitness);
+            Ok(())
+        };
+        for s in seeds {
+            evaluate(&s, &mut tuner, &mut candidates)?;
+        }
+        while tuner.continue_tuning() {
+            let it = tuner.next_config();
+            evaluate(&it.config, &mut tuner, &mut candidates)?;
+        }
+        let search_time_s = started.elapsed().as_secs_f64();
+
+        // QoS already measured — only curve selection remains.
+        let eps = eps_for_budget(&candidates, params.max_shipped);
+        let mut kept = pareto_set_eps(&candidates, eps);
+        kept.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
+        kept.dedup_by(|a, b| a.config == b.config);
+        let kept = cap_points(kept, params.max_shipped);
+        let curve = TradeoffCurve::from_points_eps(kept, f64::INFINITY);
+
+        Ok(TuningResult {
+            curve,
+            search_time_s,
+            validation_time_s: 0.0,
+            iterations: tuner.iterations(),
+            candidates: tuner.iterations(),
+            alpha: 1.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::PredictionModel;
+    use crate::tuner::PredictiveTuner;
+    use at_ir::{execute, ExecOptions, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, Vec<Tensor>, QosReference) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = GraphBuilder::new("t", Shape::nchw(16, 2, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(5).softmax();
+        let g = b.finish();
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::uniform(Shape::nchw(16, 2, 8, 8), -1.0, 1.0, &mut rng2))
+            .collect();
+        let mut labels = Vec::new();
+        for bt in &inputs {
+            let out = execute(&g, bt, &ExecOptions::baseline()).unwrap();
+            let (rows, c) = out.shape().as_mat().unwrap();
+            labels.push(
+                (0..rows)
+                    .map(|r| {
+                        let row = &out.data()[r * c..(r + 1) * c];
+                        row.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .unwrap()
+                            .0
+                    })
+                    .collect(),
+            );
+        }
+        (g, inputs, QosReference::Labels(labels))
+    }
+
+    #[test]
+    fn empirical_tuning_finds_speedups() {
+        let (g, inputs, reference) = setup();
+        let registry = KnobRegistry::new();
+        let tuner = EmpiricalTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        let params = TunerParams {
+            qos_min: 85.0,
+            max_iters: 120,
+            convergence_window: 120,
+            max_shipped: 10,
+            ..Default::default()
+        };
+        let r = tuner.tune(&params).unwrap();
+        assert!(!r.curve.is_empty());
+        let best = r
+            .curve
+            .points()
+            .iter()
+            .map(|p| p.perf)
+            .fold(1.0f64, f64::max);
+        assert!(best > 1.0);
+        // All points genuinely satisfy the constraint (measured QoS).
+        assert!(r.curve.points().iter().all(|p| p.qos > params.qos_min));
+    }
+
+    #[test]
+    fn predictive_is_faster_than_empirical_per_iteration() {
+        // The core speed claim of the paper, at matched iteration counts:
+        // predictive tuning avoids running the program per iteration, so
+        // its search loop is much cheaper.
+        let (g, inputs, reference) = setup();
+        let registry = KnobRegistry::new();
+        let iters = 60;
+        let params = TunerParams {
+            qos_min: 85.0,
+            n_calibrate: 0, // isolate the search loop
+            calibrate: false,
+            max_iters: iters,
+            convergence_window: iters,
+            model: PredictionModel::Pi2,
+            max_validated: 5,
+            max_shipped: 5,
+            ..Default::default()
+        };
+        let ptuner = PredictiveTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        let profiles = ptuner.collect(&params).unwrap();
+        let pr = ptuner.tune(&profiles, &params).unwrap();
+        let etuner = EmpiricalTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        let er = etuner.tune(&params).unwrap();
+        assert!(
+            pr.search_time_s < er.search_time_s,
+            "predictive search ({}s) should beat empirical ({}s)",
+            pr.search_time_s,
+            er.search_time_s
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! Install-time tuning (§4): curve refinement with device measurements and
+//! distributed predictive tuning with hardware-specific knobs.
+
+use crate::config::Config;
+use crate::knobs::{KnobRegistry, KnobSet};
+use crate::pareto::{TradeoffCurve, TradeoffPoint};
+use crate::perf::PerfModel;
+use crate::profile::{collect_profiles, measure_config, QosProfiles};
+use crate::qos::{QosMetric, QosReference};
+use crate::tuner::{PredictiveTuner, TunerParams};
+use at_hw::{PowerModel, TimingModel};
+use at_ir::Graph;
+use at_promise::PromiseModel;
+use at_tensor::{Shape, Tensor, TensorError};
+
+/// The simulated edge device: timing, accelerator and power models.
+#[derive(Clone)]
+pub struct EdgeDevice {
+    /// Digital-unit timing model.
+    pub timing: TimingModel,
+    /// PROMISE accelerator model.
+    pub promise: PromiseModel,
+    /// Rail power model.
+    pub power: PowerModel,
+}
+
+impl EdgeDevice {
+    /// The paper's evaluation SoC: TX2 GPU + PROMISE.
+    pub fn tx2() -> EdgeDevice {
+        EdgeDevice {
+            timing: TimingModel::new(at_hw::DeviceSpec::tx2_gpu()),
+            promise: PromiseModel::paper(),
+            power: PowerModel::tx2(),
+        }
+    }
+}
+
+/// What the install-time curve's performance axis measures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallObjective {
+    /// Execution-time speedup vs the FP32 baseline.
+    Speedup,
+    /// Energy-reduction factor vs the FP32 baseline (Figure 4's axis).
+    EnergyReduction,
+}
+
+/// Measures a config's install-time performance value on the device.
+pub fn device_perf(
+    perf: &PerfModel,
+    device: &EdgeDevice,
+    objective: InstallObjective,
+    config: &Config,
+) -> f64 {
+    match objective {
+        InstallObjective::Speedup => perf.device_speedup(config, &device.timing, &device.promise),
+        InstallObjective::EnergyReduction => {
+            perf.device_energy_reduction(config, &device.timing, &device.promise, &device.power)
+        }
+    }
+}
+
+/// Software-only install-time refinement: runs the shipped development-time
+/// curve's configurations on the device, replaces predicted performance
+/// with measured performance, re-filters by measured QoS and returns the
+/// strict Pareto curve `PS(S*)`.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_software_only(
+    graph: &Graph,
+    registry: &KnobRegistry,
+    device: &EdgeDevice,
+    objective: InstallObjective,
+    shipped: &TradeoffCurve,
+    inputs: &[Tensor],
+    metric: QosMetric,
+    reference: &QosReference,
+    qos_min: f64,
+    input_shape: Shape,
+    promise_seed: u64,
+) -> Result<TradeoffCurve, TensorError> {
+    let perf = PerfModel::new(graph, registry, input_shape)?;
+    let mut measured = Vec::new();
+    for p in shipped.points() {
+        let real_qos = measure_config(
+            graph,
+            registry,
+            &p.config,
+            inputs,
+            metric,
+            reference,
+            promise_seed,
+        )?;
+        if real_qos > qos_min {
+            measured.push(TradeoffPoint {
+                qos: real_qos,
+                perf: device_perf(&perf, device, objective, &p.config),
+                config: p.config.clone(),
+            });
+        }
+    }
+    Ok(TradeoffCurve::from_points(measured))
+}
+
+/// Result of a distributed install-time tuning round.
+#[derive(Clone, Debug)]
+pub struct InstallResult {
+    /// The final device curve `PS(S*_1 ∪ … ∪ S*_n)`.
+    pub curve: TradeoffCurve,
+    /// Largest per-device profile-collection time (devices work in
+    /// parallel), seconds.
+    pub device_profile_time_s: f64,
+    /// Server-side autotuning time, seconds.
+    pub server_tuning_time_s: f64,
+    /// Number of simulated devices that held calibration data.
+    pub active_devices: usize,
+}
+
+/// Distributed predictive install-time tuning (§4, hardware-specific
+/// knobs):
+///
+/// 1. each of `n_edge` devices collects QoS profiles on its shard of the
+///    calibration inputs (simulated with scoped threads);
+/// 2. the server merges the profiles (mean ΔQ, concatenated ΔT) and runs a
+///    fresh predictive-tuning round over the *combined*
+///    software + hardware knob space (approximation choices cannot be
+///    decoupled, so the development-time curve is not reused);
+/// 3. validation of the candidate configurations is sharded across the
+///    devices; the server unions the surviving sets and builds the final
+///    Pareto curve with device-measured performance.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_install_tune(
+    graph: &Graph,
+    registry: &KnobRegistry,
+    device: &EdgeDevice,
+    objective: InstallObjective,
+    inputs: &[Tensor],
+    metric: QosMetric,
+    reference_for_shard: &dyn Fn(usize, usize) -> QosReference,
+    reference_full: &QosReference,
+    n_edge: usize,
+    params: &TunerParams,
+    input_shape: Shape,
+    promise_seed: u64,
+) -> Result<InstallResult, TensorError> {
+    assert!(n_edge > 0);
+    let params = TunerParams {
+        knob_set: KnobSet::WithHardware,
+        ..params.clone()
+    };
+
+    // Step 1: per-device profile collection over input shards.
+    let shards: Vec<(usize, Vec<Tensor>)> = (0..n_edge)
+        .map(|i| {
+            (
+                i,
+                inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % n_edge == i)
+                    .map(|(_, b)| b.clone())
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .filter(|(_, s)| !s.is_empty())
+        .collect();
+    let active_devices = shards.len();
+
+    let collect_tensors = params.model == crate::predict::PredictionModel::Pi1;
+    let mut shard_profiles: Vec<Option<QosProfiles>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|(i, shard)| {
+                let reference = reference_for_shard(*i, n_edge);
+                scope.spawn(move |_| {
+                    collect_profiles(
+                        graph,
+                        registry,
+                        KnobSet::WithHardware,
+                        shard,
+                        metric,
+                        &reference,
+                        collect_tensors,
+                        promise_seed ^ (*i as u64),
+                    )
+                    .ok()
+                })
+            })
+            .collect();
+        for h in handles {
+            shard_profiles.push(h.join().expect("device thread panicked"));
+        }
+    })
+    .expect("device scope");
+    let merged = QosProfiles::merge(shard_profiles.into_iter().flatten().collect())
+        .ok_or_else(|| TensorError::ShapeMismatch {
+            op: "install::merge",
+            detail: "no device produced profiles".into(),
+        })?;
+    let device_profile_time_s = merged.collection_time_s;
+
+    // Step 2: fresh server-side predictive tuning over software + hardware
+    // knobs.
+    let server_started = std::time::Instant::now();
+    let tuner = PredictiveTuner {
+        graph,
+        registry,
+        inputs,
+        metric,
+        reference: reference_full,
+        input_shape,
+        promise_seed,
+    };
+    let result = tuner.tune(&merged, &params)?;
+    let server_tuning_time_s = server_started.elapsed().as_secs_f64();
+
+    // Step 3: validation sharded across devices (each device validates an
+    // equal fraction of the configurations on the full calibration set),
+    // with device-measured performance on the install objective.
+    let perf = PerfModel::new(graph, registry, input_shape)?;
+    let candidate_points: Vec<&TradeoffPoint> = result.curve.points().iter().collect();
+    let mut validated: Vec<TradeoffPoint> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_edge.min(candidate_points.len().max(1)))
+            .map(|i| {
+                let mine: Vec<&TradeoffPoint> = candidate_points
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % n_edge == i)
+                    .map(|(_, p)| *p)
+                    .collect();
+                let perf = &perf;
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for p in mine {
+                        if let Ok(q) = measure_config(
+                            graph,
+                            registry,
+                            &p.config,
+                            inputs,
+                            metric,
+                            reference_full,
+                            promise_seed,
+                        ) {
+                            if q > params.qos_min {
+                                out.push(TradeoffPoint {
+                                    qos: q,
+                                    perf: device_perf(perf, device, objective, &p.config),
+                                    config: p.config.clone(),
+                                });
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            validated.extend(h.join().expect("validation thread panicked"));
+        }
+    })
+    .expect("validation scope");
+
+    Ok(InstallResult {
+        curve: TradeoffCurve::from_points(validated),
+        device_profile_time_s,
+        server_tuning_time_s,
+        active_devices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::PredictionModel;
+    use at_ir::{execute, ExecOptions, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, Vec<Tensor>, Vec<Vec<usize>>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = GraphBuilder::new("t", Shape::nchw(8, 2, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(5).softmax();
+        let g = b.finish();
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::uniform(Shape::nchw(8, 2, 8, 8), -1.0, 1.0, &mut rng2))
+            .collect();
+        let mut labels = Vec::new();
+        for bt in &inputs {
+            let out = execute(&g, bt, &ExecOptions::baseline()).unwrap();
+            let (rows, c) = out.shape().as_mat().unwrap();
+            labels.push(
+                (0..rows)
+                    .map(|r| {
+                        let row = &out.data()[r * c..(r + 1) * c];
+                        row.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .unwrap()
+                            .0
+                    })
+                    .collect::<Vec<usize>>(),
+            );
+        }
+        (g, inputs, labels)
+    }
+
+    #[test]
+    fn distributed_tuning_produces_device_curve() {
+        let (g, inputs, labels) = setup();
+        let registry = KnobRegistry::new();
+        let device = EdgeDevice::tx2();
+        let reference_full = QosReference::Labels(labels.clone());
+        let labels2 = labels.clone();
+        let shard_ref = move |i: usize, n: usize| {
+            QosReference::Labels(
+                labels2
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % n == i)
+                    .map(|(_, l)| l.clone())
+                    .collect(),
+            )
+        };
+        let params = TunerParams {
+            qos_min: 80.0,
+            n_calibrate: 4,
+            max_iters: 150,
+            convergence_window: 150,
+            max_validated: 12,
+            max_shipped: 8,
+            model: PredictionModel::Pi2,
+            ..Default::default()
+        };
+        let r = distributed_install_tune(
+            &g,
+            &registry,
+            &device,
+            InstallObjective::EnergyReduction,
+            &inputs,
+            QosMetric::Accuracy,
+            &shard_ref,
+            &reference_full,
+            3,
+            &params,
+            inputs[0].shape(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.active_devices, 3);
+        assert!(!r.curve.is_empty(), "install-time curve empty");
+        // Energy objective: best point should save energy.
+        let best = r
+            .curve
+            .points()
+            .iter()
+            .map(|p| p.perf)
+            .fold(1.0f64, f64::max);
+        assert!(best > 1.0, "best energy reduction {best}");
+    }
+
+    #[test]
+    fn more_devices_than_batches_is_fine() {
+        let (g, inputs, labels) = setup();
+        let registry = KnobRegistry::new();
+        let device = EdgeDevice::tx2();
+        let reference_full = QosReference::Labels(labels.clone());
+        let labels2 = labels.clone();
+        let shard_ref = move |i: usize, n: usize| {
+            QosReference::Labels(
+                labels2
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % n == i)
+                    .map(|(_, l)| l.clone())
+                    .collect(),
+            )
+        };
+        let params = TunerParams {
+            qos_min: 80.0,
+            n_calibrate: 0,
+            calibrate: false,
+            max_iters: 40,
+            convergence_window: 40,
+            max_validated: 6,
+            max_shipped: 4,
+            model: PredictionModel::Pi2,
+            ..Default::default()
+        };
+        // 10 devices, 4 batches: 6 devices hold no data and are skipped.
+        let r = distributed_install_tune(
+            &g,
+            &registry,
+            &device,
+            InstallObjective::Speedup,
+            &inputs,
+            QosMetric::Accuracy,
+            &shard_ref,
+            &reference_full,
+            10,
+            &params,
+            inputs[0].shape(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.active_devices, 4);
+    }
+
+    #[test]
+    fn software_refinement_replaces_perf_axis() {
+        let (g, inputs, labels) = setup();
+        let registry = KnobRegistry::new();
+        let device = EdgeDevice::tx2();
+        let reference = QosReference::Labels(labels);
+        // Build a small dev-time curve first.
+        let tuner = PredictiveTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        let params = TunerParams {
+            qos_min: 80.0,
+            n_calibrate: 2,
+            max_iters: 80,
+            convergence_window: 80,
+            max_validated: 8,
+            max_shipped: 6,
+            model: PredictionModel::Pi2,
+            ..Default::default()
+        };
+        let profiles = tuner.collect(&params).unwrap();
+        let dev = tuner.tune(&profiles, &params).unwrap();
+        assert!(!dev.curve.is_empty());
+        let refined = refine_software_only(
+            &g,
+            &registry,
+            &device,
+            InstallObjective::Speedup,
+            &dev.curve,
+            &inputs,
+            QosMetric::Accuracy,
+            &reference,
+            params.qos_min,
+            inputs[0].shape(),
+            0,
+        )
+        .unwrap();
+        // The refined curve is a strict Pareto set.
+        for (i, p) in refined.points().iter().enumerate() {
+            for (j, q) in refined.points().iter().enumerate() {
+                if i != j {
+                    assert!(!p.strictly_dominated_by(q), "refined curve not Pareto");
+                }
+            }
+        }
+    }
+}

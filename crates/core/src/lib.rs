@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # at-core — ApproxTuner: three-phase predictive approximation tuning
+//!
+//! The paper's primary contribution: an automatic framework for
+//! accuracy-aware optimisation of tensor-based applications, structured as
+//!
+//! 1. **Development-time tuning** (§3, [`tuner`]): predictive approximation
+//!    tuning — per-(op, knob) QoS profiles ([`profile`]) feed compositional
+//!    error models Π1/Π2 ([`predict`]) and an analytical performance model
+//!    ([`perf`]), which drive an OpenTuner-style ensemble search
+//!    ([`search`]) to produce a relaxed Pareto tradeoff curve
+//!    ([`pareto`]).
+//! 2. **Install-time tuning** (§4, [`install`]): the shipped curve is
+//!    refined with real device measurements; when hardware-specific knobs
+//!    (PROMISE voltage levels) exist, a fresh distributed predictive-tuning
+//!    round runs across simulated edge devices.
+//! 3. **Run-time tuning** (§5, [`runtime`]): a sliding-window performance
+//!    monitor picks configurations off the shipped curve to counteract
+//!    slowdowns (e.g. DVFS low-power modes), with two selection policies.
+//!
+//! [`knobs`] defines the integer knob registry (63 per convolution, 8 per
+//! reduction, 2 per other op — §2.3); [`config`] the per-program
+//! configuration type; [`qos`] the quality-of-service metrics; and
+//! [`empirical`] the conventional measurement-based tuner used as the
+//! paper's comparison baseline.
+
+pub mod config;
+pub mod empirical;
+pub mod install;
+pub mod knobs;
+pub mod monitor;
+pub mod pareto;
+pub mod perf;
+pub mod predict;
+pub mod profile;
+pub mod qos;
+pub mod runtime;
+pub mod search;
+pub mod ship;
+pub mod tuner;
+
+pub use config::Config;
+pub use knobs::{Knob, KnobId, KnobRegistry, KnobSet};
+pub use pareto::{pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint};
+pub use qos::QosMetric;
+pub use ship::ShippedArtifact;
+pub use tuner::{PredictiveTuner, TunerParams};

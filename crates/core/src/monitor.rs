@@ -1,0 +1,241 @@
+//! The run-time system monitor (§5).
+//!
+//! "The system can track various metrics (e.g., load, power, and frequency
+//! variations) and provide feedback to the dynamic control, which computes
+//! a target speedup (and configuration) to maintain the required level of
+//! performance."
+//!
+//! [`SystemMonitor`] aggregates per-invocation measurements — wall time,
+//! the clock the device reported, and rail power if available — into the
+//! sliding-window statistics the [`crate::runtime::RuntimeTuner`] consumes,
+//! and [`AdaptationLog`] records every control decision for offline
+//! inspection (the data behind Figure 6's curves).
+
+use crate::pareto::TradeoffPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One invocation's observations.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct InvocationSample {
+    /// Wall-clock execution time, seconds.
+    pub time_s: f64,
+    /// Device clock during the invocation, MHz (if known).
+    pub freq_mhz: Option<f64>,
+    /// Average system power during the invocation, watts (if measured).
+    pub power_w: Option<f64>,
+}
+
+/// Sliding-window aggregator over recent invocations.
+#[derive(Clone, Debug)]
+pub struct SystemMonitor {
+    window: VecDeque<InvocationSample>,
+    size: usize,
+}
+
+impl SystemMonitor {
+    /// A monitor over the `size` most recent invocations (the paper uses a
+    /// configurable window; the runtime experiments use one batch).
+    pub fn new(size: usize) -> SystemMonitor {
+        assert!(size > 0, "window must hold at least one invocation");
+        SystemMonitor {
+            window: VecDeque::with_capacity(size),
+            size,
+        }
+    }
+
+    /// Records one invocation.
+    pub fn record(&mut self, sample: InvocationSample) {
+        self.window.push_back(sample);
+        if self.window.len() > self.size {
+            self.window.pop_front();
+        }
+    }
+
+    /// Whether the window is full (statistics are meaningful).
+    pub fn warm(&self) -> bool {
+        self.window.len() == self.size
+    }
+
+    /// Mean invocation time over the window, if warm.
+    pub fn mean_time_s(&self) -> Option<f64> {
+        if !self.warm() {
+            return None;
+        }
+        Some(self.window.iter().map(|s| s.time_s).sum::<f64>() / self.window.len() as f64)
+    }
+
+    /// Mean power over samples that carried a power reading.
+    pub fn mean_power_w(&self) -> Option<f64> {
+        let (sum, n) = self
+            .window
+            .iter()
+            .filter_map(|s| s.power_w)
+            .fold((0.0, 0usize), |(a, n), p| (a + p, n + 1));
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Detected frequency change: the latest sample's clock differs from
+    /// the window's oldest (a DVFS transition happened inside the window).
+    pub fn frequency_shift(&self) -> Option<(f64, f64)> {
+        let first = self.window.front()?.freq_mhz?;
+        let last = self.window.back()?.freq_mhz?;
+        if (first - last).abs() > 1e-9 {
+            Some((first, last))
+        } else {
+            None
+        }
+    }
+
+    /// Energy per invocation over the window, J (needs power readings).
+    pub fn mean_energy_j(&self) -> Option<f64> {
+        let t = self.mean_time_s()?;
+        Some(t * self.mean_power_w()?)
+    }
+}
+
+/// One control decision, as recorded for offline analysis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptationEvent {
+    /// Invocation index at which the decision was taken.
+    pub invocation: usize,
+    /// Window-mean time that triggered it, seconds.
+    pub observed_time_s: f64,
+    /// The required total speedup computed by the controller.
+    pub required_speedup: f64,
+    /// The (qos, perf) of the selected point; None = fell back to baseline.
+    pub selected: Option<(f64, f64)>,
+}
+
+/// Records the dynamic tuner's decisions.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AdaptationLog {
+    events: Vec<AdaptationEvent>,
+}
+
+impl AdaptationLog {
+    /// A fresh log.
+    pub fn new() -> AdaptationLog {
+        AdaptationLog::default()
+    }
+
+    /// Appends a decision.
+    pub fn push(
+        &mut self,
+        invocation: usize,
+        observed_time_s: f64,
+        required_speedup: f64,
+        selected: Option<&TradeoffPoint>,
+    ) {
+        self.events.push(AdaptationEvent {
+            invocation,
+            observed_time_s,
+            required_speedup,
+            selected: selected.map(|p| (p.qos, p.perf)),
+        });
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[AdaptationEvent] {
+        &self.events
+    }
+
+    /// Number of configuration changes recorded.
+    pub fn switches(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Serialises the log (an artifact the fig6 harness can persist).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("log serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, f: f64) -> InvocationSample {
+        InvocationSample {
+            time_s: t,
+            freq_mhz: Some(f),
+            power_w: Some(5.0),
+        }
+    }
+
+    #[test]
+    fn window_statistics() {
+        let mut m = SystemMonitor::new(3);
+        m.record(s(1.0, 1300.0));
+        assert!(!m.warm());
+        assert_eq!(m.mean_time_s(), None);
+        m.record(s(2.0, 1300.0));
+        m.record(s(3.0, 1300.0));
+        assert!(m.warm());
+        assert_eq!(m.mean_time_s(), Some(2.0));
+        assert_eq!(m.mean_power_w(), Some(5.0));
+        assert_eq!(m.mean_energy_j(), Some(10.0));
+        // Window slides.
+        m.record(s(5.0, 1300.0));
+        assert_eq!(m.mean_time_s(), Some(10.0 / 3.0));
+    }
+
+    #[test]
+    fn frequency_shift_detected() {
+        let mut m = SystemMonitor::new(2);
+        m.record(s(1.0, 1300.0));
+        m.record(s(1.4, 943.0));
+        assert_eq!(m.frequency_shift(), Some((1300.0, 943.0)));
+        m.record(s(1.4, 943.0));
+        assert_eq!(m.frequency_shift(), None);
+    }
+
+    #[test]
+    fn missing_power_handled() {
+        let mut m = SystemMonitor::new(2);
+        m.record(InvocationSample {
+            time_s: 1.0,
+            freq_mhz: None,
+            power_w: None,
+        });
+        m.record(InvocationSample {
+            time_s: 1.0,
+            freq_mhz: None,
+            power_w: None,
+        });
+        assert_eq!(m.mean_power_w(), None);
+        assert_eq!(m.mean_energy_j(), None);
+        assert_eq!(m.frequency_shift(), None);
+    }
+
+    #[test]
+    fn log_roundtrip() {
+        let mut log = AdaptationLog::new();
+        log.push(10, 1.5, 1.5, None);
+        log.push(
+            20,
+            1.2,
+            1.2,
+            Some(&TradeoffPoint {
+                qos: 88.0,
+                perf: 1.5,
+                config: crate::config::Config::from_knobs(vec![]),
+            }),
+        );
+        assert_eq!(log.switches(), 2);
+        let json = log.to_json();
+        let back: AdaptationLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events().len(), 2);
+        assert_eq!(back.events()[1].selected, Some((88.0, 1.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = SystemMonitor::new(0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Run-time approximation tuning (§5).
+//!
+//! A system monitor measures the execution time of each *invocation* (one
+//! batch) over a sliding window of the `N` most recent invocations. When
+//! the window average falls below the performance target, the dynamic
+//! tuner picks a new configuration from the shipped tradeoff curve:
+//!
+//! * **Policy 1 — enforce the required speedup in each invocation**: the
+//!   smallest curve point with performance ≥ the target (`O(log |PS|)`
+//!   binary search).
+//! * **Policy 2 — achieve the average target performance over time**:
+//!   probabilistically mixes the two bracketing points with probabilities
+//!   `p1·Perf1 + p2·Perf2 = PerfT` (as in Zhu et al. \[67\]).
+//!
+//! Because every approximation knob is just a numeric parameter of the
+//! tensor ops, switching configurations costs nothing beyond changing the
+//! parameter values.
+
+use crate::pareto::{TradeoffCurve, TradeoffPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Configuration-selection policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Policy {
+    /// Enforce the required speedup in every invocation (real-time
+    /// friendly).
+    EnforceEachInvocation,
+    /// Achieve the target on average by probabilistic mixing (throughput
+    /// friendly).
+    AverageOverTime,
+}
+
+/// The dynamic tuner.
+pub struct RuntimeTuner {
+    curve: TradeoffCurve,
+    policy: Policy,
+    window: VecDeque<f64>,
+    window_size: usize,
+    /// Target per-invocation time in seconds.
+    target_time_s: f64,
+    /// Baseline (no-approximation, nominal-frequency) invocation time.
+    baseline_time_s: f64,
+    rng: StdRng,
+    /// Index of the currently selected curve point (None = baseline).
+    current: Option<usize>,
+    /// Count of configuration switches (for overhead accounting).
+    pub switches: usize,
+}
+
+impl RuntimeTuner {
+    /// Creates a tuner over a shipped curve.
+    ///
+    /// `baseline_time_s` is the invocation time of the unapproximated
+    /// program at the highest frequency; the performance target is to keep
+    /// invocations at (or under) that time (§6.4).
+    pub fn new(
+        curve: TradeoffCurve,
+        policy: Policy,
+        window_size: usize,
+        baseline_time_s: f64,
+        seed: u64,
+    ) -> RuntimeTuner {
+        assert!(window_size > 0, "window must hold at least one invocation");
+        RuntimeTuner {
+            curve,
+            policy,
+            window: VecDeque::with_capacity(window_size),
+            window_size,
+            target_time_s: baseline_time_s,
+            baseline_time_s,
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            switches: 0,
+        }
+    }
+
+    /// The currently selected tradeoff point (None = baseline config).
+    pub fn current_point(&self) -> Option<&TradeoffPoint> {
+        self.current.map(|i| &self.curve.points()[i])
+    }
+
+    /// The speedup of the current configuration relative to baseline.
+    pub fn current_speedup(&self) -> f64 {
+        self.current_point().map_or(1.0, |p| p.perf)
+    }
+
+    /// The performance target (seconds per invocation).
+    pub fn target_time_s(&self) -> f64 {
+        self.target_time_s
+    }
+
+    /// Records one invocation's measured time and, if the sliding-window
+    /// average misses the target, re-selects a configuration. Returns the
+    /// new point when a switch happened.
+    pub fn record_invocation(&mut self, time_s: f64) -> Option<&TradeoffPoint> {
+        self.window.push_back(time_s);
+        if self.window.len() > self.window_size {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.window_size {
+            return None;
+        }
+        let avg = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        // Within 2% of target: leave the configuration alone (hysteresis).
+        if avg <= self.target_time_s * 1.02 && avg >= self.target_time_s * 0.7 {
+            return None;
+        }
+        // The measured time reflects the current config's speedup; the
+        // *environment slowdown* is what remains. Required total speedup to
+        // hit the target:
+        let env_slowdown = avg * self.current_speedup() / self.baseline_time_s;
+        let required = env_slowdown * self.baseline_time_s / self.target_time_s;
+        self.select_for_speedup(required)
+    }
+
+    /// Picks a configuration achieving `required` speedup under the policy.
+    fn select_for_speedup(&mut self, required: f64) -> Option<&TradeoffPoint> {
+        if required <= 1.0 {
+            // Environment recovered: fall back to the exact baseline.
+            let switched = self.current.is_some();
+            if switched {
+                self.current = None;
+                self.switches += 1;
+            }
+            return None;
+        }
+        let idx = match self.policy {
+            Policy::EnforceEachInvocation => {
+                let pts = self.curve.points();
+                if pts.is_empty() {
+                    return None;
+                }
+                let i = pts.partition_point(|p| p.perf < required);
+                Some(i.min(pts.len() - 1))
+            }
+            Policy::AverageOverTime => {
+                let pts = self.curve.points();
+                if pts.is_empty() {
+                    return None;
+                }
+                let i = pts.partition_point(|p| p.perf < required);
+                if i == 0 {
+                    Some(0)
+                } else if i >= pts.len() {
+                    Some(pts.len() - 1)
+                } else {
+                    // Mix the bracketing points: p1·perf1 + p2·perf2 =
+                    // required with p1 + p2 = 1.
+                    let (lo, hi) = (&pts[i - 1], &pts[i]);
+                    let p1 = if (hi.perf - lo.perf).abs() < 1e-12 {
+                        1.0
+                    } else {
+                        (hi.perf - required) / (hi.perf - lo.perf)
+                    };
+                    if self.rng.gen_bool(p1.clamp(0.0, 1.0)) {
+                        Some(i - 1)
+                    } else {
+                        Some(i)
+                    }
+                }
+            }
+        };
+        if idx != self.current {
+            self.current = idx;
+            self.switches += 1;
+            self.current_point()
+        } else {
+            None
+        }
+    }
+}
+
+/// Computes Policy 2's mixing probabilities for a target between two
+/// performance points: returns `(p_lo, p_hi)` with
+/// `p_lo·perf_lo + p_hi·perf_hi = target`.
+pub fn policy2_probabilities(perf_lo: f64, perf_hi: f64, target: f64) -> (f64, f64) {
+    if (perf_hi - perf_lo).abs() < 1e-12 {
+        return (1.0, 0.0);
+    }
+    let p_lo = ((perf_hi - target) / (perf_hi - perf_lo)).clamp(0.0, 1.0);
+    (p_lo, 1.0 - p_lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn curve() -> TradeoffCurve {
+        let pt = |qos: f64, perf: f64| TradeoffPoint {
+            qos,
+            perf,
+            config: Config::from_knobs(vec![]),
+        };
+        TradeoffCurve::from_points(vec![
+            pt(90.0, 1.2),
+            pt(88.5, 1.5),
+            pt(87.0, 1.8),
+            pt(85.0, 2.2),
+        ])
+    }
+
+    #[test]
+    fn paper_example_probabilities() {
+        // "if PerfT = 1.3x and the closest points provide 1.2x and 1.5x
+        // speedup, these two configurations are randomly selected with
+        // respective probabilities 2/3 and 1/3".
+        let (p_lo, p_hi) = policy2_probabilities(1.2, 1.5, 1.3);
+        assert!((p_lo - 2.0 / 3.0).abs() < 1e-9);
+        assert!((p_hi - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_switch_while_on_target() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 3, 1.0, 1);
+        for _ in 0..10 {
+            assert!(t.record_invocation(1.0).is_none());
+        }
+        assert_eq!(t.switches, 0);
+        assert!(t.current_point().is_none());
+    }
+
+    #[test]
+    fn policy1_picks_sufficient_speedup() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 2, 1.0, 1);
+        // Environment slows invocations to 1.6x the target.
+        t.record_invocation(1.6);
+        let switched = t.record_invocation(1.6);
+        assert!(switched.is_some());
+        // Required speedup 1.6 → the 1.8x point.
+        assert!((t.current_speedup() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy1_saturates_at_fastest_point() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 1, 1.0, 1);
+        t.record_invocation(10.0);
+        assert!((t.current_speedup() - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy2_mixes_bracketing_points() {
+        let mut lo_count = 0;
+        let mut hi_count = 0;
+        for seed in 0..200 {
+            let mut t = RuntimeTuner::new(curve(), Policy::AverageOverTime, 1, 1.0, seed);
+            t.record_invocation(1.3); // required speedup 1.3 ∈ (1.2, 1.5)
+            let s = t.current_speedup();
+            if (s - 1.2).abs() < 1e-9 {
+                lo_count += 1;
+            } else if (s - 1.5).abs() < 1e-9 {
+                hi_count += 1;
+            } else {
+                panic!("unexpected speedup {s}");
+            }
+        }
+        // Expect roughly 2:1 split (paper example).
+        let frac = lo_count as f64 / (lo_count + hi_count) as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.12, "lo fraction {frac}");
+    }
+
+    #[test]
+    fn recovers_to_baseline_when_environment_recovers() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 1, 1.0, 1);
+        t.record_invocation(2.0);
+        assert!(t.current_point().is_some());
+        // Fast again (approximations make invocations shorter than target):
+        // measured time = baseline/current speedup ≈ 0.45 → env recovered.
+        t.record_invocation(0.45);
+        assert!(t.current_point().is_none(), "should fall back to baseline");
+    }
+
+    #[test]
+    fn switch_counter_tracks_changes() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 1, 1.0, 1);
+        t.record_invocation(1.6);
+        let after_first = t.switches;
+        // Same conditions → same pick → no extra switch.
+        t.record_invocation(1.6 / 1.8);
+        assert_eq!(t.switches, after_first);
+    }
+}

@@ -1,0 +1,547 @@
+//! OpenTuner-style ensemble search (§6.4).
+//!
+//! "we use the default OpenTuner setting that uses an ensemble of search
+//! techniques including Torczon hillclimbers, variants of Nelder-Mead
+//! search, a number of evolutionary mutation techniques, and random
+//! search." The ensemble is coordinated by OpenTuner's AUC-bandit
+//! meta-technique, reproduced here: each iteration the bandit picks the
+//! technique with the best recent improvement record plus an exploration
+//! bonus.
+//!
+//! Configurations are manipulated as vectors of *knob indices* (positions
+//! within each node's allowed-knob list), which gives the geometric
+//! techniques a meaningful coordinate space.
+
+use crate::config::Config;
+use crate::knobs::KnobId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The per-node allowed-knob lists defining the search space.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    node_knobs: Vec<Vec<KnobId>>,
+    tunable: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// Builds a space from per-node knob lists.
+    pub fn new(node_knobs: Vec<Vec<KnobId>>) -> SearchSpace {
+        let tunable = node_knobs
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.len() > 1)
+            .map(|(i, _)| i)
+            .collect();
+        SearchSpace {
+            node_knobs,
+            tunable,
+        }
+    }
+
+    /// The allowed knobs per node.
+    pub fn node_knobs(&self) -> &[Vec<KnobId>] {
+        &self.node_knobs
+    }
+
+    /// Indices of tunable nodes (more than one allowed knob).
+    pub fn tunable(&self) -> &[usize] {
+        &self.tunable
+    }
+
+    /// Number of tunable dimensions.
+    pub fn dims(&self) -> usize {
+        self.tunable.len()
+    }
+
+    /// Converts a config to the tunable-dimension index vector.
+    pub fn to_indices(&self, config: &Config) -> Vec<usize> {
+        self.tunable
+            .iter()
+            .map(|&n| {
+                self.node_knobs[n]
+                    .iter()
+                    .position(|&k| k == config.knob(n))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Builds a config from a tunable-dimension index vector (indices are
+    /// clamped to each node's range).
+    pub fn from_indices(&self, idx: &[usize]) -> Config {
+        let mut knobs = vec![KnobId::BASELINE; self.node_knobs.len()];
+        for (d, &n) in self.tunable.iter().enumerate() {
+            let ks = &self.node_knobs[n];
+            let i = idx.get(d).copied().unwrap_or(0).min(ks.len() - 1);
+            knobs[n] = ks[i];
+        }
+        Config::from_knobs(knobs)
+    }
+
+    /// A uniformly random config.
+    pub fn random(&self, rng: &mut StdRng) -> Config {
+        Config::random(&self.node_knobs, rng)
+    }
+}
+
+/// One search technique of the ensemble.
+trait Technique {
+    fn name(&self) -> &'static str;
+    fn propose(&mut self, space: &SearchSpace, best: Option<&(Config, f64)>, rng: &mut StdRng)
+        -> Config;
+    fn feedback(&mut self, space: &SearchSpace, config: &Config, fitness: f64, improved: bool);
+}
+
+/// Pure random sampling.
+struct RandomSearch;
+
+impl Technique for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        _best: Option<&(Config, f64)>,
+        rng: &mut StdRng,
+    ) -> Config {
+        space.random(rng)
+    }
+    fn feedback(&mut self, _: &SearchSpace, _: &Config, _: f64, _: bool) {}
+}
+
+/// Evolutionary greedy mutation of the incumbent.
+struct GreedyMutation {
+    sites: usize,
+}
+
+impl Technique for GreedyMutation {
+    fn name(&self) -> &'static str {
+        "evolutionary"
+    }
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        best: Option<&(Config, f64)>,
+        rng: &mut StdRng,
+    ) -> Config {
+        match best {
+            Some((b, _)) => b.mutate(space.node_knobs(), self.sites, rng),
+            None => space.random(rng),
+        }
+    }
+    fn feedback(&mut self, _: &SearchSpace, _: &Config, _: f64, improved: bool) {
+        // Adapt mutation strength: shrink on success (exploit), grow on
+        // failure (explore), within [1, 4].
+        if improved {
+            self.sites = (self.sites.saturating_sub(1)).max(1);
+        } else {
+            self.sites = (self.sites + 1).min(4);
+        }
+    }
+}
+
+/// Torczon-style pattern search over the knob-index lattice.
+struct TorczonHillclimber {
+    center: Option<Vec<usize>>,
+    step: usize,
+}
+
+impl Technique for TorczonHillclimber {
+    fn name(&self) -> &'static str {
+        "torczon"
+    }
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        best: Option<&(Config, f64)>,
+        rng: &mut StdRng,
+    ) -> Config {
+        let center = match (&self.center, best) {
+            (Some(c), _) => c.clone(),
+            (None, Some((b, _))) => space.to_indices(b),
+            (None, None) => return space.random(rng),
+        };
+        // Move along a random coordinate by ±step.
+        let mut idx = center;
+        if !idx.is_empty() {
+            let d = rng.gen_range(0..idx.len());
+            let delta = self.step as isize * if rng.gen_bool(0.5) { 1 } else { -1 };
+            idx[d] = (idx[d] as isize + delta).max(0) as usize;
+        }
+        space.from_indices(&idx)
+    }
+    fn feedback(&mut self, space: &SearchSpace, config: &Config, _fitness: f64, improved: bool) {
+        if improved {
+            // Expand around the new point.
+            self.center = Some(space.to_indices(config));
+            self.step = (self.step * 2).min(8);
+        } else {
+            // Contract.
+            self.step = (self.step / 2).max(1);
+        }
+    }
+}
+
+/// A compact Nelder–Mead variant on the discrete index lattice: reflects
+/// the worst simplex vertex through the centroid of the rest.
+struct NelderMead {
+    simplex: Vec<(Vec<usize>, f64)>,
+    max_vertices: usize,
+}
+
+impl Technique for NelderMead {
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        best: Option<&(Config, f64)>,
+        rng: &mut StdRng,
+    ) -> Config {
+        if self.simplex.len() < self.max_vertices {
+            // Seed the simplex with random points (plus the incumbent).
+            if self.simplex.is_empty() {
+                if let Some((b, f)) = best {
+                    self.simplex.push((space.to_indices(b), *f));
+                }
+            }
+            return space.random(rng);
+        }
+        // Reflect worst vertex through the centroid of the others.
+        self.simplex
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let worst = &self.simplex[self.simplex.len() - 1].0;
+        let d = worst.len();
+        let mut centroid = vec![0.0f64; d];
+        for (v, _) in &self.simplex[..self.simplex.len() - 1] {
+            for (c, &x) in centroid.iter_mut().zip(v) {
+                *c += x as f64;
+            }
+        }
+        let n = (self.simplex.len() - 1).max(1) as f64;
+        let idx: Vec<usize> = (0..d)
+            .map(|i| {
+                let c = centroid[i] / n;
+                let r = 2.0 * c - worst[i] as f64;
+                r.round().max(0.0) as usize
+            })
+            .collect();
+        space.from_indices(&idx)
+    }
+    fn feedback(&mut self, space: &SearchSpace, config: &Config, fitness: f64, _improved: bool) {
+        let idx = space.to_indices(config);
+        if self.simplex.len() < self.max_vertices {
+            self.simplex.push((idx, fitness));
+            return;
+        }
+        // Replace the worst vertex when the proposal beats it.
+        if let Some(worst) = self
+            .simplex
+            .iter_mut()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        {
+            if fitness > worst.1 {
+                *worst = (idx, fitness);
+            }
+        }
+    }
+}
+
+/// AUC-bandit meta-technique statistics for one arm.
+#[derive(Default)]
+struct Arm {
+    history: std::collections::VecDeque<bool>,
+    uses: usize,
+}
+
+impl Arm {
+    const WINDOW: usize = 50;
+
+    fn record(&mut self, improved: bool) {
+        self.history.push_back(improved);
+        if self.history.len() > Self::WINDOW {
+            self.history.pop_front();
+        }
+        self.uses += 1;
+    }
+
+    /// Area-under-curve credit: recent improvements weigh more.
+    fn auc(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let n = self.history.len();
+        let denom = (n * (n + 1) / 2) as f64;
+        let score: f64 = self
+            .history
+            .iter()
+            .enumerate()
+            .map(|(i, &imp)| if imp { (i + 1) as f64 } else { 0.0 })
+            .sum();
+        score / denom
+    }
+}
+
+/// Outcome of one autotuning iteration.
+pub struct Iteration {
+    /// The proposed configuration.
+    pub config: Config,
+    /// Which technique proposed it.
+    pub technique: &'static str,
+}
+
+/// The ensemble autotuner.
+///
+/// Usage: call [`Autotuner::next_config`], evaluate its fitness (higher is
+/// better), then call [`Autotuner::report`]; repeat while
+/// [`Autotuner::continue_tuning`].
+pub struct Autotuner {
+    space: SearchSpace,
+    techniques: Vec<Box<dyn Technique>>,
+    arms: Vec<Arm>,
+    rng: StdRng,
+    best: Option<(Config, f64)>,
+    iterations: usize,
+    max_iterations: usize,
+    since_improvement: usize,
+    convergence_window: usize,
+    pending: Option<usize>, // technique index of the outstanding proposal
+}
+
+impl Autotuner {
+    /// Creates a tuner over a space with iteration and convergence bounds
+    /// (the paper: max 30 K iterations, convergence after 1 K without
+    /// improvement).
+    pub fn new(
+        space: SearchSpace,
+        max_iterations: usize,
+        convergence_window: usize,
+        seed: u64,
+    ) -> Autotuner {
+        use rand::SeedableRng;
+        let techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(RandomSearch),
+            Box::new(GreedyMutation { sites: 2 }),
+            Box::new(TorczonHillclimber {
+                center: None,
+                step: 1,
+            }),
+            Box::new(NelderMead {
+                simplex: Vec::new(),
+                max_vertices: 8,
+            }),
+        ];
+        let arms = techniques.iter().map(|_| Arm::default()).collect();
+        Autotuner {
+            space,
+            techniques,
+            arms,
+            rng: StdRng::seed_from_u64(seed),
+            best: None,
+            iterations: 0,
+            max_iterations,
+            since_improvement: 0,
+            convergence_window,
+            pending: None,
+        }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Whether tuning should continue (Algorithm 1's
+    /// `autotuner.continueTuning()`).
+    pub fn continue_tuning(&self) -> bool {
+        self.iterations < self.max_iterations && self.since_improvement < self.convergence_window
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The incumbent best (config, fitness).
+    pub fn best(&self) -> Option<&(Config, f64)> {
+        self.best.as_ref()
+    }
+
+    /// AUC-bandit arm selection: best recent credit + exploration bonus.
+    fn select_technique(&mut self) -> usize {
+        let t = (self.iterations + 1) as f64;
+        let mut best_i = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, arm) in self.arms.iter().enumerate() {
+            let exploration = (2.0 * t.ln() / (arm.uses.max(1)) as f64).sqrt();
+            let score = arm.auc() + exploration;
+            if score > best_score {
+                best_score = score;
+                best_i = i;
+            }
+        }
+        best_i
+    }
+
+    /// Algorithm 1's `autotuner.nextConfig()`.
+    pub fn next_config(&mut self) -> Iteration {
+        let ti = self.select_technique();
+        self.pending = Some(ti);
+        let config = self.techniques[ti].propose(&self.space, self.best.as_ref(), &mut self.rng);
+        Iteration {
+            config,
+            technique: self.techniques[ti].name(),
+        }
+    }
+
+    /// Algorithm 1's `autotuner.setConfigFitness(...)`: reports the fitness
+    /// (higher is better) of the last proposal.
+    pub fn report(&mut self, config: &Config, fitness: f64) {
+        self.iterations += 1;
+        let improved = match &self.best {
+            Some((_, f)) => fitness > *f,
+            None => true,
+        };
+        if improved {
+            self.best = Some((config.clone(), fitness));
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+        if let Some(ti) = self.pending.take() {
+            self.arms[ti].record(improved);
+            self.techniques[ti].feedback(&self.space, config, fitness, improved);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space(nodes: usize, knobs: usize) -> SearchSpace {
+        SearchSpace::new(
+            (0..nodes)
+                .map(|_| (0..knobs as u16).map(KnobId).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn indices_roundtrip() {
+        let s = space(5, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let c = s.random(&mut rng);
+            let idx = s.to_indices(&c);
+            let back = s.from_indices(&idx);
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn from_indices_clamps() {
+        let s = space(3, 4);
+        let c = s.from_indices(&[100, 100, 100]);
+        for &k in c.knobs() {
+            assert!(k.0 < 4);
+        }
+    }
+
+    /// A separable toy objective: fitness is the negated distance of the
+    /// knob-index vector from a hidden optimum. The ensemble should get
+    /// close fast.
+    #[test]
+    fn ensemble_optimises_separable_objective() {
+        let s = space(8, 6);
+        let target: Vec<usize> = vec![3, 1, 5, 0, 2, 4, 1, 3];
+        let fitness = |c: &Config, s: &SearchSpace| -> f64 {
+            let idx = s.to_indices(c);
+            -idx.iter()
+                .zip(&target)
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum::<f64>()
+        };
+        let mut tuner = Autotuner::new(s, 2000, 500, 42);
+        while tuner.continue_tuning() {
+            let it = tuner.next_config();
+            let f = fitness(&it.config, tuner.space());
+            tuner.report(&it.config, f);
+        }
+        let (_, best_f) = tuner.best().unwrap();
+        assert!(
+            *best_f >= -2.0,
+            "ensemble should approach the optimum, best fitness {best_f}"
+        );
+    }
+
+    #[test]
+    fn beats_pure_random_on_structured_objective() {
+        // The same objective, same budget: ensemble vs random-only.
+        let target: Vec<usize> = vec![3, 1, 5, 0, 2, 4, 1, 3, 2, 2];
+        let fit = |c: &Config, s: &SearchSpace| -> f64 {
+            let idx = s.to_indices(c);
+            -idx.iter()
+                .zip(&target)
+                .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
+                .sum::<f64>()
+        };
+        let budget = 400;
+        let mut ensemble_best = f64::NEG_INFINITY;
+        {
+            let s = space(10, 6);
+            let mut tuner = Autotuner::new(s, budget, budget, 7);
+            while tuner.continue_tuning() {
+                let it = tuner.next_config();
+                let f = fit(&it.config, tuner.space());
+                tuner.report(&it.config, f);
+            }
+            ensemble_best = ensemble_best.max(tuner.best().unwrap().1);
+        }
+        let mut random_best = f64::NEG_INFINITY;
+        {
+            let s = space(10, 6);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..budget {
+                let c = s.random(&mut rng);
+                random_best = random_best.max(fit(&c, &s));
+            }
+        }
+        assert!(
+            ensemble_best >= random_best,
+            "ensemble {ensemble_best} vs random {random_best}"
+        );
+    }
+
+    #[test]
+    fn convergence_window_stops_tuning() {
+        let s = space(4, 3);
+        let mut tuner = Autotuner::new(s, 10_000, 50, 1);
+        // Constant fitness: no improvement after the first report.
+        let mut iters = 0;
+        while tuner.continue_tuning() {
+            let it = tuner.next_config();
+            tuner.report(&it.config, 0.0);
+            iters += 1;
+            assert!(iters < 200, "did not converge");
+        }
+        assert!(iters <= 52);
+    }
+
+    #[test]
+    fn auc_weights_recent_history() {
+        let mut a = Arm::default();
+        for _ in 0..10 {
+            a.record(false);
+        }
+        let low = a.auc();
+        for _ in 0..5 {
+            a.record(true);
+        }
+        assert!(a.auc() > low);
+    }
+}

@@ -1,0 +1,244 @@
+//! The shipped tuning artifact (§2.2: "the final tradeoff curve is included
+//! with the program binary").
+//!
+//! A [`ShippedArtifact`] bundles the tradeoff curve(s) with the metadata an
+//! installer needs to use them safely: a program fingerprint (so a curve is
+//! never applied to a different graph), the knob-registry version, the QoS
+//! metric and bound it was tuned for, and which knob set was used. Since
+//! "FP16 availability is not guaranteed on each hardware platform … we
+//! allow users to tune the program with and without FP16 support, creating
+//! two separate curves" (§3.5), the artifact can hold both variants.
+
+use crate::pareto::TradeoffCurve;
+use crate::qos::QosMetric;
+use at_ir::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Version tag of the artifact schema (bump on incompatible change).
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A cheap structural fingerprint of a graph: op names, arity and
+/// parameter sizes hashed with FNV-1a. Two structurally different programs
+/// collide with negligible probability; weight *values* are not included
+/// (install-time refinement re-measures QoS anyway).
+pub fn graph_fingerprint(graph: &Graph) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(graph.name().as_bytes());
+    for n in graph.nodes() {
+        eat(n.op.name().as_bytes());
+        eat(&(n.inputs.len() as u32).to_le_bytes());
+        for i in &n.inputs {
+            eat(&i.0.to_le_bytes());
+        }
+    }
+    eat(&(graph.param_count() as u64).to_le_bytes());
+    h
+}
+
+/// The artifact shipped alongside the program binary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShippedArtifact {
+    /// Schema version.
+    pub version: u32,
+    /// Program name.
+    pub program: String,
+    /// Structural fingerprint of the graph the curves were tuned for.
+    pub fingerprint: u64,
+    /// QoS metric the curves are expressed in.
+    pub metric: QosMetric,
+    /// The QoS bound used during tuning.
+    pub qos_min: f64,
+    /// Curve tuned *with* FP16 knobs available.
+    pub curve_fp16: Option<TradeoffCurve>,
+    /// Curve tuned with FP32-only knobs (for targets without FP16 units).
+    pub curve_fp32_only: Option<TradeoffCurve>,
+}
+
+/// Errors raised when loading an artifact on a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipError {
+    /// The artifact JSON could not be parsed.
+    Malformed(String),
+    /// Schema version newer than this library understands.
+    VersionMismatch {
+        /// Version found in the artifact.
+        found: u32,
+    },
+    /// The artifact was tuned for a different program.
+    WrongProgram {
+        /// Fingerprint in the artifact.
+        expected: u64,
+        /// Fingerprint of the local graph.
+        got: u64,
+    },
+    /// No curve variant suits the platform.
+    NoUsableCurve,
+}
+
+impl std::fmt::Display for ShipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShipError::Malformed(e) => write!(f, "malformed artifact: {e}"),
+            ShipError::VersionMismatch { found } => {
+                write!(f, "artifact schema v{found} newer than supported v{ARTIFACT_VERSION}")
+            }
+            ShipError::WrongProgram { expected, got } => write!(
+                f,
+                "artifact tuned for program {expected:#x}, local graph is {got:#x}"
+            ),
+            ShipError::NoUsableCurve => write!(f, "artifact holds no curve for this platform"),
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+impl ShippedArtifact {
+    /// Creates an artifact for a tuned program.
+    pub fn new(
+        graph: &Graph,
+        metric: QosMetric,
+        qos_min: f64,
+        curve_fp16: Option<TradeoffCurve>,
+        curve_fp32_only: Option<TradeoffCurve>,
+    ) -> ShippedArtifact {
+        ShippedArtifact {
+            version: ARTIFACT_VERSION,
+            program: graph.name().to_string(),
+            fingerprint: graph_fingerprint(graph),
+            metric,
+            qos_min,
+            curve_fp16,
+            curve_fp32_only,
+        }
+    }
+
+    /// Serialises to the JSON that ships with the binary.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serialises")
+    }
+
+    /// Loads and checks an artifact on a device: schema version, program
+    /// fingerprint, then picks the curve matching the platform's FP16
+    /// support.
+    pub fn load(
+        json: &str,
+        graph: &Graph,
+        platform_has_fp16: bool,
+    ) -> Result<TradeoffCurve, ShipError> {
+        let art: ShippedArtifact =
+            serde_json::from_str(json).map_err(|e| ShipError::Malformed(e.to_string()))?;
+        if art.version > ARTIFACT_VERSION {
+            return Err(ShipError::VersionMismatch { found: art.version });
+        }
+        let got = graph_fingerprint(graph);
+        if art.fingerprint != got {
+            return Err(ShipError::WrongProgram {
+                expected: art.fingerprint,
+                got,
+            });
+        }
+        let curve = if platform_has_fp16 {
+            art.curve_fp16.or(art.curve_fp32_only)
+        } else {
+            art.curve_fp32_only
+        };
+        curve.ok_or(ShipError::NoUsableCurve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::pareto::TradeoffPoint;
+    use at_ir::GraphBuilder;
+    use at_tensor::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new("ship-test", Shape::nchw(1, 3, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().flatten().dense(5).softmax();
+        b.finish()
+    }
+
+    fn curve() -> TradeoffCurve {
+        TradeoffCurve::from_points(vec![TradeoffPoint {
+            qos: 90.0,
+            perf: 1.5,
+            config: Config::from_knobs(vec![]),
+        }])
+    }
+
+    #[test]
+    fn roundtrip_and_fp16_selection() {
+        let g = graph(1);
+        let art = ShippedArtifact::new(&g, QosMetric::Accuracy, 88.0, Some(curve()), Some(curve()));
+        let json = art.to_json();
+        let with = ShippedArtifact::load(&json, &g, true).unwrap();
+        let without = ShippedArtifact::load(&json, &g, false).unwrap();
+        assert_eq!(with.len(), 1);
+        assert_eq!(without.len(), 1);
+    }
+
+    #[test]
+    fn fp16_only_artifact_rejected_on_fp32_platform() {
+        let g = graph(1);
+        let art = ShippedArtifact::new(&g, QosMetric::Accuracy, 88.0, Some(curve()), None);
+        let err = ShippedArtifact::load(&art.to_json(), &g, false).unwrap_err();
+        assert_eq!(err, ShipError::NoUsableCurve);
+        // But usable where FP16 exists.
+        assert!(ShippedArtifact::load(&art.to_json(), &g, true).is_ok());
+    }
+
+    #[test]
+    fn wrong_program_detected() {
+        let g1 = graph(1);
+        // A structurally different program (extra relu).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = GraphBuilder::new("ship-test", Shape::nchw(1, 3, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().relu().flatten().dense(5).softmax();
+        let g2 = b.finish();
+        let art = ShippedArtifact::new(&g1, QosMetric::Accuracy, 88.0, Some(curve()), None);
+        let err = ShippedArtifact::load(&art.to_json(), &g2, true).unwrap_err();
+        assert!(matches!(err, ShipError::WrongProgram { .. }));
+    }
+
+    #[test]
+    fn same_structure_different_weights_share_fingerprint() {
+        // Fingerprint is structural: retrained weights keep the artifact
+        // valid (install-time re-validation covers QoS drift).
+        let g1 = graph(1);
+        let g2 = graph(99);
+        assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let g = graph(1);
+        let mut art =
+            ShippedArtifact::new(&g, QosMetric::Accuracy, 88.0, Some(curve()), None);
+        art.version = ARTIFACT_VERSION + 1;
+        let err = ShippedArtifact::load(&art.to_json(), &g, true).unwrap_err();
+        assert!(matches!(err, ShipError::VersionMismatch { .. }));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let g = graph(1);
+        assert!(matches!(
+            ShippedArtifact::load("{not json", &g, true),
+            Err(ShipError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,429 @@
+//! Algorithm 1: predictive approximation tuning (development time, §3).
+
+use crate::config::Config;
+use crate::knobs::{KnobRegistry, KnobSet};
+use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve, TradeoffPoint};
+use crate::perf::PerfModel;
+use crate::predict::{PredictionModel, Predictor};
+use crate::profile::{collect_profiles, measure_config, QosProfiles};
+use crate::qos::{QosMetric, QosReference};
+use crate::search::{Autotuner, SearchSpace};
+use at_ir::Graph;
+use at_tensor::{Shape, Tensor, TensorError};
+
+/// Inputs of Algorithm 1 (plus engineering knobs).
+#[derive(Clone, Debug)]
+pub struct TunerParams {
+    /// `QoS_min`: minimal acceptable QoS (same unit as the metric).
+    pub qos_min: f64,
+    /// `nCalibrate`: measured configurations used to refine α (the paper
+    /// finds ~50 sufficient).
+    pub n_calibrate: usize,
+    /// `nIters`: maximum autotuning iterations (paper: 30 K).
+    pub max_iters: usize,
+    /// Convergence: stop after this many iterations without improvement
+    /// (paper: 1 K).
+    pub convergence_window: usize,
+    /// Maximum configurations retained for QoS validation (`ε1` is derived
+    /// per benchmark to honour this budget, §6.4).
+    pub max_validated: usize,
+    /// Maximum configurations shipped in the tradeoff curve (`ε2` budget;
+    /// paper: at most 50).
+    pub max_shipped: usize,
+    /// Which knobs are in play.
+    pub knob_set: KnobSet,
+    /// Which QoS prediction model drives the search.
+    pub model: PredictionModel,
+    /// Whether to run predictor calibration (step 2). Disabling it is the
+    /// `--no-calibrate` ablation.
+    pub calibrate: bool,
+    /// RNG seed for the search.
+    pub seed: u64,
+}
+
+impl Default for TunerParams {
+    fn default() -> Self {
+        TunerParams {
+            qos_min: 0.0,
+            n_calibrate: 12,
+            max_iters: 3000,
+            convergence_window: 600,
+            max_validated: 50,
+            max_shipped: 50,
+            knob_set: KnobSet::HardwareIndependent,
+            model: PredictionModel::Pi1,
+            calibrate: true,
+            seed: 0xA99,
+        }
+    }
+}
+
+/// Everything Algorithm 1 produced, plus timing breakdowns for Table 4.
+#[derive(Clone, Debug)]
+pub struct TuningResult {
+    /// The final tradeoff curve (`PS_ε2` of the validated configs).
+    pub curve: TradeoffCurve,
+    /// Wall-clock seconds of the autotuning loop (steps 2–4).
+    pub search_time_s: f64,
+    /// Wall-clock seconds of QoS validation (step 5).
+    pub validation_time_s: f64,
+    /// Iterations the search ran.
+    pub iterations: usize,
+    /// Candidate configurations generated (pre-selection), §7.3.
+    pub candidates: usize,
+    /// The calibrated α.
+    pub alpha: f64,
+}
+
+impl TuningResult {
+    /// Total tuning time excluding profile collection.
+    pub fn tuning_time_s(&self) -> f64 {
+        self.search_time_s + self.validation_time_s
+    }
+}
+
+/// The development-time predictive tuner (Algorithm 1).
+pub struct PredictiveTuner<'a> {
+    /// The program under tuning.
+    pub graph: &'a Graph,
+    /// The knob registry.
+    pub registry: &'a KnobRegistry,
+    /// Calibration input batches (`C`).
+    pub inputs: &'a [Tensor],
+    /// The QoS metric.
+    pub metric: QosMetric,
+    /// The metric's reference data.
+    pub reference: &'a QosReference,
+    /// Per-sample input shape for the performance model.
+    pub input_shape: Shape,
+    /// PROMISE noise seed for measured runs.
+    pub promise_seed: u64,
+}
+
+impl<'a> PredictiveTuner<'a> {
+    /// Step 1: profile collection (delegates to [`collect_profiles`]).
+    pub fn collect(&self, params: &TunerParams) -> Result<QosProfiles, TensorError> {
+        collect_profiles(
+            self.graph,
+            self.registry,
+            params.knob_set,
+            self.inputs,
+            self.metric,
+            self.reference,
+            params.model == PredictionModel::Pi1,
+            self.promise_seed,
+        )
+    }
+
+    /// Steps 2–5 of Algorithm 1 over pre-collected profiles.
+    pub fn tune(
+        &self,
+        profiles: &QosProfiles,
+        params: &TunerParams,
+    ) -> Result<TuningResult, TensorError> {
+        let search_started = std::time::Instant::now();
+        let perf = PerfModel::new(self.graph, self.registry, self.input_shape)?;
+        let mut predictor = Predictor::new(profiles, params.model, self.metric);
+
+        // Step 2: refine α against a few measured configurations.
+        let space = SearchSpace::new(self.registry.node_knobs(self.graph, params.knob_set));
+        if params.calibrate && params.n_calibrate > 0 {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed ^ 0xCAFE);
+            let mut samples = Vec::with_capacity(params.n_calibrate);
+            for _ in 0..params.n_calibrate {
+                let c = space.random(&mut rng);
+                let q = measure_config(
+                    self.graph,
+                    self.registry,
+                    &c,
+                    self.inputs,
+                    self.metric,
+                    self.reference,
+                    self.promise_seed,
+                )?;
+                samples.push((c, q));
+            }
+            predictor.calibrate(&samples, self.reference);
+        }
+
+        // Step 3: autotune with the QoS and performance prediction models.
+        let mut tuner = Autotuner::new(
+            space,
+            params.max_iters,
+            params.convergence_window,
+            params.seed,
+        );
+        let mut candidates: Vec<TradeoffPoint> = Vec::new();
+        // Seed the search with the two universally-sensible anchors: the
+        // exact baseline (always feasible) and all-FP16. Random points in a
+        // 56-knobs-per-conv space are almost surely infeasible, so without
+        // anchors the ensemble spends its whole budget walking back to the
+        // feasible region.
+        for seed_cfg in seed_configs(self.graph, self.registry) {
+            let pred_qos = predictor.predict(&seed_cfg, self.reference);
+            let pred_perf = perf.predicted_speedup(&seed_cfg);
+            let fitness = if pred_qos >= params.qos_min {
+                pred_perf
+            } else {
+                pred_qos - params.qos_min
+            };
+            if pred_qos > params.qos_min {
+                candidates.push(TradeoffPoint {
+                    qos: pred_qos,
+                    perf: pred_perf,
+                    config: seed_cfg.clone(),
+                });
+            }
+            tuner.report(&seed_cfg, fitness);
+        }
+        while tuner.continue_tuning() {
+            let it = tuner.next_config();
+            let pred_qos = predictor.predict(&it.config, self.reference);
+            let pred_perf = perf.predicted_speedup(&it.config);
+            // Fitness: maximise speedup subject to the QoS constraint; a
+            // violated constraint scores by (negative) violation so the
+            // search is pulled back toward feasibility.
+            let fitness = if pred_qos >= params.qos_min {
+                pred_perf
+            } else {
+                pred_qos - params.qos_min
+            };
+            if pred_qos > params.qos_min {
+                candidates.push(TradeoffPoint {
+                    qos: pred_qos,
+                    perf: pred_perf,
+                    config: it.config.clone(),
+                });
+            }
+            tuner.report(&it.config, fitness);
+        }
+
+        // Step 4: keep configs within ε1 of the Pareto set, with ε1 chosen
+        // per benchmark to bound validation work.
+        let eps1 = eps_for_budget(&candidates, params.max_validated);
+        let mut pareto_configs = pareto_set_eps(&candidates, eps1);
+        // Deduplicate identical configs to avoid redundant validations.
+        pareto_configs.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
+        pareto_configs.dedup_by(|a, b| a.config == b.config);
+        let pareto_configs = cap_points(pareto_configs, params.max_validated);
+        let search_time_s = search_started.elapsed().as_secs_f64();
+
+        // Step 5: validate — measure the real QoS, filter violators.
+        let validation_started = std::time::Instant::now();
+        let mut validated: Vec<TradeoffPoint> = Vec::new();
+        for p in pareto_configs {
+            let real_qos = measure_config(
+                self.graph,
+                self.registry,
+                &p.config,
+                self.inputs,
+                self.metric,
+                self.reference,
+                self.promise_seed,
+            )?;
+            if real_qos > params.qos_min {
+                validated.push(TradeoffPoint {
+                    qos: real_qos,
+                    perf: p.perf,
+                    config: p.config,
+                });
+            }
+        }
+        let eps2 = eps_for_budget(&validated, params.max_shipped);
+        let shipped = cap_points(pareto_set_eps(&validated, eps2), params.max_shipped);
+        let curve = TradeoffCurve::from_points_eps(shipped, f64::INFINITY);
+        let validation_time_s = validation_started.elapsed().as_secs_f64();
+
+        Ok(TuningResult {
+            curve,
+            search_time_s,
+            validation_time_s,
+            iterations: tuner.iterations(),
+            candidates: candidates_len_hint(&tuner),
+            alpha: predictor.alpha,
+        })
+    }
+}
+
+// The number of candidates generated equals the number of iterations that
+// passed the QoS predicate; expose iterations as the §7.3 "configurations
+// generated" proxy.
+fn candidates_len_hint(tuner: &Autotuner) -> usize {
+    tuner.iterations()
+}
+
+/// The search-seeding anchors: exact baseline and all-FP16 (the FP16 knob
+/// id differs per op class).
+pub fn seed_configs(graph: &Graph, registry: &KnobRegistry) -> Vec<Config> {
+    let baseline = Config::baseline(graph);
+    let mut fp16 = Config::baseline(graph);
+    for node in graph.nodes() {
+        let class = node.op.class();
+        if let Some(k) = registry
+            .table(class)
+            .iter()
+            .find(|k| k.choice == at_ir::ApproxChoice::FP16)
+        {
+            fp16.set_knob(node.id.0 as usize, k.id);
+        }
+    }
+    vec![baseline, fp16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_ir::{execute, ExecOptions, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, Vec<Tensor>, QosReference) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = GraphBuilder::new("t", Shape::nchw(16, 2, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().conv(4, 3, (1, 1), (1, 1)).relu();
+        b.max_pool(2, 2).flatten().dense(5).softmax();
+        let g = b.finish();
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::uniform(Shape::nchw(16, 2, 8, 8), -1.0, 1.0, &mut rng2))
+            .collect();
+        let mut labels = Vec::new();
+        for bt in &inputs {
+            let out = execute(&g, bt, &ExecOptions::baseline()).unwrap();
+            let (rows, c) = out.shape().as_mat().unwrap();
+            labels.push(
+                (0..rows)
+                    .map(|r| {
+                        let row = &out.data()[r * c..(r + 1) * c];
+                        row.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .unwrap()
+                            .0
+                    })
+                    .collect(),
+            );
+        }
+        (g, inputs, QosReference::Labels(labels))
+    }
+
+    fn quick_params(model: PredictionModel) -> TunerParams {
+        TunerParams {
+            qos_min: 85.0,
+            n_calibrate: 6,
+            max_iters: 250,
+            convergence_window: 250,
+            max_validated: 20,
+            max_shipped: 10,
+            model,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn predictive_tuning_produces_valid_curve() {
+        let (g, inputs, reference) = setup();
+        let registry = KnobRegistry::new();
+        let tuner = PredictiveTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        for model in [PredictionModel::Pi1, PredictionModel::Pi2] {
+            let params = quick_params(model);
+            let profiles = tuner.collect(&params).unwrap();
+            let result = tuner.tune(&profiles, &params).unwrap();
+            assert!(
+                !result.curve.is_empty(),
+                "{model:?} produced an empty curve"
+            );
+            assert!(result.curve.len() <= params.max_shipped);
+            // Every shipped point satisfies the (validated) QoS constraint
+            // and reports a real speedup ≥ 1 … not guaranteed for every
+            // point, but the best one should beat baseline.
+            for p in result.curve.points() {
+                assert!(p.qos > params.qos_min, "{model:?}: shipped QoS {}", p.qos);
+            }
+            let best = result
+                .curve
+                .points()
+                .iter()
+                .map(|p| p.perf)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(best > 1.0, "{model:?}: best predicted speedup {best}");
+            assert!(result.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn qos_constraint_respected_by_validation() {
+        let (g, inputs, reference) = setup();
+        let registry = KnobRegistry::new();
+        let tuner = PredictiveTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        let params = quick_params(PredictionModel::Pi2);
+        let profiles = tuner.collect(&params).unwrap();
+        let result = tuner.tune(&profiles, &params).unwrap();
+        // Re-measure every shipped config: real QoS must exceed QoS_min
+        // (validation guarantees it on the calibration inputs).
+        for p in result.curve.points() {
+            let q = measure_config(
+                &g,
+                &registry,
+                &p.config,
+                &inputs,
+                QosMetric::Accuracy,
+                &reference,
+                0,
+            )
+            .unwrap();
+            assert!(q > params.qos_min);
+        }
+    }
+
+    #[test]
+    fn tighter_qos_gives_no_more_speedup() {
+        let (g, inputs, reference) = setup();
+        let registry = KnobRegistry::new();
+        let tuner = PredictiveTuner {
+            graph: &g,
+            registry: &registry,
+            inputs: &inputs,
+            metric: QosMetric::Accuracy,
+            reference: &reference,
+            input_shape: inputs[0].shape(),
+            promise_seed: 0,
+        };
+        let best_speedup = |qos_min: f64| -> f64 {
+            let params = TunerParams {
+                qos_min,
+                ..quick_params(PredictionModel::Pi2)
+            };
+            let profiles = tuner.collect(&params).unwrap();
+            let r = tuner.tune(&profiles, &params).unwrap();
+            r.curve
+                .points()
+                .iter()
+                .map(|p| p.perf)
+                .fold(1.0f64, f64::max)
+        };
+        let strict = best_speedup(99.0);
+        let loose = best_speedup(70.0);
+        assert!(
+            loose >= strict - 1e-9,
+            "looser constraint must not reduce attainable speedup: strict {strict}, loose {loose}"
+        );
+    }
+}

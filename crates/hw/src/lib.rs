@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # at-hw — simulated edge-SoC compute units, DVFS, power and energy
+//!
+//! The paper's client device is an NVIDIA Jetson Tegra TX2 (Table 2: 6 CPU
+//! cores, 2 GPU SMs / 256 CUDA cores at 1.12–1.3 GHz, 8 GB DRAM) with power
+//! measured from on-board voltage rails over I2C at 1 kHz. No such board is
+//! available here, so this crate provides an analytical *device model* that
+//! plays the TX2's role:
+//!
+//! * [`DeviceSpec`] — peak throughput / bandwidth descriptors for the GPU
+//!   and CPU compute units (FP16 runs at double rate on the GPU; the ARM
+//!   CPU has no FP16 units, matching §7.1).
+//! * [`timing`] — an execution-time model driven by the analytical
+//!   operation counts of `at-tensor::cost`, with DVFS scaling.
+//! * [`dvfs`] — the 12-step GPU frequency ladder (1300.5 → 318.75 MHz) used
+//!   by the runtime-adaptation experiments (Fig 5, Fig 6).
+//! * [`power`] — rail-level power model fitted to the *shape* of Figure 5
+//!   (GPU power drops ~7×, total system power ~1.9× across the ladder).
+//! * [`rails`] — a simulated 1 kHz rail sampler and integrating energy
+//!   meter, mirroring the paper's I2C profiler.
+
+pub mod device;
+pub mod dvfs;
+pub mod power;
+pub mod rails;
+pub mod timing;
+
+pub use device::{ComputeUnitKind, DeviceSpec};
+pub use dvfs::FrequencyLadder;
+pub use power::{PowerModel, RailPower};
+pub use rails::{EnergyMeter, RailSampler};
+pub use timing::TimingModel;

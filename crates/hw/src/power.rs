@@ -1,0 +1,146 @@
+//! Rail-level power model of the simulated TX2 SoC.
+//!
+//! Fitted to the *shape* of the paper's Figure 5: as GPU frequency falls
+//! from 1300 MHz to ~319 MHz, GPU rail power drops ~7×, total system power
+//! drops ~1.9×, and DDR power decreases only slightly (DDR frequency is
+//! held constant).
+
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous power on each monitored rail, in watts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RailPower {
+    /// GPU rail.
+    pub gpu: f64,
+    /// CPU rail.
+    pub cpu: f64,
+    /// DDR rail.
+    pub ddr: f64,
+    /// SoC / rest-of-board rail.
+    pub soc: f64,
+}
+
+impl RailPower {
+    /// Total system power (the paper's "SYS").
+    pub fn sys(&self) -> f64 {
+        self.gpu + self.cpu + self.ddr + self.soc
+    }
+}
+
+/// Analytical power model parameterised by GPU frequency and utilisation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// GPU leakage power (W) — frequency independent.
+    pub gpu_leak_w: f64,
+    /// GPU dynamic power (W) at the nominal frequency, full utilisation.
+    pub gpu_dyn_w: f64,
+    /// Nominal GPU frequency in MHz.
+    pub nominal_mhz: f64,
+    /// CPU rail power during GPU-driven inference (W), roughly constant.
+    pub cpu_w: f64,
+    /// DDR rail power at full bandwidth pressure (W).
+    pub ddr_w: f64,
+    /// Fraction of DDR power that tracks GPU activity (small: the DDR clock
+    /// is constant).
+    pub ddr_activity_frac: f64,
+    /// Rest-of-SoC rail power (W).
+    pub soc_w: f64,
+}
+
+impl PowerModel {
+    /// Model fitted to Figure 5's ResNet-18 measurements.
+    pub fn tx2() -> PowerModel {
+        PowerModel {
+            gpu_leak_w: 0.25,
+            gpu_dyn_w: 4.5,
+            nominal_mhz: 1300.5,
+            cpu_w: 1.35,
+            ddr_w: 1.55,
+            ddr_activity_frac: 0.12,
+            soc_w: 1.65,
+        }
+    }
+
+    /// Rail powers when the GPU runs at `freq_mhz` with utilisation
+    /// `util ∈ [0,1]` (1.0 while a kernel executes).
+    ///
+    /// Dynamic power scales as `f·V(f)²`; on the TX2 voltage scales roughly
+    /// linearly with frequency over the DVFS range, giving an ~f³ dynamic
+    /// term. Combined with leakage this reproduces the ~7× GPU drop of
+    /// Fig 5.
+    pub fn rails(&self, freq_mhz: f64, util: f64) -> RailPower {
+        let s = (freq_mhz / self.nominal_mhz).clamp(0.0, 1.0);
+        // Voltage floor: V doesn't scale all the way to zero.
+        let v = 0.45 + 0.55 * s;
+        let dyn_scale = s * v * v;
+        let gpu = self.gpu_leak_w + self.gpu_dyn_w * dyn_scale * util;
+        let ddr = self.ddr_w * (1.0 - self.ddr_activity_frac * (1.0 - s * util));
+        RailPower {
+            gpu,
+            cpu: self.cpu_w,
+            ddr,
+            soc: self.soc_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::FrequencyLadder;
+
+    #[test]
+    fn figure5_shape_gpu_drop() {
+        let m = PowerModel::tx2();
+        let hi = m.rails(1300.5, 1.0);
+        let lo = m.rails(318.75, 1.0);
+        let gpu_ratio = hi.gpu / lo.gpu;
+        assert!(
+            (5.5..8.5).contains(&gpu_ratio),
+            "GPU power drop {gpu_ratio} not ~7x (hi {}, lo {})",
+            hi.gpu,
+            lo.gpu
+        );
+    }
+
+    #[test]
+    fn figure5_shape_sys_drop() {
+        let m = PowerModel::tx2();
+        let hi = m.rails(1300.5, 1.0);
+        let lo = m.rails(318.75, 1.0);
+        let sys_ratio = hi.sys() / lo.sys();
+        assert!(
+            (1.6..2.2).contains(&sys_ratio),
+            "SYS power drop {sys_ratio} not ~1.9x"
+        );
+    }
+
+    #[test]
+    fn ddr_power_nearly_constant() {
+        let m = PowerModel::tx2();
+        let hi = m.rails(1300.5, 1.0);
+        let lo = m.rails(318.75, 1.0);
+        let drop = (hi.ddr - lo.ddr) / hi.ddr;
+        assert!(drop < 0.15, "DDR should decrease only slightly, got {drop}");
+        assert!(hi.ddr > lo.ddr, "DDR decreases slightly with activity");
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        let m = PowerModel::tx2();
+        let l = FrequencyLadder::tx2_gpu();
+        let mut prev = f64::INFINITY;
+        for &f in l.frequencies() {
+            let p = m.rails(f, 1.0).sys();
+            assert!(p <= prev + 1e-12, "power not monotone at {f} MHz");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn idle_gpu_draws_leakage_only() {
+        let m = PowerModel::tx2();
+        let idle = m.rails(1300.5, 0.0);
+        assert!((idle.gpu - m.gpu_leak_w).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests on the device models.
+
+use at_hw::{DeviceSpec, FrequencyLadder, PowerModel, TimingModel};
+use at_tensor::cost::{OpCounts, ReductionFactors};
+use at_tensor::Precision;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn op_time_positive_and_monotone_in_work(
+        compute in 1.0f64..1e12,
+        memory in 1.0f64..1e12,
+        scale in 1.1f64..10.0,
+    ) {
+        let m = TimingModel::new(DeviceSpec::tx2_gpu());
+        let small = OpCounts { compute, memory };
+        let big = OpCounts { compute: compute * scale, memory: memory * scale };
+        let ts = m.op_time(small, ReductionFactors::NONE, Precision::Fp32);
+        let tb = m.op_time(big, ReductionFactors::NONE, Precision::Fp32);
+        prop_assert!(ts > 0.0);
+        prop_assert!(tb >= ts, "more work cannot be faster: {tb} < {ts}");
+    }
+
+    #[test]
+    fn reduction_factors_never_slow_down(
+        compute in 1.0f64..1e12,
+        memory in 1.0f64..1e12,
+        rc in 1.0f64..8.0,
+        rm in 1.0f64..8.0,
+    ) {
+        let m = TimingModel::new(DeviceSpec::tx2_gpu());
+        let counts = OpCounts { compute, memory };
+        let base = m.op_time(counts, ReductionFactors::NONE, Precision::Fp32);
+        let reduced = m.op_time(
+            counts,
+            ReductionFactors { compute: rc, memory: rm },
+            Precision::Fp32,
+        );
+        prop_assert!(reduced <= base + 1e-15);
+    }
+
+    #[test]
+    fn lower_frequency_never_faster(
+        compute in 1e6f64..1e12,
+        f1 in 100.0f64..1300.0,
+        f2 in 100.0f64..1300.0,
+    ) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let counts = OpCounts { compute, memory: compute / 10.0 };
+        let mut m = TimingModel::new(DeviceSpec::tx2_gpu());
+        m.set_frequency_mhz(hi);
+        let t_hi = m.op_time(counts, ReductionFactors::NONE, Precision::Fp32);
+        m.set_frequency_mhz(lo);
+        let t_lo = m.op_time(counts, ReductionFactors::NONE, Precision::Fp32);
+        prop_assert!(t_lo >= t_hi - 1e-15);
+    }
+
+    #[test]
+    fn power_positive_and_bounded(
+        f in 100.0f64..1400.0,
+        util in 0.0f64..1.0,
+    ) {
+        let p = PowerModel::tx2().rails(f, util);
+        prop_assert!(p.gpu > 0.0 && p.cpu > 0.0 && p.ddr > 0.0 && p.soc > 0.0);
+        prop_assert!(p.sys() < 25.0, "implausible SoC power {}", p.sys());
+        // Utilisation only increases power.
+        let idle = PowerModel::tx2().rails(f, 0.0);
+        prop_assert!(p.sys() >= idle.sys() - 1e-12);
+    }
+
+    #[test]
+    fn ladder_slowdowns_bounded(step in 0usize..12) {
+        let l = FrequencyLadder::tx2_gpu();
+        let s = l.slowdown(step);
+        prop_assert!((1.0..=4.09).contains(&s));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests on the Canny pipeline.
+
+use at_imgproc::canny::{hysteresis, non_max_suppression};
+use at_imgproc::{build_canny_graph, canny_reference, gaussian_kernel};
+use at_ir::ExecOptions;
+use at_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gaussian_kernel_always_normalised(k in prop::sample::select(vec![3usize, 5, 7]), sigma in 0.5f32..3.0) {
+        let g = gaussian_kernel(k, sigma);
+        let sum: f32 = g.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(g.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn nms_is_sparsifying_and_bounded(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::uniform(Shape::new(&[1, 12, 12]), 0.0, 1.0, &mut rng);
+        let out = non_max_suppression(&t);
+        // Every surviving value equals its input; suppressed values are 0.
+        for (o, i) in out.data().iter().zip(t.data()) {
+            prop_assert!(*o == 0.0 || (o - i).abs() < 1e-9);
+        }
+        // NMS never increases total mass.
+        prop_assert!(out.l1() <= t.l1() + 1e-6);
+    }
+
+    #[test]
+    fn hysteresis_output_is_binary_and_monotone(
+        seed in 0u64..500,
+        lo in 0.1f32..0.5,
+        gap in 0.1f32..0.8,
+    ) {
+        let hi = lo + gap;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::uniform(Shape::new(&[1, 10, 10]), 0.0, 1.5, &mut rng);
+        let e = hysteresis(&t, lo, hi);
+        prop_assert!(e.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        // All strong pixels are edges; all sub-lo pixels are not.
+        for (v, &m) in e.data().iter().zip(t.data()) {
+            if m >= hi { prop_assert_eq!(*v, 1.0); }
+            if m < lo { prop_assert_eq!(*v, 0.0); }
+        }
+        // Raising the high threshold can only remove edges.
+        let stricter = hysteresis(&t, lo, hi + 0.2);
+        for (a, b) in stricter.data().iter().zip(e.data()) {
+            prop_assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn pipeline_edge_count_reasonable(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = Tensor::uniform(Shape::nchw(1, 1, 16, 16), 0.0, 1.0, &mut rng);
+        let g = build_canny_graph(16, 16);
+        let edges = canny_reference(&g, &img, &ExecOptions::baseline(), 0.4, 1.2).unwrap();
+        let frac = edges.data().iter().sum::<f32>() / edges.len() as f32;
+        // Noise images: some edges, but never everything.
+        prop_assert!(frac < 0.9, "edge fraction {frac}");
+    }
+}

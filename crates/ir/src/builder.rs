@@ -1,0 +1,343 @@
+//! Front-end builder: a fluent API for constructing CNN dataflow graphs,
+//! playing the role of the paper's Keras/PyTorch → ApproxHPVM front ends.
+//!
+//! Weights are initialised with He-normal statistics from a caller-provided
+//! RNG, so the synthetic models have realistic activation magnitudes.
+
+use crate::graph::{Graph, NodeId, OpKind};
+use crate::shapes::infer_shapes;
+use at_tensor::ops::ReduceKind;
+use at_tensor::{Shape, Tensor};
+use rand::Rng;
+
+/// Incrementally builds a [`Graph`], tracking the current node and its
+/// inferred output shape.
+pub struct GraphBuilder<'r, R: Rng> {
+    graph: Graph,
+    rng: &'r mut R,
+    current: NodeId,
+    shape: Shape,
+    input_shape: Shape,
+}
+
+impl<'r, R: Rng> GraphBuilder<'r, R> {
+    /// Starts a graph with an input placeholder of the given shape.
+    pub fn new(name: impl Into<String>, input: Shape, rng: &'r mut R) -> Self {
+        let mut graph = Graph::new(name);
+        let current = graph.add_node(OpKind::Input, vec![], "input");
+        GraphBuilder {
+            graph,
+            rng,
+            current,
+            shape: input,
+            input_shape: input,
+        }
+    }
+
+    /// The id of the most recently added node.
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// The inferred output shape of the current node.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Rewinds the builder's "current" pointer to an earlier node (for
+    /// residual branches).
+    pub fn rewind(&mut self, to: NodeId) -> &mut Self {
+        self.current = to;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("builder keeps graph valid")
+            [to.0 as usize];
+        self
+    }
+
+    fn he_tensor(&mut self, shape: Shape, fan_in: usize) -> Tensor {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::randn(shape, std, self.rng)
+    }
+
+    /// Dense (grouped) convolution with bias; `kernel`×`kernel` filters,
+    /// symmetric `pad`, `stride`.
+    pub fn conv_grouped(
+        &mut self,
+        out_channels: usize,
+        kernel: usize,
+        pad: (usize, usize),
+        stride: (usize, usize),
+        groups: usize,
+    ) -> &mut Self {
+        let (_, c, _, _) = self.shape.as_nchw().expect("conv input must be NCHW");
+        assert!(c % groups == 0 && out_channels % groups == 0, "bad groups");
+        let cpg = c / groups;
+        let fan_in = cpg * kernel * kernel;
+        let w = self.he_tensor(Shape::nchw(out_channels, cpg, kernel, kernel), fan_in);
+        let weight = self.graph.add_param(w);
+        let bias = Some(self.graph.add_param(Tensor::zeros(Shape::vec(out_channels))));
+        let label = format!("conv{}", self.graph.len());
+        let node = self.graph.add_node(
+            OpKind::Conv2d {
+                weight,
+                bias,
+                pad,
+                stride,
+                groups,
+            },
+            vec![self.current],
+            label,
+        );
+        self.current = node;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("conv shapes valid")
+            [node.0 as usize];
+        self
+    }
+
+    /// Dense convolution (groups = 1).
+    pub fn conv(
+        &mut self,
+        out_channels: usize,
+        kernel: usize,
+        pad: (usize, usize),
+        stride: (usize, usize),
+    ) -> &mut Self {
+        self.conv_grouped(out_channels, kernel, pad, stride, 1)
+    }
+
+    /// Depthwise convolution (groups = channels), as in MobileNet.
+    pub fn depthwise(&mut self, kernel: usize, pad: (usize, usize), stride: (usize, usize)) -> &mut Self {
+        let (_, c, _, _) = self.shape.as_nchw().expect("depthwise input must be NCHW");
+        self.conv_grouped(c, kernel, pad, stride, c)
+    }
+
+    /// Inference batch normalisation with identity-calibrated statistics
+    /// (slightly perturbed so the op is not a no-op).
+    pub fn batchnorm(&mut self) -> &mut Self {
+        let (_, c, _, _) = self.shape.as_nchw().expect("batchnorm input must be NCHW");
+        let gamma = Tensor::from_vec(
+            Shape::vec(c),
+            (0..c).map(|_| 1.0 + self.rng.gen_range(-0.05..0.05)).collect(),
+        )
+        .expect("shape matches");
+        let beta = Tensor::from_vec(
+            Shape::vec(c),
+            (0..c).map(|_| self.rng.gen_range(-0.02..0.02f32)).collect(),
+        )
+        .expect("shape matches");
+        let mean = Tensor::zeros(Shape::vec(c));
+        let var = Tensor::full(Shape::vec(c), 1.0);
+        let g = self.graph.add_param(gamma);
+        let b = self.graph.add_param(beta);
+        let m = self.graph.add_param(mean);
+        let v = self.graph.add_param(var);
+        let label = format!("bn{}", self.graph.len());
+        let node = self.graph.add_node(
+            OpKind::BatchNorm {
+                gamma: g,
+                beta: b,
+                mean: m,
+                var: v,
+                eps: 1e-5,
+            },
+            vec![self.current],
+            label,
+        );
+        self.current = node;
+        self
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self) -> &mut Self {
+        self.unary(OpKind::Relu, "relu")
+    }
+
+    /// ReLU6 (MobileNet).
+    pub fn relu6(&mut self) -> &mut Self {
+        self.unary(OpKind::ClippedRelu { lo: 0.0, hi: 6.0 }, "relu6")
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self) -> &mut Self {
+        self.unary(OpKind::Tanh, "tanh")
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self) -> &mut Self {
+        self.unary(OpKind::Abs, "abs")
+    }
+
+    /// Convolution with *fixed* (caller-provided) weights — used by the
+    /// image-processing pipeline (Gaussian blur, Sobel operators).
+    pub fn conv_fixed(
+        &mut self,
+        weight: Tensor,
+        pad: (usize, usize),
+        stride: (usize, usize),
+    ) -> &mut Self {
+        let weight = self.graph.add_param(weight);
+        let label = format!("conv{}", self.graph.len());
+        let node = self.graph.add_node(
+            OpKind::Conv2d {
+                weight,
+                bias: None,
+                pad,
+                stride,
+                groups: 1,
+            },
+            vec![self.current],
+            label,
+        );
+        self.current = node;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("conv shapes valid")
+            [node.0 as usize];
+        self
+    }
+
+    fn unary(&mut self, op: OpKind, name: &str) -> &mut Self {
+        let label = format!("{name}{}", self.graph.len());
+        let node = self.graph.add_node(op, vec![self.current], label);
+        self.current = node;
+        self
+    }
+
+    /// Max pooling with square window and stride.
+    pub fn max_pool(&mut self, window: usize, stride: usize) -> &mut Self {
+        let label = format!("maxpool{}", self.graph.len());
+        let node = self.graph.add_node(
+            OpKind::MaxPool2d {
+                window: (window, window),
+                pad: (0, 0),
+                stride: (stride, stride),
+            },
+            vec![self.current],
+            label,
+        );
+        self.current = node;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("pool shapes valid")
+            [node.0 as usize];
+        self
+    }
+
+    /// Average pooling with square window and stride (a reduction op).
+    pub fn avg_pool(&mut self, window: usize, stride: usize) -> &mut Self {
+        let label = format!("avgpool{}", self.graph.len());
+        let node = self.graph.add_node(
+            OpKind::AvgPool2d {
+                window: (window, window),
+                pad: (0, 0),
+                stride: (stride, stride),
+            },
+            vec![self.current],
+            label,
+        );
+        self.current = node;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("pool shapes valid")
+            [node.0 as usize];
+        self
+    }
+
+    /// Flatten NCHW to `[N, C·H·W]`.
+    pub fn flatten(&mut self) -> &mut Self {
+        let node = self
+            .graph
+            .add_node(OpKind::Flatten, vec![self.current], "flatten");
+        self.current = node;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("flatten shapes valid")
+            [node.0 as usize];
+        self
+    }
+
+    /// Fully-connected layer with bias.
+    pub fn dense(&mut self, out: usize) -> &mut Self {
+        let (_, k) = self.shape.as_mat().expect("dense input must be flattened");
+        let w = self.he_tensor(Shape::mat(k, out), k);
+        let weight = self.graph.add_param(w);
+        let bias = Some(self.graph.add_param(Tensor::zeros(Shape::vec(out))));
+        let label = format!("fc{}", self.graph.len());
+        let node = self.graph.add_node(
+            OpKind::Dense { weight, bias },
+            vec![self.current],
+            label,
+        );
+        self.current = node;
+        self.shape = Shape::mat(self.shape.as_mat().unwrap().0, out);
+        self
+    }
+
+    /// Residual addition of the current node and `other`.
+    pub fn add_from(&mut self, other: NodeId) -> &mut Self {
+        let label = format!("add{}", self.graph.len());
+        let node = self
+            .graph
+            .add_node(OpKind::Add, vec![self.current, other], label);
+        self.current = node;
+        self
+    }
+
+    /// Reduction along an axis.
+    pub fn reduce(&mut self, axis: usize, kind: ReduceKind) -> &mut Self {
+        let label = format!("reduce{}", self.graph.len());
+        let node = self
+            .graph
+            .add_node(OpKind::Reduce { axis, kind }, vec![self.current], label);
+        self.current = node;
+        self.shape = infer_shapes(&self.graph, self.input_shape).expect("reduce shapes valid")
+            [node.0 as usize];
+        self
+    }
+
+    /// Terminal softmax.
+    pub fn softmax(&mut self) -> &mut Self {
+        self.unary(OpKind::Softmax, "softmax")
+    }
+
+    /// Finalises and validates the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+            .validate()
+            .expect("builder produces valid graphs");
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn residual_block_builds_and_validates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = GraphBuilder::new("res", Shape::nchw(1, 4, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu();
+        let skip = b.current();
+        b.conv(4, 3, (1, 1), (1, 1)).relu().conv(4, 3, (1, 1), (1, 1));
+        b.add_from(skip).relu();
+        b.flatten().dense(10).softmax();
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+        assert!(g.len() > 9);
+    }
+
+    #[test]
+    fn depthwise_builds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = GraphBuilder::new("dw", Shape::nchw(1, 8, 8, 8), &mut rng);
+        b.depthwise(3, (1, 1), (1, 1)).batchnorm().relu6().conv(16, 1, (0, 0), (1, 1));
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn shape_tracking() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = GraphBuilder::new("s", Shape::nchw(1, 3, 32, 32), &mut rng);
+        b.conv(8, 3, (1, 1), (2, 2));
+        assert_eq!(b.shape(), Shape::nchw(1, 8, 16, 16));
+        b.max_pool(2, 2);
+        assert_eq!(b.shape(), Shape::nchw(1, 8, 8, 8));
+        b.flatten();
+        assert_eq!(b.shape(), Shape::mat(1, 8 * 64));
+    }
+}

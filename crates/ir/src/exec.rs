@@ -1,0 +1,509 @@
+//! Reference executor: runs a dataflow graph on the tensor substrate,
+//! applying each node's approximation choice, and computes the per-node
+//! analytical cost descriptors consumed by the timing/energy models.
+//!
+//! Besides plain execution, the module supports *suffix re-execution*
+//! ([`execute_suffix`]): given the cached node outputs of a previous run,
+//! only the nodes from a given position onward are recomputed. ApproxTuner's
+//! profile collection approximates one operation at a time (Algorithm 1,
+//! lines 12–15), so re-running only the perturbed node's suffix makes
+//! profile collection dramatically cheaper without changing its result.
+
+use crate::approx::ApproxChoice;
+use crate::graph::{Graph, Node, NodeId, OpClass, OpKind};
+use crate::shapes::infer_shapes;
+use at_promise::{promise_conv2d, promise_matmul};
+use at_tensor::cost::{self, OpCounts};
+use at_tensor::ops::{self, conv::Conv2dParams};
+use at_tensor::{Precision, ReduceApprox, Shape, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Options controlling one execution of a graph.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Approximation choice per node (indexed by node id). Nodes beyond the
+    /// vector's length run at the baseline. Use `vec![]` for a fully exact
+    /// run.
+    pub config: Vec<ApproxChoice>,
+    /// Seed for the PROMISE noise source. Executions with equal seeds and
+    /// configs are bit-identical.
+    pub promise_seed: u64,
+}
+
+impl ExecOptions {
+    /// The exact FP32 baseline execution.
+    pub fn baseline() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// The choice for a given node.
+    pub fn choice(&self, id: NodeId) -> ApproxChoice {
+        self.config
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(ApproxChoice::BASELINE)
+    }
+}
+
+/// Evaluates a single node given access to its input tensors.
+fn eval_node<'a>(
+    graph: &Graph,
+    node: &Node,
+    arg: impl Fn(usize) -> &'a Tensor,
+    choice: ApproxChoice,
+    promise_seed: u64,
+    program_input: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let (conv_approx, reduce_approx, precision) = match choice {
+        ApproxChoice::Digital {
+            conv,
+            reduce,
+            precision,
+        } => (conv, reduce, precision),
+        ApproxChoice::Promise(_) => (
+            at_tensor::ConvApprox::Exact,
+            ReduceApprox::Exact,
+            Precision::Fp32,
+        ),
+    };
+    let out = match &node.op {
+        OpKind::Input => program_input.clone(),
+        OpKind::Conv2d {
+            weight,
+            bias,
+            pad,
+            stride,
+            groups,
+        } => {
+            let w = graph.param(*weight);
+            let b = bias.map(|p| graph.param(p));
+            if let ApproxChoice::Promise(level) = choice {
+                // PROMISE path (dense convolutions only; grouped convs fall
+                // back to the digital exact kernel).
+                if *groups == 1 {
+                    let mut rng =
+                        StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
+                    promise_conv2d(arg(0), w, b, *pad, *stride, level, &mut rng)?
+                } else {
+                    ops::conv2d(
+                        arg(0),
+                        w,
+                        b,
+                        Conv2dParams {
+                            pad: *pad,
+                            stride: *stride,
+                            groups: *groups,
+                            ..Default::default()
+                        },
+                    )?
+                }
+            } else {
+                ops::conv2d(
+                    arg(0),
+                    w,
+                    b,
+                    Conv2dParams {
+                        pad: *pad,
+                        stride: *stride,
+                        groups: *groups,
+                        approx: conv_approx,
+                        precision,
+                    },
+                )?
+            }
+        }
+        OpKind::Dense { weight, bias } => {
+            let w = graph.param(*weight);
+            let out = if let ApproxChoice::Promise(level) = choice {
+                let mut rng = StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
+                promise_matmul(arg(0), w, level, &mut rng)?
+            } else {
+                ops::matmul(arg(0), w, precision)?
+            };
+            match bias {
+                Some(b) => ops::bias_add_rows(&out, graph.param(*b), precision)?,
+                None => out,
+            }
+        }
+        OpKind::Relu => ops::relu(arg(0), precision)?,
+        OpKind::ClippedRelu { lo, hi } => ops::clipped_relu(arg(0), *lo, *hi, precision)?,
+        OpKind::Tanh => ops::tanh_op(arg(0), precision)?,
+        OpKind::Abs => ops::map_unary(arg(0), at_tensor::ops::UnaryOp::Abs, precision)?,
+        OpKind::MaxPool2d { window, pad, stride } => {
+            ops::max_pool2d(arg(0), *window, *pad, *stride, precision)?
+        }
+        OpKind::AvgPool2d { window, pad, stride } => {
+            ops::avg_pool2d(arg(0), *window, *pad, *stride, reduce_approx, precision)?
+        }
+        OpKind::BatchNorm {
+            gamma,
+            beta,
+            mean,
+            var,
+            eps,
+        } => ops::batchnorm2d(
+            arg(0),
+            graph.param(*gamma),
+            graph.param(*beta),
+            graph.param(*mean),
+            graph.param(*var),
+            *eps,
+            precision,
+        )?,
+        OpKind::Softmax => ops::softmax_rows(arg(0), precision)?,
+        OpKind::Add => {
+            let sum = arg(0).add(arg(1))?;
+            if precision == Precision::Fp16 {
+                sum.to_f16()
+            } else {
+                sum
+            }
+        }
+        OpKind::Flatten => {
+            let t = arg(0);
+            let dims = t.shape();
+            let d = dims.dims();
+            t.reshape(Shape::mat(d[0], d[1..].iter().product()))?
+        }
+        OpKind::Reduce { axis, kind } => {
+            ops::reduce(arg(0), *axis, *kind, reduce_approx, precision)?
+        }
+    };
+    Ok(out)
+}
+
+/// Executes the graph on `input`, returning the output tensor of the final
+/// node.
+pub fn execute(graph: &Graph, input: &Tensor, opts: &ExecOptions) -> Result<Tensor, TensorError> {
+    let (out, _) = execute_with_trace(graph, input, opts)?;
+    Ok(out)
+}
+
+/// Executes the graph and additionally returns per-node wall-clock kernel
+/// times in seconds (host measurements; used for the empirical CPU results
+/// and for tuning-time accounting).
+pub fn execute_with_trace(
+    graph: &Graph,
+    input: &Tensor,
+    opts: &ExecOptions,
+) -> Result<(Tensor, Vec<f64>), TensorError> {
+    graph.validate()?;
+    let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
+    let mut times = vec![0.0f64; graph.len()];
+    for node in graph.nodes() {
+        let started = std::time::Instant::now();
+        let out = eval_node(
+            graph,
+            node,
+            |i| {
+                outputs[node.inputs[i].0 as usize]
+                    .as_ref()
+                    .expect("topological order guarantees inputs are computed")
+            },
+            opts.choice(node.id),
+            opts.promise_seed,
+            input,
+        )?;
+        times[node.id.0 as usize] = started.elapsed().as_secs_f64();
+        outputs[node.id.0 as usize] = Some(out);
+    }
+    let out_id = graph.output().expect("validated graph is non-empty");
+    let out = outputs[out_id.0 as usize]
+        .take()
+        .expect("output node was computed");
+    Ok((out, times))
+}
+
+/// Executes the graph and returns *all* node outputs — the cache consumed by
+/// [`execute_suffix`].
+pub fn execute_all(
+    graph: &Graph,
+    input: &Tensor,
+    opts: &ExecOptions,
+) -> Result<Vec<Tensor>, TensorError> {
+    graph.validate()?;
+    let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
+    for node in graph.nodes() {
+        let out = eval_node(
+            graph,
+            node,
+            |i| {
+                outputs[node.inputs[i].0 as usize]
+                    .as_ref()
+                    .expect("topological order guarantees inputs are computed")
+            },
+            opts.choice(node.id),
+            opts.promise_seed,
+            input,
+        )?;
+        outputs[node.id.0 as usize] = Some(out);
+    }
+    Ok(outputs.into_iter().map(|o| o.expect("computed")).collect())
+}
+
+/// Recomputes only the nodes at positions `from..` of the graph, reading
+/// earlier nodes' outputs from `cache` (a previous [`execute_all`] result).
+/// Returns the program output.
+///
+/// Used by profile collection: approximating a single op leaves its prefix
+/// unchanged, so only the suffix needs re-execution.
+pub fn execute_suffix(
+    graph: &Graph,
+    input: &Tensor,
+    cache: &[Tensor],
+    from: NodeId,
+    opts: &ExecOptions,
+) -> Result<Tensor, TensorError> {
+    assert_eq!(cache.len(), graph.len(), "cache must cover the whole graph");
+    let start = from.0 as usize;
+    let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
+    for node in &graph.nodes()[start..] {
+        let out = eval_node(
+            graph,
+            node,
+            |i| {
+                let idx = node.inputs[i].0 as usize;
+                if idx < start {
+                    &cache[idx]
+                } else {
+                    outputs[idx].as_ref().expect("suffix computed in order")
+                }
+            },
+            opts.choice(node.id),
+            opts.promise_seed,
+            input,
+        )?;
+        outputs[node.id.0 as usize] = Some(out);
+    }
+    let out_id = graph.output().expect("non-empty graph");
+    let idx = out_id.0 as usize;
+    Ok(if idx < start {
+        cache[idx].clone()
+    } else {
+        outputs[idx].take().expect("output computed")
+    })
+}
+
+/// Baseline analytical cost of every node (paper §3.4), given the program
+/// input shape. Indexed by node id; the `Input` node costs zero.
+pub fn node_costs(graph: &Graph, input: Shape) -> Result<Vec<OpCounts>, TensorError> {
+    let shapes = infer_shapes(graph, input)?;
+    let mut counts = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let in_shape = |i: usize| shapes[node.inputs[i].0 as usize];
+        let c = match &node.op {
+            OpKind::Input => OpCounts::ZERO,
+            OpKind::Conv2d {
+                weight, pad, stride, ..
+            } => cost::conv2d_counts(in_shape(0), graph.param(*weight).shape(), *pad, *stride),
+            OpKind::Dense { weight, .. } => {
+                let (m, k) = in_shape(0).as_mat()?;
+                let (_, n) = graph.param(*weight).shape().as_mat()?;
+                cost::matmul_counts(m, k, n)
+            }
+            OpKind::Relu | OpKind::ClippedRelu { .. } | OpKind::Abs => {
+                cost::map_counts(in_shape(0).volume(), 1.0)
+            }
+            OpKind::Tanh => cost::map_counts(in_shape(0).volume(), 8.0),
+            OpKind::MaxPool2d { window, pad, stride } | OpKind::AvgPool2d { window, pad, stride } => {
+                cost::pool2d_counts(in_shape(0), *window, *pad, *stride)
+            }
+            OpKind::BatchNorm { .. } => cost::batchnorm_counts(in_shape(0)),
+            OpKind::Softmax => {
+                let (m, n) = in_shape(0).as_mat()?;
+                cost::softmax_counts(m, n)
+            }
+            OpKind::Add => cost::map_counts(in_shape(0).volume(), 1.0),
+            OpKind::Flatten => OpCounts::ZERO,
+            OpKind::Reduce { axis, .. } => {
+                let s = in_shape(0);
+                let len = s.dim(*axis)?;
+                cost::reduce_counts(s.volume() / len.max(1), len)
+            }
+        };
+        counts.push(c);
+    }
+    Ok(counts)
+}
+
+/// Total baseline cost of the program (sum over nodes).
+pub fn total_cost(graph: &Graph, input: Shape) -> Result<OpCounts, TensorError> {
+    Ok(node_costs(graph, input)?
+        .into_iter()
+        .fold(OpCounts::ZERO, OpCounts::plus))
+}
+
+/// Returns true when `choice` is legal for the node's op class (e.g.
+/// PROMISE only accepts convolutions and dense layers; perforation only
+/// applies to convolutions).
+pub fn choice_is_valid(graph: &Graph, id: NodeId, choice: ApproxChoice) -> bool {
+    let class = graph.node(id).op.class();
+    match choice {
+        ApproxChoice::Promise(_) => matches!(class, OpClass::Conv | OpClass::Dense),
+        ApproxChoice::Digital { conv, reduce, .. } => {
+            let conv_ok = conv == at_tensor::ConvApprox::Exact || class == OpClass::Conv;
+            let reduce_ok = reduce == ReduceApprox::Exact || class == OpClass::Reduction;
+            let not_input = class != OpClass::Input || choice == ApproxChoice::BASELINE;
+            conv_ok && reduce_ok && not_input
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use at_tensor::ConvApprox;
+
+    fn tiny_cnn() -> (Graph, Tensor) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = GraphBuilder::new("tiny", Shape::nchw(2, 3, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(10).softmax();
+        let g = b.finish();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let x = Tensor::uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, &mut rng2);
+        (g, x)
+    }
+
+    #[test]
+    fn baseline_execution_produces_probabilities() {
+        let (g, x) = tiny_cnn();
+        let out = execute(&g, &x, &ExecOptions::baseline()).unwrap();
+        assert_eq!(out.shape(), Shape::mat(2, 10));
+        for r in 0..2 {
+            let s: f32 = out.data()[r * 10..(r + 1) * 10].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn approximation_changes_output() {
+        let (g, x) = tiny_cnn();
+        let base = execute(&g, &x, &ExecOptions::baseline()).unwrap();
+        let mut config = vec![ApproxChoice::BASELINE; g.len()];
+        // Node 1 is the conv.
+        config[1] = ApproxChoice::digital(
+            ConvApprox::FilterSampling { k: 2, offset: 0 },
+            ReduceApprox::Exact,
+            Precision::Fp32,
+        );
+        let approx = execute(
+            &g,
+            &x,
+            &ExecOptions {
+                config,
+                promise_seed: 0,
+            },
+        )
+        .unwrap();
+        assert!(base.mse(&approx).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn promise_execution_deterministic_per_seed() {
+        let (g, x) = tiny_cnn();
+        let mut config = vec![ApproxChoice::BASELINE; g.len()];
+        config[1] = ApproxChoice::Promise(at_promise::VoltageLevel::P4);
+        let o1 = execute(
+            &g,
+            &x,
+            &ExecOptions {
+                config: config.clone(),
+                promise_seed: 42,
+            },
+        )
+        .unwrap();
+        let o2 = execute(
+            &g,
+            &x,
+            &ExecOptions {
+                config: config.clone(),
+                promise_seed: 42,
+            },
+        )
+        .unwrap();
+        let o3 = execute(
+            &g,
+            &x,
+            &ExecOptions {
+                config,
+                promise_seed: 43,
+            },
+        )
+        .unwrap();
+        assert_eq!(o1.data(), o2.data());
+        assert!(o1.mse(&o3).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn costs_positive_for_compute_nodes() {
+        let (g, _) = tiny_cnn();
+        let costs = node_costs(&g, Shape::nchw(2, 3, 8, 8)).unwrap();
+        assert_eq!(costs[0], OpCounts::ZERO); // input
+        assert!(costs[1].compute > 0.0); // conv
+        let total = total_cost(&g, Shape::nchw(2, 3, 8, 8)).unwrap();
+        assert!(total.compute >= costs[1].compute);
+    }
+
+    #[test]
+    fn validity_rules() {
+        let (g, _) = tiny_cnn();
+        // Node 1 = conv, node 2 = relu, node 5 = dense.
+        let perf = ApproxChoice::digital(
+            ConvApprox::Perforation {
+                dim: at_tensor::PerforationDim::Row,
+                k: 2,
+                offset: 0,
+            },
+            ReduceApprox::Exact,
+            Precision::Fp32,
+        );
+        assert!(choice_is_valid(&g, NodeId(1), perf));
+        assert!(!choice_is_valid(&g, NodeId(2), perf));
+        assert!(choice_is_valid(
+            &g,
+            NodeId(5),
+            ApproxChoice::Promise(at_promise::VoltageLevel::P1)
+        ));
+        assert!(!choice_is_valid(
+            &g,
+            NodeId(2),
+            ApproxChoice::Promise(at_promise::VoltageLevel::P1)
+        ));
+        assert!(choice_is_valid(&g, NodeId(2), ApproxChoice::FP16));
+    }
+
+    #[test]
+    fn trace_times_populated() {
+        let (g, x) = tiny_cnn();
+        let (_, times) = execute_with_trace(&g, &x, &ExecOptions::baseline()).unwrap();
+        assert_eq!(times.len(), g.len());
+        assert!(times.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn suffix_matches_full_execution() {
+        let (g, x) = tiny_cnn();
+        let cache = execute_all(&g, &x, &ExecOptions::baseline()).unwrap();
+        // Perturb node 1 (conv) and compare suffix vs full execution.
+        let mut config = vec![ApproxChoice::BASELINE; g.len()];
+        config[1] = ApproxChoice::FP16;
+        let opts = ExecOptions {
+            config,
+            promise_seed: 0,
+        };
+        let full = execute(&g, &x, &opts).unwrap();
+        let suffix = execute_suffix(&g, &x, &cache, NodeId(1), &opts).unwrap();
+        assert_eq!(full.data(), suffix.data());
+    }
+
+    #[test]
+    fn suffix_from_last_node() {
+        let (g, x) = tiny_cnn();
+        let cache = execute_all(&g, &x, &ExecOptions::baseline()).unwrap();
+        let last = g.output().unwrap();
+        let out = execute_suffix(&g, &x, &cache, last, &ExecOptions::baseline()).unwrap();
+        assert_eq!(out.data(), cache[last.0 as usize].data());
+    }
+}

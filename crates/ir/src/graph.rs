@@ -1,0 +1,462 @@
+//! The dataflow-graph program representation.
+
+use at_tensor::ops::ReduceKind;
+use at_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a parameter tensor held by the graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ParamId(pub u32);
+
+/// The predefined tensor operations of ApproxHPVM that this reproduction
+/// supports (§2.1 and Sharif et al. [57, Table 1]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// Graph input placeholder (exactly one per graph).
+    Input,
+    /// 2-D convolution with weights `[K, C/groups, R, S]` and optional bias.
+    Conv2d {
+        /// Weight parameter.
+        weight: ParamId,
+        /// Optional bias parameter `[K]`.
+        bias: Option<ParamId>,
+        /// Symmetric padding.
+        pad: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+        /// Channel groups (1 = dense, C = depthwise).
+        groups: usize,
+    },
+    /// Fully-connected layer: `x · Wᵀ…` expressed as matmul with weight
+    /// `[in, out]` plus optional bias `[out]`.
+    Dense {
+        /// Weight parameter `[in, out]`.
+        weight: ParamId,
+        /// Optional bias `[out]`.
+        bias: Option<ParamId>,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Clipped ReLU (`clamp(x, lo, hi)`).
+    ClippedRelu {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// Tanh activation.
+    Tanh,
+    /// Elementwise absolute value (used by the image-processing pipeline's
+    /// L1 gradient magnitude).
+    Abs,
+    /// Max pooling.
+    MaxPool2d {
+        /// Pooling window.
+        window: (usize, usize),
+        /// Symmetric padding.
+        pad: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+    },
+    /// Average pooling (a *reduction* in the paper's taxonomy: reduction
+    /// sampling applies).
+    AvgPool2d {
+        /// Pooling window.
+        window: (usize, usize),
+        /// Symmetric padding.
+        pad: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+    },
+    /// Inference batch normalisation.
+    BatchNorm {
+        /// Scale parameter.
+        gamma: ParamId,
+        /// Shift parameter.
+        beta: ParamId,
+        /// Running mean.
+        mean: ParamId,
+        /// Running variance.
+        var: ParamId,
+        /// Numerical epsilon.
+        eps: f32,
+    },
+    /// Row-wise softmax (the terminal op of the CNNs).
+    Softmax,
+    /// Elementwise addition of two inputs (residual connections).
+    Add,
+    /// Flatten NCHW → `[N, C·H·W]`.
+    Flatten,
+    /// Reduction along an axis (reduction sampling applies).
+    Reduce {
+        /// Reduced axis.
+        axis: usize,
+        /// Reduction operator.
+        kind: ReduceKind,
+    },
+}
+
+/// Coarse classification of an op for knob assignment (§2.3: convolutions
+/// get 63 knobs, reductions 8, everything else 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Convolutions (and dense layers, which PROMISE also accelerates).
+    Conv,
+    /// Dense / matrix-multiplication layers.
+    Dense,
+    /// Reductions (average pooling, reduce).
+    Reduction,
+    /// Ops with only a precision knob.
+    Other,
+    /// The input placeholder: never approximated.
+    Input,
+}
+
+impl OpKind {
+    /// The op's class.
+    pub fn class(&self) -> OpClass {
+        match self {
+            OpKind::Input => OpClass::Input,
+            OpKind::Conv2d { .. } => OpClass::Conv,
+            OpKind::Dense { .. } => OpClass::Dense,
+            OpKind::AvgPool2d { .. } | OpKind::Reduce { .. } => OpClass::Reduction,
+            _ => OpClass::Other,
+        }
+    }
+
+    /// Short mnemonic used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Conv2d { .. } => "conv2d",
+            OpKind::Dense { .. } => "dense",
+            OpKind::Relu => "relu",
+            OpKind::ClippedRelu { .. } => "clipped_relu",
+            OpKind::Tanh => "tanh",
+            OpKind::Abs => "abs",
+            OpKind::MaxPool2d { .. } => "max_pool2d",
+            OpKind::AvgPool2d { .. } => "avg_pool2d",
+            OpKind::BatchNorm { .. } => "batchnorm",
+            OpKind::Softmax => "softmax",
+            OpKind::Add => "add",
+            OpKind::Flatten => "flatten",
+            OpKind::Reduce { .. } => "reduce",
+        }
+    }
+}
+
+/// One node of the dataflow graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// The operation.
+    pub op: OpKind,
+    /// Dataflow predecessors (tensor-valued inputs), in argument order.
+    pub inputs: Vec<NodeId>,
+    /// Optional human-readable label (e.g. "conv1").
+    pub label: String,
+}
+
+/// A dataflow-graph tensor program.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    params: Vec<Tensor>,
+    name: String,
+}
+
+impl Graph {
+    /// An empty graph with a program name.
+    pub fn new(name: impl Into<String>) -> Graph {
+        Graph {
+            nodes: Vec::new(),
+            params: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a parameter tensor, returning its id.
+    pub fn add_param(&mut self, t: Tensor) -> ParamId {
+        self.params.push(t);
+        ParamId(self.params.len() as u32 - 1)
+    }
+
+    /// A parameter by id.
+    pub fn param(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0 as usize]
+    }
+
+    /// Mutable parameter access (used by the pruning study).
+    pub fn param_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0 as usize]
+    }
+
+    /// Adds a node with the given op and inputs, returning its id.
+    pub fn add_node(&mut self, op: OpKind, inputs: Vec<NodeId>, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            op,
+            inputs,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// All nodes in insertion (= topological, enforced by validation) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The final node (program output), if any.
+    pub fn output(&self) -> Option<NodeId> {
+        self.nodes.last().map(|n| n.id)
+    }
+
+    /// Ids of nodes that can carry approximation knobs (everything except
+    /// the input placeholder). These are the paper's "tensor operations in
+    /// the program" over which configurations are defined.
+    pub fn tunable_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.op.class() != OpClass::Input)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Counts nodes per class.
+    pub fn class_histogram(&self) -> Vec<(OpClass, usize)> {
+        let mut counts: Vec<(OpClass, usize)> = Vec::new();
+        for n in &self.nodes {
+            let c = n.op.class();
+            if let Some(e) = counts.iter_mut().find(|(k, _)| *k == c) {
+                e.1 += 1;
+            } else {
+                counts.push((c, 1));
+            }
+        }
+        counts
+    }
+
+    /// Structural validation:
+    /// * exactly one `Input` node, and it is node 0;
+    /// * node inputs reference earlier nodes only (topological order);
+    /// * arity matches the op (Add takes 2 inputs, others 1, Input 0);
+    /// * parameter ids are in range.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fail = |detail: String| TensorError::ShapeMismatch {
+            op: "graph::validate",
+            detail,
+        };
+        if self.nodes.is_empty() {
+            return Err(fail("empty graph".into()));
+        }
+        if self.nodes[0].op != OpKind::Input {
+            return Err(fail("node 0 must be the Input placeholder".into()));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id.0 as usize != i {
+                return Err(fail(format!("node id {:?} at position {i}", n.id)));
+            }
+            let arity = match n.op {
+                OpKind::Input => 0,
+                OpKind::Add => 2,
+                _ => 1,
+            };
+            if n.inputs.len() != arity {
+                return Err(fail(format!(
+                    "node {} ({}) has {} inputs, expected {arity}",
+                    i,
+                    n.op.name(),
+                    n.inputs.len()
+                )));
+            }
+            if matches!(n.op, OpKind::Input) && i != 0 {
+                return Err(fail(format!("extra Input node at position {i}")));
+            }
+            for &inp in &n.inputs {
+                if inp.0 as usize >= i {
+                    return Err(fail(format!(
+                        "node {i} references non-earlier node {:?}",
+                        inp
+                    )));
+                }
+            }
+            let check_param = |p: ParamId| -> Result<(), TensorError> {
+                if (p.0 as usize) < self.params.len() {
+                    Ok(())
+                } else {
+                    Err(fail(format!("node {i} references missing param {:?}", p)))
+                }
+            };
+            match n.op {
+                OpKind::Conv2d { weight, bias, .. } | OpKind::Dense { weight, bias } => {
+                    check_param(weight)?;
+                    if let Some(b) = bias {
+                        check_param(b)?;
+                    }
+                }
+                OpKind::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                    ..
+                } => {
+                    check_param(gamma)?;
+                    check_param(beta)?;
+                    check_param(mean)?;
+                    check_param(var)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of parameter elements (model size).
+    pub fn param_count(&self) -> usize {
+        self.params.iter().map(|t| t.len()).sum()
+    }
+
+    /// Mutable access to the node list (for transformation passes).
+    pub(crate) fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// Keeps nodes for which `f` returns a new id, renumbering nodes and
+    /// remapping inputs accordingly. `f` must be monotone on kept nodes
+    /// (passes compute it that way), preserving topological order.
+    pub(crate) fn retain_and_remap(&mut self, f: impl Fn(NodeId) -> Option<NodeId>) {
+        let old = std::mem::take(&mut self.nodes);
+        for mut n in old {
+            if let Some(new_id) = f(n.id) {
+                n.id = new_id;
+                for i in &mut n.inputs {
+                    *i = f(*i).expect("passes never keep dangling inputs");
+                }
+                self.nodes.push(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_tensor::Shape;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new("tiny");
+        let w = g.add_param(Tensor::zeros(Shape::nchw(2, 1, 3, 3)));
+        let input = g.add_node(OpKind::Input, vec![], "in");
+        let conv = g.add_node(
+            OpKind::Conv2d {
+                weight: w,
+                bias: None,
+                pad: (1, 1),
+                stride: (1, 1),
+                groups: 1,
+            },
+            vec![input],
+            "conv1",
+        );
+        g.add_node(OpKind::Relu, vec![conv], "relu1");
+        g
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        tiny_graph().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph_fails() {
+        assert!(Graph::new("e").validate().is_err());
+    }
+
+    #[test]
+    fn missing_input_fails() {
+        let mut g = Graph::new("bad");
+        g.add_node(OpKind::Relu, vec![], "r");
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn forward_reference_fails() {
+        let mut g = Graph::new("bad");
+        let i = g.add_node(OpKind::Input, vec![], "in");
+        // Node 1 referencing node 1 (itself).
+        g.add_node(OpKind::Relu, vec![NodeId(1)], "r");
+        let _ = i;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn add_arity_enforced() {
+        let mut g = Graph::new("bad");
+        let i = g.add_node(OpKind::Input, vec![], "in");
+        g.add_node(OpKind::Add, vec![i], "add");
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn missing_param_fails() {
+        let mut g = Graph::new("bad");
+        let i = g.add_node(OpKind::Input, vec![], "in");
+        g.add_node(
+            OpKind::Conv2d {
+                weight: ParamId(0),
+                bias: None,
+                pad: (0, 0),
+                stride: (1, 1),
+                groups: 1,
+            },
+            vec![i],
+            "conv",
+        );
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn tunable_excludes_input() {
+        let g = tiny_graph();
+        let t = g.tunable_nodes();
+        assert_eq!(t.len(), 2);
+        assert!(!t.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let g = tiny_graph();
+        let h = g.class_histogram();
+        assert!(h.contains(&(OpClass::Conv, 1)));
+        assert!(h.contains(&(OpClass::Other, 1)));
+        assert!(h.contains(&(OpClass::Input, 1)));
+    }
+}

@@ -1,0 +1,289 @@
+//! Graph transformation passes.
+//!
+//! ApproxHPVM compiles through a retargetable pass pipeline; we provide the
+//! two passes the evaluation depends on plus a correctness-preserving
+//! clean-up:
+//!
+//! * [`fold_batchnorm`] — folds inference batch-norm into the preceding
+//!   convolution's weights and bias (a standard deployment optimisation;
+//!   it also *reduces the number of tunable ops*, changing the search
+//!   space — which is why it is a pass, not a default).
+//! * [`dead_node_elimination`] — removes nodes whose results are never
+//!   consumed (can arise after folding).
+//! * [`validate_choices`] — checks a per-node approximation assignment
+//!   against each node's op class (the lowering-time legality check).
+
+use crate::approx::ApproxChoice;
+use crate::exec::choice_is_valid;
+use crate::graph::{Graph, Node, NodeId, OpKind};
+use at_tensor::TensorError;
+
+/// Statistics of a pass application.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// Nodes removed by the pass.
+    pub removed: usize,
+    /// Nodes rewritten in place.
+    pub rewritten: usize,
+}
+
+/// Folds `Conv2d → BatchNorm` pairs: with per-channel affine
+/// `y = a·x + b` (a = γ/√(σ²+ε), b = β − μ·a), the convolution weights are
+/// scaled by `a` per output channel and the bias becomes `a·bias + b`.
+/// The BatchNorm node is replaced by an identity-like pass-through (an
+/// `Abs`-free ReLU cannot express identity, so the node is rewired away and
+/// cleaned by [`dead_node_elimination`]).
+pub fn fold_batchnorm(graph: &mut Graph) -> Result<PassReport, TensorError> {
+    graph.validate()?;
+    let mut report = PassReport::default();
+
+    // Find BN nodes whose single input is a Conv2d consumed only by them.
+    let mut consumers = vec![0usize; graph.len()];
+    for n in graph.nodes() {
+        for &i in &n.inputs {
+            consumers[i.0 as usize] += 1;
+        }
+    }
+    let candidates: Vec<(NodeId, NodeId)> = graph
+        .nodes()
+        .iter()
+        .filter_map(|n| match n.op {
+            OpKind::BatchNorm { .. } => {
+                let src = n.inputs[0];
+                match graph.node(src).op {
+                    OpKind::Conv2d { bias: Some(_), .. } if consumers[src.0 as usize] == 1 => {
+                        Some((src, n.id))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+
+    for (conv_id, bn_id) in candidates {
+        let (weight, bias, gamma, beta, mean, var, eps) = {
+            let conv = graph.node(conv_id);
+            let bn = graph.node(bn_id);
+            let (weight, bias) = match conv.op {
+                OpKind::Conv2d { weight, bias, .. } => (weight, bias.expect("checked")),
+                _ => unreachable!(),
+            };
+            match bn.op {
+                OpKind::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                    eps,
+                } => (weight, bias, gamma, beta, mean, var, eps),
+                _ => unreachable!(),
+            }
+        };
+        // Per-channel affine coefficients.
+        let k = graph.param(gamma).len();
+        let a: Vec<f32> = (0..k)
+            .map(|i| graph.param(gamma).data()[i] / (graph.param(var).data()[i] + eps).sqrt())
+            .collect();
+        let b: Vec<f32> = (0..k)
+            .map(|i| graph.param(beta).data()[i] - graph.param(mean).data()[i] * a[i])
+            .collect();
+        // Scale weights per output channel.
+        {
+            let w = graph.param_mut(weight);
+            let (kk, c, r, s) = w.shape().as_nchw()?;
+            debug_assert_eq!(kk, k);
+            let vol = c * r * s;
+            let data = w.data_mut();
+            for (oc, &ai) in a.iter().enumerate() {
+                for v in &mut data[oc * vol..(oc + 1) * vol] {
+                    *v *= ai;
+                }
+            }
+        }
+        // Fold the bias.
+        {
+            let bt = graph.param_mut(bias);
+            for (i, v) in bt.data_mut().iter_mut().enumerate() {
+                *v = a[i] * *v + b[i];
+            }
+        }
+        // Rewire every consumer of the BN node to the conv node.
+        graph.rewire(bn_id, conv_id);
+        report.rewritten += 1;
+    }
+
+    report.removed = dead_node_elimination(graph)?.removed;
+    Ok(report)
+}
+
+/// Removes nodes that are not the program output and have no consumers.
+/// Iterates to a fixed point and compacts node ids.
+pub fn dead_node_elimination(graph: &mut Graph) -> Result<PassReport, TensorError> {
+    let mut report = PassReport::default();
+    loop {
+        let out = match graph.output() {
+            Some(o) => o,
+            None => return Ok(report),
+        };
+        let mut live = vec![false; graph.len()];
+        live[out.0 as usize] = true;
+        for n in graph.nodes().iter().rev() {
+            if live[n.id.0 as usize] {
+                for &i in &n.inputs {
+                    live[i.0 as usize] = true;
+                }
+            }
+        }
+        let dead: Vec<NodeId> = graph
+            .nodes()
+            .iter()
+            .filter(|n| !live[n.id.0 as usize])
+            .map(|n| n.id)
+            .collect();
+        if dead.is_empty() {
+            return Ok(report);
+        }
+        report.removed += dead.len();
+        graph.remove_nodes(&dead)?;
+    }
+}
+
+/// Checks a per-node approximation assignment for class legality.
+pub fn validate_choices(graph: &Graph, choices: &[ApproxChoice]) -> Result<(), TensorError> {
+    for node in graph.nodes() {
+        let choice = choices
+            .get(node.id.0 as usize)
+            .copied()
+            .unwrap_or(ApproxChoice::BASELINE);
+        if !choice_is_valid(graph, node.id, choice) {
+            return Err(TensorError::InvalidKnob {
+                op: "validate_choices",
+                detail: format!(
+                    "node {} ({}) cannot take {:?}",
+                    node.id.0,
+                    node.op.name(),
+                    choice
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Extends [`Graph`] with the rewiring/removal primitives the passes use.
+impl Graph {
+    /// Redirects every consumer of `from` to read `to` instead.
+    pub fn rewire(&mut self, from: NodeId, to: NodeId) {
+        for n in self.nodes_mut() {
+            for i in &mut n.inputs {
+                if *i == from {
+                    *i = to;
+                }
+            }
+        }
+    }
+
+    /// Removes the given nodes and compacts ids (inputs are remapped).
+    /// Fails if a surviving node references a removed one.
+    pub fn remove_nodes(&mut self, dead: &[NodeId]) -> Result<(), TensorError> {
+        let len = self.len();
+        let mut remap: Vec<Option<u32>> = vec![None; len];
+        let mut next = 0u32;
+        for i in 0..len {
+            if !dead.iter().any(|d| d.0 as usize == i) {
+                remap[i] = Some(next);
+                next += 1;
+            }
+        }
+        // Check references.
+        for n in self.nodes() {
+            if remap[n.id.0 as usize].is_none() {
+                continue;
+            }
+            for &inp in &n.inputs {
+                if remap[inp.0 as usize].is_none() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "remove_nodes",
+                        detail: format!(
+                            "live node {} references removed node {}",
+                            n.id.0, inp.0
+                        ),
+                    });
+                }
+            }
+        }
+        self.retain_and_remap(|id| remap[id.0 as usize].map(NodeId));
+        Ok(())
+    }
+}
+
+// (The retain/remap primitive lives on Graph in graph.rs to keep field
+// privacy; re-exported nodes_mut likewise.)
+#[allow(unused)]
+fn _doc(_: &Node) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::exec::{execute, ExecOptions};
+    use at_tensor::{Shape, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bn_cnn() -> Graph {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut b = GraphBuilder::new("bn", Shape::nchw(2, 3, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).batchnorm().relu();
+        b.conv(4, 3, (1, 1), (1, 1)).batchnorm().relu();
+        b.flatten().dense(5).softmax();
+        b.finish()
+    }
+
+    #[test]
+    fn batchnorm_folding_preserves_semantics() {
+        let graph = bn_cnn();
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, &mut rng);
+        let before = execute(&graph, &x, &ExecOptions::baseline()).unwrap();
+        let mut folded = graph.clone();
+        let report = fold_batchnorm(&mut folded).unwrap();
+        assert_eq!(report.rewritten, 2, "both BN nodes fold");
+        assert_eq!(report.removed, 2, "both BN nodes removed");
+        folded.validate().unwrap();
+        let after = execute(&folded, &x, &ExecOptions::baseline()).unwrap();
+        let mse = before.mse(&after).unwrap();
+        assert!(mse < 1e-10, "folding changed semantics: mse {mse}");
+        assert_eq!(folded.len(), graph.len() - 2);
+    }
+
+    #[test]
+    fn folding_reduces_tunable_ops() {
+        let graph = bn_cnn();
+        let before = graph.tunable_nodes().len();
+        let mut folded = graph;
+        fold_batchnorm(&mut folded).unwrap();
+        assert_eq!(folded.tunable_nodes().len(), before - 2);
+    }
+
+    #[test]
+    fn dead_node_elimination_noop_on_clean_graph() {
+        let mut graph = bn_cnn();
+        let n = graph.len();
+        let r = dead_node_elimination(&mut graph).unwrap();
+        assert_eq!(r.removed, 0);
+        assert_eq!(graph.len(), n);
+    }
+
+    #[test]
+    fn validate_choices_rejects_illegal() {
+        let graph = bn_cnn();
+        let mut choices = vec![ApproxChoice::BASELINE; graph.len()];
+        // Node 2 is the first batchnorm — PROMISE is illegal there.
+        choices[2] = ApproxChoice::Promise(at_promise::VoltageLevel::P4);
+        assert!(validate_choices(&graph, &choices).is_err());
+        choices[2] = ApproxChoice::FP16;
+        assert!(validate_choices(&graph, &choices).is_ok());
+    }
+}

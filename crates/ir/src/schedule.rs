@@ -1,0 +1,108 @@
+//! Schedules: the mapping of tensor operations to compute units.
+//!
+//! "a schedule is a mapping of tensor operations to compute units in the
+//! target system" (§2.1). At development time everything targets a digital
+//! unit; install-time tuning may remap convolutions and dense layers to
+//! PROMISE.
+
+use crate::graph::{Graph, NodeId, OpClass};
+use at_hw::ComputeUnitKind;
+use serde::{Deserialize, Serialize};
+
+/// A mapping from graph nodes to compute units.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    units: Vec<ComputeUnitKind>,
+}
+
+impl Schedule {
+    /// All ops on a single digital unit.
+    pub fn uniform(graph: &Graph, unit: ComputeUnitKind) -> Schedule {
+        assert_ne!(
+            unit,
+            ComputeUnitKind::Promise,
+            "PROMISE only accepts convolutions and dense layers; use `uniform` \
+             with a digital unit and remap eligible ops with `assign`"
+        );
+        Schedule {
+            units: vec![unit; graph.len()],
+        }
+    }
+
+    /// The unit for a node.
+    pub fn unit(&self, id: NodeId) -> ComputeUnitKind {
+        self.units[id.0 as usize]
+    }
+
+    /// Reassigns one node, enforcing PROMISE eligibility.
+    pub fn assign(&mut self, graph: &Graph, id: NodeId, unit: ComputeUnitKind) -> bool {
+        if unit == ComputeUnitKind::Promise {
+            let class = graph.node(id).op.class();
+            if !matches!(class, OpClass::Conv | OpClass::Dense) {
+                return false;
+            }
+        }
+        self.units[id.0 as usize] = unit;
+        true
+    }
+
+    /// Number of nodes mapped to each unit kind.
+    pub fn histogram(&self) -> [(ComputeUnitKind, usize); 3] {
+        let mut gpu = 0;
+        let mut cpu = 0;
+        let mut promise = 0;
+        for u in &self.units {
+            match u {
+                ComputeUnitKind::Gpu => gpu += 1,
+                ComputeUnitKind::Cpu => cpu += 1,
+                ComputeUnitKind::Promise => promise += 1,
+            }
+        }
+        [
+            (ComputeUnitKind::Gpu, gpu),
+            (ComputeUnitKind::Cpu, cpu),
+            (ComputeUnitKind::Promise, promise),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use at_tensor::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g() -> Graph {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = GraphBuilder::new("t", Shape::nchw(1, 3, 8, 8), &mut rng);
+        b.conv(4, 3, (1, 1), (1, 1)).relu().flatten().dense(10).softmax();
+        b.finish()
+    }
+
+    #[test]
+    fn uniform_gpu() {
+        let graph = g();
+        let s = Schedule::uniform(&graph, ComputeUnitKind::Gpu);
+        assert_eq!(s.unit(NodeId(1)), ComputeUnitKind::Gpu);
+        assert_eq!(s.histogram()[0].1, graph.len());
+    }
+
+    #[test]
+    fn promise_eligibility() {
+        let graph = g();
+        let mut s = Schedule::uniform(&graph, ComputeUnitKind::Gpu);
+        assert!(s.assign(&graph, NodeId(1), ComputeUnitKind::Promise)); // conv
+        assert!(!s.assign(&graph, NodeId(2), ComputeUnitKind::Promise)); // relu
+        assert!(s.assign(&graph, NodeId(4), ComputeUnitKind::Promise)); // dense
+        assert_eq!(s.histogram()[2].1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "PROMISE")]
+    fn uniform_promise_panics() {
+        let graph = g();
+        let _ = Schedule::uniform(&graph, ComputeUnitKind::Promise);
+    }
+}

@@ -1,0 +1,207 @@
+//! Shape-inference pass: propagates the program input shape through the
+//! graph, producing per-node output shapes used by the analytical cost
+//! model and by graph validation.
+
+use crate::graph::{Graph, OpKind};
+use at_tensor::shape::conv_out_dim;
+use at_tensor::{Shape, TensorError};
+
+/// Infers the output shape of every node given the program input shape.
+///
+/// Returns a vector indexed by node id.
+pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, TensorError> {
+    graph.validate()?;
+    let mut shapes: Vec<Shape> = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let shape = match &node.op {
+            OpKind::Input => input,
+            OpKind::Conv2d {
+                weight,
+                pad,
+                stride,
+                groups,
+                ..
+            } => {
+                let (n, c, h, w) = shapes[node.inputs[0].0 as usize].as_nchw()?;
+                let (k, cpg, r, s) = graph.param(*weight).shape().as_nchw()?;
+                let g = (*groups).max(1);
+                if cpg != c / g {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "infer_shapes",
+                        detail: format!(
+                            "node {} ({}): weight channels {cpg} != input {c}/groups {g}",
+                            node.id.0, node.label
+                        ),
+                    });
+                }
+                Shape::nchw(
+                    n,
+                    k,
+                    conv_out_dim(h, r, pad.0, stride.0),
+                    conv_out_dim(w, s, pad.1, stride.1),
+                )
+            }
+            OpKind::Dense { weight, .. } => {
+                let (m, k_in) = shapes[node.inputs[0].0 as usize].as_mat()?;
+                let (w_in, w_out) = graph.param(*weight).shape().as_mat()?;
+                if k_in != w_in {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "infer_shapes",
+                        detail: format!(
+                            "node {} ({}): dense input {k_in} != weight rows {w_in}",
+                            node.id.0, node.label
+                        ),
+                    });
+                }
+                Shape::mat(m, w_out)
+            }
+            OpKind::MaxPool2d { window, pad, stride } | OpKind::AvgPool2d { window, pad, stride } => {
+                let (n, c, h, w) = shapes[node.inputs[0].0 as usize].as_nchw()?;
+                Shape::nchw(
+                    n,
+                    c,
+                    conv_out_dim(h, window.0, pad.0, stride.0),
+                    conv_out_dim(w, window.1, pad.1, stride.1),
+                )
+            }
+            OpKind::Flatten => {
+                let s = shapes[node.inputs[0].0 as usize];
+                let dims = s.dims();
+                Shape::mat(dims[0], dims[1..].iter().product())
+            }
+            OpKind::Add => {
+                let a = shapes[node.inputs[0].0 as usize];
+                let b = shapes[node.inputs[1].0 as usize];
+                if a != b {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "infer_shapes",
+                        detail: format!(
+                            "node {} ({}): add operands {a} vs {b}",
+                            node.id.0, node.label
+                        ),
+                    });
+                }
+                a
+            }
+            OpKind::Reduce { axis, .. } => {
+                let s = shapes[node.inputs[0].0 as usize];
+                if *axis >= s.rank() {
+                    return Err(TensorError::AxisOutOfRange {
+                        axis: *axis,
+                        rank: s.rank(),
+                    });
+                }
+                let dims: Vec<usize> = s
+                    .dims()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &d)| if i == *axis { None } else { Some(d) })
+                    .collect();
+                if dims.is_empty() {
+                    Shape::new(&[1])
+                } else {
+                    Shape::new(&dims)
+                }
+            }
+            // Shape-preserving ops.
+            OpKind::Relu
+            | OpKind::ClippedRelu { .. }
+            | OpKind::Tanh
+            | OpKind::Abs
+            | OpKind::BatchNorm { .. }
+            | OpKind::Softmax => shapes[node.inputs[0].0 as usize],
+        };
+        shapes.push(shape);
+    }
+    Ok(shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use at_tensor::Tensor;
+
+    #[test]
+    fn cnn_shapes_propagate() {
+        let mut g = Graph::new("t");
+        let w1 = g.add_param(Tensor::zeros(Shape::nchw(8, 3, 3, 3)));
+        let wd = g.add_param(Tensor::zeros(Shape::mat(8 * 16 * 16, 10)));
+        let input = g.add_node(OpKind::Input, vec![], "in");
+        let conv = g.add_node(
+            OpKind::Conv2d {
+                weight: w1,
+                bias: None,
+                pad: (1, 1),
+                stride: (1, 1),
+                groups: 1,
+            },
+            vec![input],
+            "conv",
+        );
+        let relu = g.add_node(OpKind::Relu, vec![conv], "relu");
+        let pool = g.add_node(
+            OpKind::MaxPool2d {
+                window: (2, 2),
+                pad: (0, 0),
+                stride: (2, 2),
+            },
+            vec![relu],
+            "pool",
+        );
+        let flat = g.add_node(OpKind::Flatten, vec![pool], "flat");
+        let dense = g.add_node(
+            OpKind::Dense {
+                weight: wd,
+                bias: None,
+            },
+            vec![flat],
+            "fc",
+        );
+        g.add_node(OpKind::Softmax, vec![dense], "softmax");
+
+        let shapes = infer_shapes(&g, Shape::nchw(2, 3, 32, 32)).unwrap();
+        assert_eq!(shapes[conv.0 as usize], Shape::nchw(2, 8, 32, 32));
+        assert_eq!(shapes[pool.0 as usize], Shape::nchw(2, 8, 16, 16));
+        assert_eq!(shapes[flat.0 as usize], Shape::mat(2, 8 * 256));
+        assert_eq!(shapes[dense.0 as usize], Shape::mat(2, 10));
+    }
+
+    #[test]
+    fn dense_mismatch_detected() {
+        let mut g = Graph::new("t");
+        let wd = g.add_param(Tensor::zeros(Shape::mat(100, 10)));
+        let input = g.add_node(OpKind::Input, vec![], "in");
+        let flat = g.add_node(OpKind::Flatten, vec![input], "flat");
+        g.add_node(
+            OpKind::Dense {
+                weight: wd,
+                bias: None,
+            },
+            vec![flat],
+            "fc",
+        );
+        // 3*4*4 = 48 != 100.
+        assert!(infer_shapes(&g, Shape::nchw(1, 3, 4, 4)).is_err());
+    }
+
+    #[test]
+    fn add_shape_mismatch_detected() {
+        let mut g = Graph::new("t");
+        let w = g.add_param(Tensor::zeros(Shape::nchw(3, 3, 3, 3)));
+        let input = g.add_node(OpKind::Input, vec![], "in");
+        let conv = g.add_node(
+            OpKind::Conv2d {
+                weight: w,
+                bias: None,
+                pad: (0, 0), // shrinks spatial dims
+                stride: (1, 1),
+                groups: 1,
+            },
+            vec![input],
+            "conv",
+        );
+        g.add_node(OpKind::Add, vec![input, conv], "add");
+        assert!(infer_shapes(&g, Shape::nchw(1, 3, 8, 8)).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors raised by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The shapes involved, rendered for the message.
+        detail: String,
+    },
+    /// The requested approximation knob is invalid for the operation
+    /// (e.g. a perforation offset outside `0..k`).
+    InvalidKnob {
+        /// Operation name.
+        op: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// The data length does not match the product of the dimensions.
+    DataLength {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            TensorError::InvalidKnob { op, detail } => {
+                write!(f, "invalid approximation knob for {op}: {detail}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::DataLength { expected, got } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,600 @@
+//! 2-D convolution: exact, filter-sampled and perforated variants, each in
+//! FP32 or FP16 semantics.
+//!
+//! This is the hand-written kernel the paper describes in §6.2 (the authors
+//! could not use cuDNN for convolutions because perforation and sampling
+//! require a custom algorithm). The kernel is parallelised with rayon over
+//! `(batch, output-channel)` pairs; each task writes a disjoint `Ho×Wo`
+//! output plane, so the parallelism is data-race free by construction.
+
+use crate::error::TensorError;
+use crate::knobs::{ConvApprox, PerforationDim, Precision};
+use crate::shape::{conv2d_out_shape, Shape};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Configuration of a convolution call.
+#[derive(Clone, Copy, Debug)]
+pub struct Conv2dParams {
+    /// Symmetric padding (height, width).
+    pub pad: (usize, usize),
+    /// Stride (height, width).
+    pub stride: (usize, usize),
+    /// Channel groups (1 = dense convolution; `C` = depthwise, as in
+    /// MobileNet). The weight tensor is `[K, C/groups, R, S]`.
+    pub groups: usize,
+    /// Algorithmic approximation.
+    pub approx: ConvApprox,
+    /// Numeric precision.
+    pub precision: Precision,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            pad: (0, 0),
+            stride: (1, 1),
+            groups: 1,
+            approx: ConvApprox::Exact,
+            precision: Precision::Fp32,
+        }
+    }
+}
+
+/// 2-D convolution over NCHW input `[N,C,H,W]` with weights `[K,C,R,S]` and
+/// optional per-output-channel bias `[K]`.
+///
+/// The `approx` mechanism selects between the exact kernel, filter sampling
+/// (skip 1-out-of-k filter elements, rescale by `k/(k-1)`) and output
+/// perforation (skip 1-out-of-k output rows/columns, interpolate from
+/// computed neighbours). `Precision::Fp16` quantises operands and the result
+/// through IEEE binary16.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    params.approx.validate()?;
+    let (_, c, _, _) = input.shape().as_nchw()?;
+    let (k, wc, _, _) = weight.shape().as_nchw()?;
+    let groups = params.groups.max(1);
+    if c % groups != 0 || k % groups != 0 || wc != c / groups {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            detail: format!(
+                "groups={groups} incompatible with input channels {c}, weight [{k},{wc},..]"
+            ),
+        });
+    }
+    // Shape algebra is the same as a dense conv with C/groups input
+    // channels per filter.
+    let pseudo_input = {
+        let (n, _, h, w) = input.shape().as_nchw()?;
+        Shape::nchw(n, wc, h, w)
+    };
+    let out_shape = conv2d_out_shape(pseudo_input, weight.shape(), params.pad, params.stride)?;
+    if let Some(b) = bias {
+        if b.len() != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                detail: format!("bias length {} != output channels {k}", b.len()),
+            });
+        }
+    }
+
+    // FP16 semantics: quantise operands, accumulate in f32, quantise result.
+    let (qin, qw, qb);
+    let (input, weight, bias) = match params.precision {
+        Precision::Fp32 => (input, weight, bias),
+        Precision::Fp16 => {
+            qin = input.to_f16();
+            qw = weight.to_f16();
+            qb = bias.map(|b| b.to_f16());
+            (&qin, &qw, qb.as_ref())
+        }
+    };
+
+    let mut out = compute_conv(input, weight, bias, params, out_shape)?;
+    if params.precision == Precision::Fp16 {
+        out.quantize_f16();
+    }
+    Ok(out)
+}
+
+fn compute_conv(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    out_shape: Shape,
+) -> Result<Tensor, TensorError> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (k, cpg, r, s) = weight.shape().as_nchw()?; // cpg = channels/group
+    let (_, _, ho, wo) = out_shape.as_nchw()?;
+    let (ph, pw) = params.pad;
+    let (sh, sw) = params.stride;
+    let groups = params.groups.max(1);
+    let kpg = k / groups; // output channels per group
+
+    // Filter-sampling mask: kept[(c,r,s) flattened] with compensation scale.
+    let (mask, scale) = match params.approx {
+        ConvApprox::FilterSampling { k: kk, offset } => {
+            let total = cpg * r * s;
+            let mask: Vec<bool> = (0..total).map(|i| i % kk != offset).collect();
+            // Rescale by the *actual* kept fraction so the approximation is
+            // unbiased even when the filter size is not a multiple of k
+            // (k/(k-1) is the asymptotic value the paper quotes).
+            let kept = mask.iter().filter(|&&m| m).count().max(1);
+            (Some(mask), total as f32 / kept as f32)
+        }
+        _ => (None, 1.0),
+    };
+
+    let in_data = input.data();
+    let w_data = weight.data();
+    let plane = ho * wo;
+    let mut out = vec![0.0f32; n * k * plane];
+
+    // Parallelise over (batch, output channel): each task owns one output
+    // plane.
+    out.par_chunks_mut(plane).enumerate().for_each(|(idx, op)| {
+        let b = idx / k; // batch index
+        let oc = idx % k; // output channel
+        let g = oc / kpg; // channel group
+        let ic_start = g * cpg;
+        let w_base = oc * cpg * r * s;
+        let bias_v = bias.map_or(0.0, |bt| bt.data()[oc]);
+
+        // Which output rows/cols to actually compute under perforation.
+        let skip = |coord: usize| -> bool {
+            match params.approx {
+                ConvApprox::Perforation { dim: _, k: kk, offset } => coord % kk == offset,
+                _ => false,
+            }
+        };
+        let (perf_rows, perf_cols) = match params.approx {
+            ConvApprox::Perforation { dim, .. } => (
+                dim == PerforationDim::Row,
+                dim == PerforationDim::Col,
+            ),
+            _ => (false, false),
+        };
+
+        for oy in 0..ho {
+            if perf_rows && skip(oy) {
+                continue; // interpolated later
+            }
+            for ox in 0..wo {
+                if perf_cols && skip(ox) {
+                    continue;
+                }
+                let mut acc = 0.0f32;
+                let iy0 = (oy * sh) as isize - ph as isize;
+                let ix0 = (ox * sw) as isize - pw as isize;
+                for icw in 0..cpg {
+                    let ic = ic_start + icw;
+                    let in_base = (b * c + ic) * h * w;
+                    let wk_base = w_base + icw * r * s;
+                    for ky in 0..r {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let row_base = in_base + iy as usize * w;
+                        let wrow = wk_base + ky * s;
+                        for kx in 0..s {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            if let Some(m) = &mask {
+                                // Mask is indexed by the (c,r,s)-flattened
+                                // filter element, shared across all output
+                                // channels (paper: "prunes an equal fraction
+                                // of filter elements across all feature
+                                // maps").
+                                if !m[icw * r * s + ky * s + kx] {
+                                    continue;
+                                }
+                            }
+                            acc += in_data[row_base + ix as usize] * w_data[wrow + kx];
+                        }
+                    }
+                }
+                op[oy * wo + ox] = acc * scale + bias_v;
+            }
+        }
+
+        // Interpolation pass for perforated outputs: nearest-neighbour
+        // averaging of computed elements (Figurnov et al.).
+        if perf_rows {
+            for oy in 0..ho {
+                if !skip(oy) {
+                    continue;
+                }
+                // Nearest computed rows above and below.
+                let above = (0..oy).rev().find(|&y| !skip(y));
+                let below = (oy + 1..ho).find(|&y| !skip(y));
+                for ox in 0..wo {
+                    op[oy * wo + ox] = match (above, below) {
+                        (Some(a), Some(bl)) => {
+                            0.5 * (op[a * wo + ox] + op[bl * wo + ox])
+                        }
+                        (Some(a), None) => op[a * wo + ox],
+                        (None, Some(bl)) => op[bl * wo + ox],
+                        (None, None) => bias_v,
+                    };
+                }
+            }
+        } else if perf_cols {
+            for ox in 0..wo {
+                if !skip(ox) {
+                    continue;
+                }
+                let left = (0..ox).rev().find(|&x| !skip(x));
+                let right = (ox + 1..wo).find(|&x| !skip(x));
+                for oy in 0..ho {
+                    op[oy * wo + ox] = match (left, right) {
+                        (Some(l), Some(rr)) => {
+                            0.5 * (op[oy * wo + l] + op[oy * wo + rr])
+                        }
+                        (Some(l), None) => op[oy * wo + l],
+                        (None, Some(rr)) => op[oy * wo + rr],
+                        (None, None) => bias_v,
+                    };
+                }
+            }
+        }
+    });
+
+    Tensor::from_vec(out_shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple_input() -> Tensor {
+        // 1x1x4x4 ramp.
+        Tensor::from_vec(
+            Shape::nchw(1, 1, 4, 4),
+            (0..16).map(|i| i as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_kernel() {
+        let input = simple_input();
+        let weight = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![1.0]).unwrap();
+        let out = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn box_filter_matches_manual() {
+        let input = simple_input();
+        let weight = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                pad: (1, 1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.shape(), Shape::nchw(1, 1, 4, 4));
+        // Centre element (1,1): sum of 3x3 window of the ramp = 0+1+2+4+5+6+8+9+10 = 45.
+        assert_eq!(out.at4(0, 0, 1, 1), 45.0);
+        // Corner (0,0): 0+1+4+5 = 10.
+        assert_eq!(out.at4(0, 0, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn bias_applied_per_channel() {
+        let input = simple_input();
+        let weight = Tensor::full(Shape::nchw(2, 1, 1, 1), 1.0);
+        let bias = Tensor::from_vec(Shape::vec(2), vec![10.0, 20.0]).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), Conv2dParams::default()).unwrap();
+        assert_eq!(out.at4(0, 0, 0, 0), 10.0);
+        assert_eq!(out.at4(0, 1, 0, 0), 20.0);
+    }
+
+    #[test]
+    fn stride_and_padding() {
+        let input = simple_input();
+        let weight = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0; 4]).unwrap();
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                stride: (2, 2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.shape(), Shape::nchw(1, 1, 2, 2));
+        // Window at (0,0): 0+1+4+5 = 10; at (0,1): 2+3+6+7 = 18.
+        assert_eq!(out.data(), &[10.0, 18.0, 42.0, 50.0]);
+    }
+
+    #[test]
+    fn filter_sampling_unbiased_on_constant_filter() {
+        // With a constant filter and constant input, skipping 1-of-k filter
+        // elements and rescaling by k/(k-1) is exact.
+        let input = Tensor::full(Shape::nchw(1, 2, 6, 6), 3.0);
+        let weight = Tensor::full(Shape::nchw(1, 2, 3, 3), 0.5);
+        let exact = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
+        for k in 2..=4 {
+            for offset in 0..k {
+                let approx = conv2d(
+                    &input,
+                    &weight,
+                    None,
+                    Conv2dParams {
+                        approx: ConvApprox::FilterSampling { k, offset },
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let mse = exact.mse(&approx).unwrap();
+                assert!(mse < 1e-8, "k={k} offset={offset} mse={mse}");
+            }
+        }
+    }
+
+    #[test]
+    fn perforation_exact_on_rowwise_constant_input() {
+        // An input constant along W makes column perforation exact: every
+        // interpolated column equals its neighbours.
+        let mut input = Tensor::zeros(Shape::nchw(1, 1, 6, 8));
+        for y in 0..6 {
+            for x in 0..8 {
+                *input.at4_mut(0, 0, y, x) = y as f32;
+            }
+        }
+        let weight = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![2.0]).unwrap();
+        let exact = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
+        let perf = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                approx: ConvApprox::Perforation {
+                    dim: PerforationDim::Col,
+                    k: 2,
+                    offset: 1,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(exact.mse(&perf).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn perforation_error_grows_with_rate_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 16, 16), -1.0, 1.0, &mut rng);
+        let weight = Tensor::uniform(Shape::nchw(4, 3, 3, 3), -0.5, 0.5, &mut rng);
+        let exact = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
+        let mse_at = |k: usize| {
+            let out = conv2d(
+                &input,
+                &weight,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    approx: ConvApprox::Perforation {
+                        dim: PerforationDim::Row,
+                        k,
+                        offset: 0,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let exact_p = conv2d(
+                &input,
+                &weight,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            exact_p.mse(&out).unwrap()
+        };
+        let _ = exact;
+        // Skipping every 2nd row (k=2) must hurt at least as much as every
+        // 4th (k=4).
+        assert!(mse_at(2) > mse_at(4), "mse k=2 {} k=4 {}", mse_at(2), mse_at(4));
+        assert!(mse_at(4) > 0.0);
+    }
+
+    #[test]
+    fn fp16_close_to_fp32() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 8, 8), -1.0, 1.0, &mut rng);
+        let weight = Tensor::uniform(Shape::nchw(3, 2, 3, 3), -0.3, 0.3, &mut rng);
+        let f32_out = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
+        let f16_out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                precision: Precision::Fp16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mse = f32_out.mse(&f16_out).unwrap();
+        assert!(mse > 0.0, "fp16 must differ from fp32");
+        assert!(mse < 1e-5, "fp16 error should be small, got {mse}");
+    }
+
+    #[test]
+    fn offsets_change_the_result() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 10, 10), -1.0, 1.0, &mut rng);
+        let weight = Tensor::uniform(Shape::nchw(2, 2, 3, 3), -0.5, 0.5, &mut rng);
+        let o0 = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                approx: ConvApprox::FilterSampling { k: 2, offset: 0 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let o1 = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                approx: ConvApprox::FilterSampling { k: 2, offset: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(o0.mse(&o1).unwrap() > 0.0, "different offsets must differ");
+    }
+
+    #[test]
+    fn invalid_knob_rejected() {
+        let input = simple_input();
+        let weight = Tensor::full(Shape::nchw(1, 1, 1, 1), 1.0);
+        let err = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                approx: ConvApprox::Perforation {
+                    dim: PerforationDim::Row,
+                    k: 7,
+                    offset: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TensorError::InvalidKnob { .. }));
+    }
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn depthwise_equals_per_channel_dense() {
+        // A depthwise conv (groups = C) must equal running a 1-channel dense
+        // conv on each channel independently.
+        let mut rng = StdRng::seed_from_u64(21);
+        let c = 3;
+        let input = Tensor::uniform(Shape::nchw(1, c, 6, 6), -1.0, 1.0, &mut rng);
+        let weight = Tensor::uniform(Shape::nchw(c, 1, 3, 3), -1.0, 1.0, &mut rng);
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                pad: (1, 1),
+                groups: c,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for ch in 0..c {
+            let xin = Tensor::from_vec(
+                Shape::nchw(1, 1, 6, 6),
+                input.data()[ch * 36..(ch + 1) * 36].to_vec(),
+            )
+            .unwrap();
+            let wch = Tensor::from_vec(
+                Shape::nchw(1, 1, 3, 3),
+                weight.data()[ch * 9..(ch + 1) * 9].to_vec(),
+            )
+            .unwrap();
+            let dense = conv2d(
+                &xin,
+                &wch,
+                None,
+                Conv2dParams {
+                    pad: (1, 1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for i in 0..36 {
+                let a = out.data()[ch * 36 + i];
+                let b = dense.data()[i];
+                assert!((a - b).abs() < 1e-6, "ch {ch} idx {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_conv_shape_checks() {
+        let input = Tensor::zeros(Shape::nchw(1, 4, 4, 4));
+        // groups=2 needs weight [K, 2, R, S].
+        let bad = Tensor::zeros(Shape::nchw(4, 4, 3, 3));
+        assert!(conv2d(
+            &input,
+            &bad,
+            None,
+            Conv2dParams {
+                groups: 2,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let good = Tensor::zeros(Shape::nchw(4, 2, 3, 3));
+        assert!(conv2d(
+            &input,
+            &good,
+            None,
+            Conv2dParams {
+                pad: (1, 1),
+                groups: 2,
+                ..Default::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn depthwise_with_perforation_runs() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let input = Tensor::uniform(Shape::nchw(1, 4, 8, 8), -1.0, 1.0, &mut rng);
+        let weight = Tensor::uniform(Shape::nchw(4, 1, 3, 3), -1.0, 1.0, &mut rng);
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                pad: (1, 1),
+                groups: 4,
+                approx: ConvApprox::Perforation {
+                    dim: PerforationDim::Row,
+                    k: 2,
+                    offset: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.shape(), Shape::nchw(1, 4, 8, 8));
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+}

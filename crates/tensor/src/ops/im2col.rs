@@ -1,0 +1,221 @@
+//! im2col + GEMM convolution: the classical high-throughput formulation
+//! (lower the convolution to a matrix multiplication over an unrolled
+//! patch matrix). The paper's hand-optimised CUDA kernel is "optimized
+//! using cuBLAS" (§6.2) — i.e. exactly this lowering; we provide it as an
+//! alternative exact kernel and use the direct kernel as the reference.
+//!
+//! Only the *exact* path is lowered: filter sampling and perforation index
+//! irregularly and are served by the direct kernel in [`super::conv`].
+
+use crate::error::TensorError;
+use crate::knobs::Precision;
+use crate::shape::conv2d_out_shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Unrolls input patches into a `[C·R·S, Ho·Wo]` column matrix for one
+/// image of an NCHW batch.
+fn im2col_image(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    r: usize,
+    s: usize,
+    pad: (usize, usize),
+    stride: (usize, usize),
+    ho: usize,
+    wo: usize,
+    out: &mut [f32],
+) {
+    let cols = ho * wo;
+    for ic in 0..c {
+        let plane = &data[ic * h * w..(ic + 1) * h * w];
+        for ky in 0..r {
+            for kx in 0..s {
+                let row = (ic * r + ky) * s + kx;
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..ho {
+                    let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
+                    for ox in 0..wo {
+                        let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
+                        dst[oy * wo + ox] = if iy >= 0
+                            && (iy as usize) < h
+                            && ix >= 0
+                            && (ix as usize) < w
+                        {
+                            plane[iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exact 2-D convolution via im2col + GEMM. Semantically identical to the
+/// direct kernel with `ConvApprox::Exact`; bit-equality is not guaranteed
+/// (different accumulation order) but agreement is within a few ULPs.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    pad: (usize, usize),
+    stride: (usize, usize),
+    precision: Precision,
+) -> Result<Tensor, TensorError> {
+    let out_shape = conv2d_out_shape(input.shape(), weight.shape(), pad, stride)?;
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (k, _, r, s) = weight.shape().as_nchw()?;
+    let (_, _, ho, wo) = out_shape.as_nchw()?;
+    if let Some(b) = bias {
+        if b.len() != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_im2col",
+                detail: format!("bias length {} != output channels {k}", b.len()),
+            });
+        }
+    }
+
+    let (qin, qw);
+    let (input, weight) = match precision {
+        Precision::Fp32 => (input, weight),
+        Precision::Fp16 => {
+            qin = input.to_f16();
+            qw = weight.to_f16();
+            (&qin, &qw)
+        }
+    };
+
+    let patch = c * r * s;
+    let cols = ho * wo;
+    let w_data = weight.data();
+    let plane_in = c * h * w;
+    let mut out = vec![0.0f32; n * k * cols];
+
+    // One im2col buffer + GEMM per image, images in parallel.
+    out.par_chunks_mut(k * cols)
+        .zip(input.data().par_chunks(plane_in))
+        .for_each(|(out_img, in_img)| {
+            let mut colbuf = vec![0.0f32; patch * cols];
+            im2col_image(in_img, c, h, w, r, s, pad, stride, ho, wo, &mut colbuf);
+            // GEMM: [K, patch] × [patch, cols] → [K, cols], k-outer walk.
+            for oc in 0..k {
+                let wrow = &w_data[oc * patch..(oc + 1) * patch];
+                let orow = &mut out_img[oc * cols..(oc + 1) * cols];
+                let b0 = bias.map_or(0.0, |bt| bt.data()[oc]);
+                orow.fill(b0);
+                for (p, &wv) in wrow.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let crow = &colbuf[p * cols..(p + 1) * cols];
+                    for (o, &cv) in orow.iter_mut().zip(crow) {
+                        *o += wv * cv;
+                    }
+                }
+            }
+        });
+
+    let mut t = Tensor::from_vec(out_shape, out)?;
+    if precision == Precision::Fp16 {
+        t.quantize_f16();
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::{conv2d, Conv2dParams};
+    use crate::shape::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agree(a: &Tensor, b: &Tensor) -> bool {
+        a.shape() == b.shape()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn matches_direct_kernel_unit_stride() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = Tensor::uniform(Shape::nchw(2, 3, 12, 12), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(5, 3, 3, 3), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vec(5), -0.1, 0.1, &mut rng);
+        let direct = conv2d(
+            &x,
+            &w,
+            Some(&bias),
+            Conv2dParams {
+                pad: (1, 1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let lowered = conv2d_im2col(&x, &w, Some(&bias), (1, 1), (1, 1), Precision::Fp32).unwrap();
+        assert!(agree(&direct, &lowered), "im2col disagrees with direct");
+    }
+
+    #[test]
+    fn matches_direct_kernel_strided_no_pad() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = Tensor::uniform(Shape::nchw(1, 4, 11, 9), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(6, 4, 3, 3), -0.5, 0.5, &mut rng);
+        let direct = conv2d(
+            &x,
+            &w,
+            None,
+            Conv2dParams {
+                stride: (2, 2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let lowered = conv2d_im2col(&x, &w, None, (0, 0), (2, 2), Precision::Fp32).unwrap();
+        assert!(agree(&direct, &lowered));
+    }
+
+    #[test]
+    fn matches_direct_kernel_fp16() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = Tensor::uniform(Shape::nchw(1, 2, 8, 8), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(3, 2, 3, 3), -0.5, 0.5, &mut rng);
+        let direct = conv2d(
+            &x,
+            &w,
+            None,
+            Conv2dParams {
+                pad: (1, 1),
+                precision: Precision::Fp16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let lowered = conv2d_im2col(&x, &w, None, (1, 1), (1, 1), Precision::Fp16).unwrap();
+        assert!(agree(&direct, &lowered));
+    }
+
+    #[test]
+    fn kernel_1x1_is_channel_mix() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let x = Tensor::uniform(Shape::nchw(1, 3, 4, 4), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(2, 3, 1, 1), -1.0, 1.0, &mut rng);
+        let direct = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
+        let lowered = conv2d_im2col(&x, &w, None, (0, 0), (1, 1), Precision::Fp32).unwrap();
+        assert!(agree(&direct, &lowered));
+    }
+
+    #[test]
+    fn bias_length_checked() {
+        let x = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        let w = Tensor::zeros(Shape::nchw(2, 1, 3, 3));
+        let bad = Tensor::zeros(Shape::vec(3));
+        assert!(conv2d_im2col(&x, &w, Some(&bad), (1, 1), (1, 1), Precision::Fp32).is_err());
+    }
+}

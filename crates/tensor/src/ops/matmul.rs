@@ -1,0 +1,131 @@
+//! Matrix multiplication (dense/fully-connected layers) with FP16 support.
+
+use crate::error::TensorError;
+use crate::knobs::Precision;
+use crate::tensor::Tensor;
+use crate::Shape;
+use rayon::prelude::*;
+
+/// `C = A × B` for `A: [M,K]`, `B: [K,N]`, parallelised over rows of `A`.
+///
+/// `Precision::Fp16` quantises both operands and the result through binary16
+/// while accumulating in f32.
+pub fn matmul(a: &Tensor, b: &Tensor, precision: Precision) -> Result<Tensor, TensorError> {
+    let (m, ka) = a.shape().as_mat()?;
+    let (kb, n) = b.shape().as_mat()?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            detail: format!("inner dims {ka} vs {kb}"),
+        });
+    }
+
+    let (qa, qb);
+    let (a, b) = match precision {
+        Precision::Fp32 => (a, b),
+        Precision::Fp16 => {
+            qa = a.to_f16();
+            qb = b.to_f16();
+            (&qa, &qb)
+        }
+    };
+
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(row, orow)| {
+        let arow = &ad[row * ka..(row + 1) * ka];
+        // k-outer accumulation: walks B row-by-row for cache friendliness.
+        for (k, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    });
+
+    let mut t = Tensor::from_vec(Shape::mat(m, n), out)?;
+    if precision == Precision::Fp16 {
+        t.quantize_f16();
+    }
+    Ok(t)
+}
+
+/// Adds a bias row-vector `[N]` to every row of `x: [M,N]`.
+pub fn bias_add_rows(x: &Tensor, bias: &Tensor, precision: Precision) -> Result<Tensor, TensorError> {
+    let (m, n) = x.shape().as_mat()?;
+    if bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "bias_add",
+            detail: format!("bias len {} != cols {n}", bias.len()),
+        });
+    }
+    let bd = bias.data();
+    let mut out = x.data().to_vec();
+    for row in 0..m {
+        for col in 0..n {
+            out[row * n + col] += bd[col];
+        }
+    }
+    let mut t = Tensor::from_vec(x.shape(), out)?;
+    if precision == Precision::Fp16 {
+        t.quantize_f16();
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(Shape::mat(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(Shape::mat(3, 2), vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b, Precision::Fp32).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::uniform(Shape::mat(4, 4), -1.0, 1.0, &mut rng);
+        let mut eye = Tensor::zeros(Shape::mat(4, 4));
+        for i in 0..4 {
+            eye.data_mut()[i * 4 + i] = 1.0;
+        }
+        let c = matmul(&a, &eye, Precision::Fp32).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn inner_dim_mismatch() {
+        let a = Tensor::zeros(Shape::mat(2, 3));
+        let b = Tensor::zeros(Shape::mat(4, 2));
+        assert!(matmul(&a, &b, Precision::Fp32).is_err());
+    }
+
+    #[test]
+    fn fp16_small_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::uniform(Shape::mat(8, 16), -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(Shape::mat(16, 8), -1.0, 1.0, &mut rng);
+        let c32 = matmul(&a, &b, Precision::Fp32).unwrap();
+        let c16 = matmul(&a, &b, Precision::Fp16).unwrap();
+        let mse = c32.mse(&c16).unwrap();
+        assert!(mse > 0.0 && mse < 1e-4, "mse {mse}");
+    }
+
+    #[test]
+    fn bias_add() {
+        let x = Tensor::from_vec(Shape::mat(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec(Shape::vec(2), vec![10., 20.]).unwrap();
+        let y = bias_add_rows(&x, &b, Precision::Fp32).unwrap();
+        assert_eq!(y.data(), &[11., 22., 13., 24.]);
+    }
+}

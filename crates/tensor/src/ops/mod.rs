@@ -1,0 +1,22 @@
+//! Tensor operations: the unit of scheduling and approximation.
+//!
+//! Each kernel takes the *mechanism* parameters from [`crate::knobs`]
+//! directly; the tuner (in `at-core`) maps its integer knob ids onto these.
+
+pub mod activation;
+pub mod conv;
+pub mod im2col;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+pub mod reduce;
+pub mod softmax;
+
+pub use activation::{clipped_relu, map_unary, relu, tanh_op, UnaryOp};
+pub use conv::conv2d;
+pub use im2col::conv2d_im2col;
+pub use matmul::{bias_add_rows, matmul};
+pub use norm::batchnorm2d;
+pub use pool::{avg_pool2d, max_pool2d};
+pub use reduce::{reduce, ReduceKind};
+pub use softmax::softmax_rows;

@@ -1,0 +1,70 @@
+//! Row-wise softmax (the final operation of every CNN in the paper; its raw
+//! output is the `T_out` tensor consumed by the Π1 prediction model).
+
+use crate::error::TensorError;
+use crate::knobs::Precision;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Numerically-stable softmax over the last dimension of a `[M, N]` tensor.
+pub fn softmax_rows(input: &Tensor, precision: Precision) -> Result<Tensor, TensorError> {
+    let (_, n) = input.shape().as_mat()?;
+    let qin;
+    let input_t = match precision {
+        Precision::Fp32 => input,
+        Precision::Fp16 => {
+            qin = input.to_f16();
+            &qin
+        }
+    };
+    let mut out = input_t.data().to_vec();
+    out.par_chunks_mut(n).for_each(|row| {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    });
+    let mut t = Tensor::from_vec(input.shape(), out)?;
+    if precision == Precision::Fp16 {
+        t.quantize_f16();
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = Tensor::from_vec(Shape::mat(2, 3), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let y = softmax_rows(&x, Precision::Fp32).unwrap();
+        for r in 0..2 {
+            let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn preserves_argmax() {
+        let x = Tensor::from_vec(Shape::mat(1, 4), vec![0.1, 5.0, -2.0, 3.0]).unwrap();
+        let y = softmax_rows(&x, Precision::Fp32).unwrap();
+        assert_eq!(y.argmax(), Some(1));
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let x = Tensor::from_vec(Shape::mat(1, 2), vec![1000.0, 999.0]).unwrap();
+        let y = softmax_rows(&x, Precision::Fp32).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(y.data()[0] > y.data()[1]);
+    }
+}

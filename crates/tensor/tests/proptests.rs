@@ -1,0 +1,142 @@
+//! Property-based tests for the tensor substrate.
+
+use at_tensor::ops::{conv2d, reduce, ReduceKind};
+use at_tensor::ops::conv::Conv2dParams;
+use at_tensor::{f16, ConvApprox, PerforationDim, Precision, ReduceApprox, Shape, Tensor};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Stay well inside fp16's normal range so quantisation properties hold.
+    (-1000.0f32..1000.0f32).prop_filter("nonzero-ish", |x| x.abs() > 1e-3)
+}
+
+proptest! {
+    #[test]
+    fn f16_quantisation_idempotent(x in finite_f32()) {
+        let q = f16::quantize(x);
+        prop_assert_eq!(f16::quantize(q), q);
+    }
+
+    #[test]
+    fn f16_relative_error_bounded(x in finite_f32()) {
+        let q = f16::quantize(x);
+        let rel = ((q - x) / x).abs();
+        prop_assert!(rel <= 2.0f32.powi(-11), "x={} q={} rel={}", x, q, rel);
+    }
+
+    #[test]
+    fn f16_preserves_sign_and_order(a in finite_f32(), b in finite_f32()) {
+        prop_assert_eq!(f16::quantize(a).signum(), a.signum());
+        // Quantisation is monotone.
+        if a <= b {
+            prop_assert!(f16::quantize(a) <= f16::quantize(b));
+        }
+    }
+
+    #[test]
+    fn shape_volume_is_product(dims in proptest::collection::vec(1usize..8, 1..=4)) {
+        let s = Shape::new(&dims);
+        prop_assert_eq!(s.volume(), dims.iter().product::<usize>());
+        prop_assert_eq!(s.rank(), dims.len());
+    }
+
+    #[test]
+    fn conv_exact_is_linear_in_input(
+        seed in 0u64..1000,
+        scale in 0.1f32..4.0,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::uniform(Shape::nchw(1, 2, 6, 6), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(2, 2, 3, 3), -1.0, 1.0, &mut rng);
+        let y1 = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
+        let mut xs = x.clone();
+        xs.scale(scale);
+        let y2 = conv2d(&xs, &w, None, Conv2dParams::default()).unwrap();
+        let mut y1s = y1.clone();
+        y1s.scale(scale);
+        let mse = y1s.mse(&y2).unwrap();
+        prop_assert!(mse < 1e-6, "conv not linear: mse {}", mse);
+    }
+
+    #[test]
+    fn perforation_preserves_output_shape(
+        k in 2usize..=4,
+        offset_seed in 0usize..4,
+        row in proptest::bool::ANY,
+    ) {
+        let offset = offset_seed % k;
+        let dim = if row { PerforationDim::Row } else { PerforationDim::Col };
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Tensor::uniform(Shape::nchw(1, 1, 9, 9), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(2, 1, 3, 3), -1.0, 1.0, &mut rng);
+        let exact = conv2d(&x, &w, None, Conv2dParams { pad: (1, 1), ..Default::default() }).unwrap();
+        let perf = conv2d(&x, &w, None, Conv2dParams {
+            pad: (1, 1),
+            approx: ConvApprox::Perforation { dim, k, offset },
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(exact.shape(), perf.shape());
+        // All outputs finite.
+        prop_assert!(perf.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn filter_sampling_preserves_shape_and_finiteness(
+        k in 2usize..=4,
+        offset_seed in 0usize..4,
+    ) {
+        let offset = offset_seed % k;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = Tensor::uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(4, 3, 3, 3), -1.0, 1.0, &mut rng);
+        let exact = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
+        let samp = conv2d(&x, &w, None, Conv2dParams {
+            approx: ConvApprox::FilterSampling { k, offset },
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(exact.shape(), samp.shape());
+        prop_assert!(samp.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sampled_mean_within_bounds(
+        data in proptest::collection::vec(-100.0f32..100.0, 10..200),
+    ) {
+        let t = Tensor::from_vec(Shape::vec(data.len()), data.clone()).unwrap();
+        let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for approx in ReduceApprox::ALL_SAMPLING {
+            let m = reduce(&t, 0, ReduceKind::Mean, approx, Precision::Fp32).unwrap();
+            prop_assert!(m.data()[0] >= lo - 1e-4 && m.data()[0] <= hi + 1e-4,
+                "sampled mean {} outside [{}, {}]", m.data()[0], lo, hi);
+        }
+    }
+
+    #[test]
+    fn sampled_max_never_exceeds_exact(
+        data in proptest::collection::vec(-100.0f32..100.0, 8..100),
+    ) {
+        let t = Tensor::from_vec(Shape::vec(data.len()), data).unwrap();
+        let exact = reduce(&t, 0, ReduceKind::Max, ReduceApprox::Exact, Precision::Fp32).unwrap();
+        for approx in ReduceApprox::ALL_SAMPLING {
+            let m = reduce(&t, 0, ReduceKind::Max, approx, Precision::Fp32).unwrap();
+            prop_assert!(m.data()[0] <= exact.data()[0]);
+        }
+    }
+
+    #[test]
+    fn mse_is_a_metric_core(
+        a in proptest::collection::vec(-10.0f32..10.0, 16),
+        b in proptest::collection::vec(-10.0f32..10.0, 16),
+    ) {
+        let ta = Tensor::from_vec(Shape::vec(16), a).unwrap();
+        let tb = Tensor::from_vec(Shape::vec(16), b).unwrap();
+        prop_assert!(ta.mse(&tb).unwrap() >= 0.0);
+        prop_assert_eq!(ta.mse(&ta).unwrap(), 0.0);
+        // Symmetry.
+        prop_assert!((ta.mse(&tb).unwrap() - tb.mse(&ta).unwrap()).abs() < 1e-12);
+    }
+}

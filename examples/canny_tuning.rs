@@ -1,0 +1,71 @@
+//! Joint-QoS tuning of the combined CNN + Canny application (§7.6).
+//!
+//! ```bash
+//! cargo run --release --example canny_tuning
+//! ```
+//!
+//! Demonstrates the two-metric QoS: classification accuracy for the CNN
+//! half and PSNR of the edge maps for the image-processing half, with a
+//! small random search over the joint knob space.
+
+use approxtuner::core::config::Config;
+use approxtuner::core::knobs::{KnobId, KnobSet};
+use approxtuner::imgproc::combined::CombinedApp;
+use approxtuner::models::data::build_dataset;
+use approxtuner::models::ModelScale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut app = CombinedApp::new(ModelScale::Tiny);
+    let ds = build_dataset(&app.cnn, 24, 12, 11);
+    app.calibrate_routing(&ds.batches).expect("routing");
+    let golden = app.golden(&ds.batches).expect("golden");
+    println!(
+        "combined app: {} CNN ops + {} Canny ops; {} of {} images routed to edge detection",
+        app.cnn.graph.len(),
+        app.canny.len(),
+        golden.forwarded.len(),
+        ds.len()
+    );
+
+    let base = Config::from_knobs(vec![KnobId::BASELINE; app.total_nodes()]);
+    let (acc0, psnr0) = app
+        .measure(&base, &ds.batches, &ds.labels, &golden, 0)
+        .expect("baseline");
+    println!("baseline: accuracy {acc0:.2}%, PSNR {psnr0:.1} dB (exact = capped)");
+
+    // Thresholds: ≤2pp accuracy loss, PSNR ≥ 20 dB.
+    let acc_min = acc0 - 2.0;
+    let psnr_min = 20.0;
+    let nk = app.node_knobs(KnobSet::HardwareIndependent);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut best: Option<(Config, f64, f64)> = None;
+    for trial in 0..40 {
+        // Mutate from baseline: a few random knob sites per trial.
+        let c = base.mutate(&nk, 1 + trial % 4, &mut rng);
+        let (acc, psnr) = app
+            .measure(&c, &ds.batches, &ds.labels, &golden, 0)
+            .expect("measure");
+        if acc >= acc_min && psnr >= psnr_min {
+            let n = c.approximated_ops();
+            if best.as_ref().map_or(true, |(b, _, _)| n > b.approximated_ops()) {
+                best = Some((c, acc, psnr));
+            }
+        }
+    }
+    match best {
+        Some((c, acc, psnr)) => {
+            println!(
+                "feasible config with {} approximated ops: accuracy {acc:.2}% (≥ {acc_min:.2}), \
+                 PSNR {psnr:.1} dB (≥ {psnr_min:.1})",
+                c.approximated_ops()
+            );
+            println!(
+                "margin = {:.2} (min of the two constraint margins)",
+                CombinedApp::margin(acc, psnr, acc_min, psnr_min)
+            );
+        }
+        None => println!("no feasible approximation found under ({acc_min:.2}%, {psnr_min} dB)"),
+    }
+}

@@ -1,0 +1,73 @@
+//! Runtime approximation tuning under load (§5 / Figure 6).
+//!
+//! ```bash
+//! cargo run --release --example dynamic_adaptation
+//! ```
+//!
+//! Simulates a stream of inference batches on a device whose GPU frequency
+//! is stepped down over time (a low-power mode kicking in), and shows the
+//! two runtime control policies keeping latency at the target by spending
+//! accuracy.
+
+use approxtuner::core::config::Config;
+use approxtuner::core::runtime::{policy2_probabilities, Policy, RuntimeTuner};
+use approxtuner::core::{TradeoffCurve, TradeoffPoint};
+use approxtuner::hw::FrequencyLadder;
+
+fn demo_curve() -> TradeoffCurve {
+    // A curve as it would come out of install-time tuning.
+    let pt = |qos: f64, perf: f64| TradeoffPoint {
+        qos,
+        perf,
+        config: Config::from_knobs(vec![]),
+    };
+    TradeoffCurve::from_points(vec![
+        pt(89.4, 1.15),
+        pt(89.1, 1.35),
+        pt(88.7, 1.62),
+        pt(88.2, 1.95),
+        pt(87.4, 2.30),
+        pt(86.1, 2.75),
+    ])
+}
+
+fn main() {
+    let curve = demo_curve();
+    let ladder = FrequencyLadder::tx2_gpu();
+    let base_time = 0.040; // 40 ms per batch at 1300.5 MHz, exact config
+
+    println!("Policy 2 probability mixing (the paper's 1.3x example):");
+    let (p1, p2) = policy2_probabilities(1.2, 1.5, 1.3);
+    println!("  target 1.3x between 1.2x and 1.5x → probabilities {p1:.3} / {p2:.3}\n");
+
+    for policy in [Policy::EnforceEachInvocation, Policy::AverageOverTime] {
+        println!("--- {policy:?} ---");
+        let mut tuner = RuntimeTuner::new(curve.clone(), policy, 2, base_time, 9);
+        // Frequency drops over the stream: 1300 → 943 → 675 → 497 MHz.
+        for &step in &[0usize, 4, 7, 9] {
+            let slowdown = ladder.slowdown(step);
+            let mut times = Vec::new();
+            let mut speedups = Vec::new();
+            for _ in 0..12 {
+                let t = base_time * slowdown / tuner.current_speedup();
+                times.push(t);
+                speedups.push(tuner.current_speedup());
+                tuner.record_invocation(t);
+            }
+            let avg_ms = 1e3 * times.iter().sum::<f64>() / times.len() as f64;
+            let avg_s = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            let qos = tuner
+                .current_point()
+                .map(|p| p.qos)
+                .unwrap_or(89.44);
+            println!(
+                "  {:7.1} MHz (slowdown {:.2}x): avg batch {avg_ms:5.1} ms \
+                 (target {:.1}), avg config speedup {avg_s:.2}x, accuracy {qos:.2}%",
+                ladder.at(step),
+                slowdown,
+                base_time * 1e3,
+            );
+        }
+        println!("  switches: {}\n", tuner.switches);
+    }
+}

@@ -1,0 +1,120 @@
+//! Quickstart: tune a small CNN end-to-end with predictive tuning.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small convolutional classifier, generates a synthetic
+//! calibration set, collects per-(op, knob) QoS profiles, runs predictive
+//! approximation tuning (Algorithm 1 with the Π1 error-composition model)
+//! and prints the resulting accuracy/speedup tradeoff curve.
+
+use approxtuner::core::knobs::{KnobRegistry, KnobSet};
+use approxtuner::core::predict::PredictionModel;
+use approxtuner::core::qos::{QosMetric, QosReference};
+use approxtuner::core::tuner::{PredictiveTuner, TunerParams};
+use approxtuner::ir::{execute, ExecOptions, GraphBuilder};
+use approxtuner::tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Build a program: a small CNN expressed in the dataflow-graph IR.
+    let mut rng = StdRng::seed_from_u64(1);
+    let input_shape = Shape::nchw(32, 3, 16, 16);
+    let mut b = GraphBuilder::new("quickstart-cnn", input_shape, &mut rng);
+    b.conv(8, 3, (1, 1), (1, 1))
+        .relu()
+        .conv(8, 3, (1, 1), (1, 1))
+        .relu()
+        .max_pool(2, 2)
+        .flatten()
+        .dense(10)
+        .softmax();
+    let graph = b.finish();
+    println!("program: {} tensor ops", graph.len());
+
+    // 2. Calibration inputs + labels (here: the baseline's own predictions,
+    //    i.e. we tune for fidelity to the exact program).
+    let mut drng = StdRng::seed_from_u64(2);
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::uniform(input_shape, -1.0, 1.0, &mut drng))
+        .collect();
+    let mut labels = Vec::new();
+    for batch in &inputs {
+        let out = execute(&graph, batch, &ExecOptions::baseline()).expect("baseline run");
+        let (rows, c) = out.shape().as_mat().unwrap();
+        labels.push(
+            (0..rows)
+                .map(|r| {
+                    let row = &out.data()[r * c..(r + 1) * c];
+                    (0..c).max_by(|&i, &j| row[i].partial_cmp(&row[j]).unwrap()).unwrap()
+                })
+                .collect::<Vec<usize>>(),
+        );
+    }
+    let reference = QosReference::Labels(labels);
+
+    // 3. Predictive tuning: ≤1 percentage point accuracy loss.
+    let registry = KnobRegistry::new();
+    let tuner = PredictiveTuner {
+        graph: &graph,
+        registry: &registry,
+        inputs: &inputs,
+        metric: QosMetric::Accuracy,
+        reference: &reference,
+        input_shape,
+        promise_seed: 0,
+    };
+    let params = TunerParams {
+        qos_min: 97.0,
+        max_iters: 600,
+        convergence_window: 300,
+        model: PredictionModel::Pi1,
+        knob_set: KnobSet::HardwareIndependent,
+        ..Default::default()
+    };
+    let profiles = tuner.collect(&params).expect("profile collection");
+    println!(
+        "profiles: {} (op, knob) pairs in {:.2}s",
+        profiles.pairs.len(),
+        profiles.collection_time_s
+    );
+    let result = tuner.tune(&profiles, &params).expect("tuning");
+    println!(
+        "tuning: {} iterations, alpha = {:.3}, curve = {} points\n",
+        result.iterations, result.alpha, result.curve.len()
+    );
+
+    // 4. The tradeoff curve: validated accuracy vs predicted speedup.
+    println!("{:>10}  {:>9}  {}", "accuracy", "speedup", "knobs used");
+    for p in result.curve.points() {
+        let hist = p
+            .config
+            .coarse_histogram(&registry, &graph)
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{:>9.2}%  {:>8.2}x  {}", p.qos, p.perf, hist);
+    }
+
+    // 5. Pick the fastest configuration and run it.
+    if let Some(best) = result.curve.best_under_qos(params.qos_min) {
+        let choices = best.config.decode(&registry, &graph);
+        let out = execute(
+            &graph,
+            &inputs[0],
+            &ExecOptions {
+                config: choices,
+                promise_seed: 0,
+            },
+        )
+        .expect("approximated run");
+        println!(
+            "\nbest config: predicted {:.2}x speedup; output shape {}",
+            best.perf,
+            out.shape()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ApproxTuner — a compiler and runtime system for adaptive approximations
+//!
+//! A from-scratch Rust reproduction of *ApproxTuner* (Sharif et al.,
+//! PPoPP 2021): an automatic framework for accuracy-aware optimisation of
+//! tensor-based applications that splits approximation-tuning into three
+//! phases — development time, install time and run time — and speeds up
+//! autotuning with predictive error-composition models (Π1 and Π2).
+//!
+//! This crate re-exports the public API of the workspace:
+//!
+//! * [`tensor`] — the tensor compute substrate with exact and approximate
+//!   kernels (filter sampling, perforation, reduction sampling, FP16).
+//! * [`hw`] — simulated edge-SoC compute units, DVFS, power/energy models.
+//! * [`promise`] — the PROMISE analog accelerator simulator.
+//! * [`ir`] — the HPVM-style dataflow-graph IR and executor.
+//! * [`models`] — the CNN model zoo of the paper's Table 1.
+//! * [`core`] — the tuner itself: knobs, tradeoff curves, predictive and
+//!   empirical tuning, install-time refinement, runtime adaptation.
+//! * [`imgproc`] — the Canny edge-detection pipeline and PSNR QoS.
+//!
+//! See the `examples/` directory for end-to-end usage, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use at_core as core;
+pub use at_hw as hw;
+pub use at_imgproc as imgproc;
+pub use at_ir as ir;
+pub use at_models as models;
+pub use at_promise as promise;
+pub use at_tensor as tensor;

@@ -1,0 +1,154 @@
+//! Workspace-level property tests on the tuner's core invariants.
+
+use approxtuner::core::config::Config;
+use approxtuner::core::pareto::{
+    cap_points, pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint,
+};
+use approxtuner::core::runtime::policy2_probabilities;
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = TradeoffPoint> {
+    (50.0f64..100.0, 1.0f64..4.0).prop_map(|(qos, perf)| TradeoffPoint {
+        qos,
+        perf,
+        config: Config::from_knobs(vec![]),
+    })
+}
+
+proptest! {
+    #[test]
+    fn pareto_set_is_mutually_non_dominated(
+        pts in proptest::collection::vec(point_strategy(), 1..60),
+    ) {
+        let ps = pareto_set(&pts);
+        for a in &ps {
+            for b in &ps {
+                prop_assert!(!a.strictly_dominated_by(b));
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_set_is_idempotent(
+        pts in proptest::collection::vec(point_strategy(), 1..60),
+    ) {
+        let once = pareto_set(&pts);
+        let twice = pareto_set(&once);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn every_point_dominated_by_some_pareto_point(
+        pts in proptest::collection::vec(point_strategy(), 1..60),
+    ) {
+        let ps = pareto_set(&pts);
+        for p in &pts {
+            prop_assert!(
+                ps.iter().any(|s| p.dominated_by(s)),
+                "point ({}, {}) not covered", p.qos, p.perf
+            );
+        }
+    }
+
+    #[test]
+    fn eps_relaxation_is_monotone(
+        pts in proptest::collection::vec(point_strategy(), 1..60),
+        eps1 in 0.0f64..2.0,
+        eps2 in 0.0f64..2.0,
+    ) {
+        let (lo, hi) = if eps1 <= eps2 { (eps1, eps2) } else { (eps2, eps1) };
+        prop_assert!(pareto_set_eps(&pts, lo).len() <= pareto_set_eps(&pts, hi).len());
+        // ε = 0 is exactly the strict Pareto set.
+        prop_assert_eq!(pareto_set_eps(&pts, 0.0).len(), pareto_set(&pts).len());
+    }
+
+    #[test]
+    fn cap_points_honours_budget_and_keeps_extremes(
+        pts in proptest::collection::vec(point_strategy(), 2..80),
+        cap in 2usize..20,
+    ) {
+        let capped = cap_points(pts.clone(), cap);
+        prop_assert!(capped.len() <= cap.max(pts.len().min(cap)));
+        if pts.len() > cap {
+            let min_perf = pts.iter().map(|p| p.perf).fold(f64::INFINITY, f64::min);
+            let max_perf = pts.iter().map(|p| p.perf).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(capped.iter().any(|p| (p.perf - min_perf).abs() < 1e-12));
+            prop_assert!(capped.iter().any(|p| (p.perf - max_perf).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn curve_query_returns_sufficient_speedup(
+        pts in proptest::collection::vec(point_strategy(), 1..40),
+        target in 1.0f64..4.0,
+    ) {
+        let curve = TradeoffCurve::from_points(pts);
+        if let Some(p) = curve.config_for_speedup(target) {
+            let max_perf = curve.points().iter().map(|q| q.perf).fold(f64::NEG_INFINITY, f64::max);
+            // Either the point meets the target, or the target is beyond the
+            // curve and we got the fastest point.
+            prop_assert!(p.perf >= target || (p.perf - max_perf).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_json_roundtrip(
+        pts in proptest::collection::vec(point_strategy(), 0..30),
+    ) {
+        let curve = TradeoffCurve::from_points(pts);
+        let back = TradeoffCurve::from_json(&curve.to_json()).unwrap();
+        prop_assert_eq!(back.len(), curve.len());
+        for (a, b) in back.points().iter().zip(curve.points()) {
+            prop_assert_eq!(a.qos, b.qos);
+            prop_assert_eq!(a.perf, b.perf);
+        }
+    }
+
+    #[test]
+    fn policy2_mixing_hits_target_in_expectation(
+        lo in 1.0f64..2.0,
+        gap in 0.01f64..2.0,
+        t in 0.0f64..1.0,
+    ) {
+        let hi = lo + gap;
+        let target = lo + t * gap;
+        let (p_lo, p_hi) = policy2_probabilities(lo, hi, target);
+        prop_assert!((p_lo + p_hi - 1.0).abs() < 1e-9);
+        prop_assert!((p_lo * lo + p_hi * hi - target).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+    }
+}
+
+mod knob_roundtrips {
+    use approxtuner::core::knobs::{KnobId, KnobRegistry, KnobSet};
+    use approxtuner::ir::OpClass;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn decode_never_panics_for_any_id(id in 0u16..200) {
+            let r = KnobRegistry::new();
+            for class in [OpClass::Conv, OpClass::Dense, OpClass::Reduction, OpClass::Other, OpClass::Input] {
+                let _ = r.decode(class, KnobId(id));
+            }
+        }
+
+        #[test]
+        fn every_registered_knob_decodes_to_its_choice(idx in 0usize..63) {
+            let r = KnobRegistry::new();
+            let table = r.table(OpClass::Conv);
+            let k = &table[idx.min(table.len() - 1)];
+            prop_assert_eq!(r.decode(OpClass::Conv, k.id), k.choice);
+        }
+
+        #[test]
+        fn hardware_independent_subset_of_full(_x in 0..1) {
+            let r = KnobRegistry::new();
+            for class in [OpClass::Conv, OpClass::Dense, OpClass::Reduction, OpClass::Other] {
+                let hwi = r.knobs(class, KnobSet::HardwareIndependent).len();
+                let all = r.knobs(class, KnobSet::WithHardware).len();
+                prop_assert!(hwi <= all);
+            }
+        }
+    }
+}
