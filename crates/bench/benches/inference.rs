@@ -14,7 +14,11 @@ use std::hint::black_box;
 
 fn inference_benches(c: &mut Criterion) {
     let registry = KnobRegistry::new();
-    for id in [BenchmarkId::LeNet, BenchmarkId::AlexNetCifar10, BenchmarkId::ResNet18] {
+    for id in [
+        BenchmarkId::LeNet,
+        BenchmarkId::AlexNetCifar10,
+        BenchmarkId::ResNet18,
+    ] {
         let bench = build(id, ModelScale::Tiny);
         let mut rng = StdRng::seed_from_u64(9);
         let x = Tensor::uniform(bench.input_shape, -1.0, 1.0, &mut rng);

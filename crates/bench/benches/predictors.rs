@@ -26,7 +26,10 @@ fn setup() -> (
 ) {
     let mut rng = StdRng::seed_from_u64(5);
     let mut b = GraphBuilder::new("bench", Shape::nchw(16, 3, 16, 16), &mut rng);
-    b.conv(8, 3, (1, 1), (1, 1)).relu().conv(8, 3, (1, 1), (1, 1)).relu();
+    b.conv(8, 3, (1, 1), (1, 1))
+        .relu()
+        .conv(8, 3, (1, 1), (1, 1))
+        .relu();
     b.max_pool(2, 2).flatten().dense(10).softmax();
     let g = b.finish();
     let mut rng2 = StdRng::seed_from_u64(6);
@@ -41,7 +44,9 @@ fn setup() -> (
             (0..rows)
                 .map(|r| {
                     let row = &out.data()[r * c..(r + 1) * c];
-                    (0..c).max_by(|&i, &j| row[i].partial_cmp(&row[j]).unwrap()).unwrap()
+                    (0..c)
+                        .max_by(|&i, &j| row[i].partial_cmp(&row[j]).unwrap())
+                        .unwrap()
                 })
                 .collect::<Vec<usize>>(),
         );

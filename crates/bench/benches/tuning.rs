@@ -1,0 +1,110 @@
+//! Tuning throughput: configs/sec of the batched predictive search loop at
+//! 1, 2 and N evaluation threads (N = the machine's available
+//! parallelism) on Tiny LeNet, plus the empirical tuner at the same
+//! thread counts — where concurrent program runs dominate and the batched
+//! loop pays off most.
+//!
+//! Beyond the criterion timings, each thread count prints a one-line
+//! throughput summary (configs/sec) and the final cache counters.
+
+use at_bench::harness::{Prepared, Sizing};
+use at_core::empirical::EmpiricalTuner;
+use at_core::predict::PredictionModel;
+use at_core::qos::QosMetric;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 2, max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn tuning_benches(c: &mut Criterion) {
+    let sizing = Sizing {
+        samples: 48,
+        batch: 12,
+        max_iters: 300,
+        convergence: 300,
+    };
+    let prepared = Prepared::new(at_models::BenchmarkId::LeNet, sizing);
+    let profiles = prepared.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+    let params = prepared.params(3.0, PredictionModel::Pi1, sizing);
+
+    let mut group = c.benchmark_group("tune-predictive");
+    group.sample_size(10);
+    for &threads in &thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(BenchmarkId::new("lenet", threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| prepared.tune(&profiles, &params)))
+        });
+        let started = std::time::Instant::now();
+        let r = pool.install(|| prepared.tune(&profiles, &params));
+        let elapsed = started.elapsed().as_secs_f64();
+        println!(
+            "predictive threads={threads}: {:.0} configs/sec ({} iters in {:.2}s; cache hits={} misses={} dedup={} hit_rate={:.1}%)",
+            r.iterations as f64 / elapsed.max(1e-9),
+            r.iterations,
+            elapsed,
+            r.cache.hits,
+            r.cache.misses,
+            r.cache.dedup,
+            100.0 * r.cache.hit_rate(),
+        );
+    }
+    group.finish();
+
+    // Empirical tuning: every cache miss runs the whole program, so the
+    // parallel batch path dominates the wall clock.
+    let reference = prepared.cal_reference();
+    let etuner = EmpiricalTuner {
+        graph: &prepared.bench.graph,
+        registry: &prepared.registry,
+        inputs: &prepared.cal.batches,
+        metric: QosMetric::Accuracy,
+        reference: &reference,
+        input_shape: prepared.cal.batches[0].shape(),
+        promise_seed: 0,
+    };
+    let eparams = at_core::tuner::TunerParams {
+        max_iters: 60,
+        convergence_window: 60,
+        ..params.clone()
+    };
+    let mut group = c.benchmark_group("tune-empirical");
+    group.sample_size(10);
+    for &threads in &thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(BenchmarkId::new("lenet", threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| etuner.tune(&eparams).expect("tuning")))
+        });
+        let started = std::time::Instant::now();
+        let r = pool.install(|| etuner.tune(&eparams).expect("tuning"));
+        let elapsed = started.elapsed().as_secs_f64();
+        println!(
+            "empirical threads={threads}: {:.1} configs/sec ({} iters in {:.2}s; cache hits={} misses={})",
+            r.iterations as f64 / elapsed.max(1e-9),
+            r.iterations,
+            elapsed,
+            r.cache.hits,
+            r.cache.misses,
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = tuning_benches
+}
+criterion_main!(benches);

@@ -22,7 +22,7 @@ fn main() {
     };
     let drops = [1.0, 2.0, 3.0];
     let mut table = Table::new(&["Benchmark", "dQoS 1%", "dQoS 2%", "dQoS 3%"]);
-    let mut geo = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut geo = [Vec::new(), Vec::new(), Vec::new()];
     let mut json = Vec::new();
     for id in BenchmarkId::ALL {
         eprintln!("[cpu] {} …", id.name());

@@ -10,22 +10,68 @@ fn main() {
     let p = Prepared::new(id, sizing);
     println!("baseline cal acc = {:.2}", p.baseline_cal_accuracy());
     let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
-    println!("qos_base={:.2} pairs={} ", profiles.qos_base, profiles.pairs.len());
+    println!(
+        "qos_base={:.2} pairs={} ",
+        profiles.qos_base,
+        profiles.pairs.len()
+    );
     // Distribution of dq.
     let mut dq = profiles.dq.clone();
     dq.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("dq: min={:.2} p25={:.2} median={:.2} p75={:.2} max={:.2}",
-        dq[0], dq[dq.len()/4], dq[dq.len()/2], dq[3*dq.len()/4], dq[dq.len()-1]);
+    println!(
+        "dq: min={:.2} p25={:.2} median={:.2} p75={:.2} max={:.2}",
+        dq[0],
+        dq[dq.len() / 4],
+        dq[dq.len() / 2],
+        dq[3 * dq.len() / 4],
+        dq[dq.len() - 1]
+    );
     let params = p.params(3.0, PredictionModel::Pi1, sizing);
     println!("qos_min={:.2}", params.qos_min);
+    let started = std::time::Instant::now();
     let r = p.tune(&profiles, &params);
-    println!("alpha={:.3} iters={} curve_len={}", r.alpha, r.iterations, r.curve.len());
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "alpha={:.3} iters={} curve_len={}",
+        r.alpha,
+        r.iterations,
+        r.curve.len()
+    );
+    println!(
+        "throughput: {:.0} configs/sec at {} threads (search {:.2}s + validate {:.2}s)",
+        r.iterations as f64 / elapsed.max(1e-9),
+        rayon::current_num_threads(),
+        r.search_time_s,
+        r.validation_time_s,
+    );
+    println!(
+        "cache: hits={} misses={} dedup={} hit_rate={:.1}%",
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.dedup,
+        100.0 * r.cache.hit_rate(),
+    );
+    let stride = (r.telemetry.len() / 8).max(1);
+    for t in r.telemetry.iter().step_by(stride) {
+        println!(
+            "  round {:>4}: proposed={:<3} cached={:<3} evaluated={:<3} best={:.3}",
+            t.round, t.proposed, t.cached, t.evaluated, t.best_fitness
+        );
+    }
     for pt in r.curve.points() {
-        println!("  point qos={:.2} predperf={:.3} approx_ops={}", pt.qos, pt.perf, pt.config.approximated_ops());
+        println!(
+            "  point qos={:.2} predperf={:.3} approx_ops={}",
+            pt.qos,
+            pt.perf,
+            pt.config.approximated_ops()
+        );
     }
     let device = EdgeDevice::tx2();
     match p.evaluate_best(&r.curve, params.qos_min, &device) {
-        Some(e) => println!("best: speedup={:.3} energy={:.3} test_drop={:.2} hist={:?}", e.speedup, e.energy_reduction, e.test_drop, e.histogram),
+        Some(e) => println!(
+            "best: speedup={:.3} energy={:.3} test_drop={:.2} hist={:?}",
+            e.speedup, e.energy_reduction, e.test_drop, e.histogram
+        ),
         None => println!("evaluate_best: None"),
     }
 }

@@ -20,8 +20,8 @@ fn main() {
     let drops = [1.0, 2.0, 3.0];
     let mut speed = Table::new(&["Benchmark", "dQoS 1%", "dQoS 2%", "dQoS 3%"]);
     let mut energy = Table::new(&["Benchmark", "dQoS 1%", "dQoS 2%", "dQoS 3%"]);
-    let mut geo_s = vec![Vec::new(), Vec::new(), Vec::new()];
-    let mut geo_e = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut geo_s = [Vec::new(), Vec::new(), Vec::new()];
+    let mut geo_e = [Vec::new(), Vec::new(), Vec::new()];
     let mut json = Vec::new();
 
     // AT_ONLY=name1,name2 restricts the sweep (useful at large AT_SAMPLES).
@@ -46,7 +46,7 @@ fn main() {
                 let params = p.params(drop, model, sizing);
                 let result = p.tune(&profiles, &params);
                 if let Some(e) = p.evaluate_best(&result.curve, params.qos_min, &device) {
-                    if best.as_ref().map_or(true, |b| e.speedup > b.speedup) {
+                    if best.as_ref().is_none_or(|b| e.speedup > b.speedup) {
                         best = Some(e);
                     }
                 }

@@ -16,7 +16,7 @@ fn main() {
     let sizing = Sizing::from_env();
     let device = EdgeDevice::tx2();
     let mut table = Table::new(&["Benchmark", "Predictive-Pi1", "Predictive-Pi2", "Empirical"]);
-    let mut geo = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut geo = [Vec::new(), Vec::new(), Vec::new()];
     let mut json = Vec::new();
     // Empirical tuning runs the program every iteration; cap its budget so
     // the figure regenerates in reasonable time (the *time* comparison is
@@ -32,7 +32,10 @@ fn main() {
         let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
         let mut row = vec![id.name().to_string()];
         let mut entry = serde_json::json!({ "benchmark": id.name() });
-        for (gi, model) in [PredictionModel::Pi1, PredictionModel::Pi2].iter().enumerate() {
+        for (gi, model) in [PredictionModel::Pi1, PredictionModel::Pi2]
+            .iter()
+            .enumerate()
+        {
             let params = p.params(3.0, *model, sizing);
             let result = p.tune(&profiles, &params);
             let s = p

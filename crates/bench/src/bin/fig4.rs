@@ -43,7 +43,7 @@ fn main() {
         "ProfileTime(s)",
         "ServerTune(s)",
     ]);
-    let mut geo = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut geo = [Vec::new(), Vec::new(), Vec::new()];
     let mut json = Vec::new();
 
     for id in bench_ids {
@@ -64,7 +64,10 @@ fn main() {
         let mut row = vec![id.name().to_string()];
         let mut profile_t = 0.0f64;
         let mut server_t = 0.0f64;
-        for (gi, model) in [PredictionModel::Pi1, PredictionModel::Pi2].iter().enumerate() {
+        for (gi, model) in [PredictionModel::Pi1, PredictionModel::Pi2]
+            .iter()
+            .enumerate()
+        {
             let params = at_core::tuner::TunerParams {
                 knob_set: KnobSet::WithHardware,
                 ..p.params(3.0, *model, sizing)
@@ -115,12 +118,9 @@ fn main() {
             promise_seed: 0,
         };
         let er = etuner.tune(&params).expect("empirical");
-        let perf_model = at_core::perf::PerfModel::new(
-            &p.bench.graph,
-            &p.registry,
-            p.cal.batches[0].shape(),
-        )
-        .unwrap();
+        let perf_model =
+            at_core::perf::PerfModel::new(&p.bench.graph, &p.registry, p.cal.batches[0].shape())
+                .unwrap();
         let best_emp = er
             .curve
             .points()

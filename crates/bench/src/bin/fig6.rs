@@ -90,8 +90,11 @@ fn main() {
         // Simulated per-batch baseline time on the device model.
         let perf = PerfModel::new(&p.bench.graph, &p.registry, p.cal.batches[0].shape())
             .expect("perf model");
-        let base_time =
-            perf.device_time(&at_core::Config::baseline(&p.bench.graph), &device.timing, &device.promise);
+        let base_time = perf.device_time(
+            &at_core::Config::baseline(&p.bench.graph),
+            &device.timing,
+            &device.promise,
+        );
 
         let mut table = Table::new(&[
             "Freq (MHz)",
@@ -140,7 +143,10 @@ fn main() {
                 "switches": tuner.switches,
             }));
         }
-        println!("\nFigure 6 ({}): runtime adaptation across GPU frequencies", id.name());
+        println!(
+            "\nFigure 6 ({}): runtime adaptation across GPU frequencies",
+            id.name()
+        );
         println!("(static time grows with slowdown; dynamic stays ~1.0 while accuracy degrades)\n");
         table.print();
     }

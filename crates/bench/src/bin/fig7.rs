@@ -45,7 +45,8 @@ fn main() {
     eprintln!("[fig7] collecting joint profiles …");
     let n_cnn = app.cnn.graph.len();
     let mut pairs: Vec<(usize, KnobId)> = Vec::new();
-    for (node, knob) in single_op_configs(&app.cnn.graph, &app.registry, KnobSet::HardwareIndependent)
+    for (node, knob) in
+        single_op_configs(&app.cnn.graph, &app.registry, KnobSet::HardwareIndependent)
     {
         pairs.push((node, knob));
     }
@@ -64,7 +65,8 @@ fn main() {
         dacc[i] = a - acc_base;
         dmse[i] = mse_of(p); // baseline MSE is 0
     }
-    let pair_index = |node: usize, knob: KnobId| pairs.iter().position(|&(n, k)| n == node && k == knob);
+    let pair_index =
+        |node: usize, knob: KnobId| pairs.iter().position(|&(n, k)| n == node && k == knob);
 
     // Combined performance model: sum of both graphs' Eqn-3 costs.
     let cnn_perf = PerfModel::new(&app.cnn.graph, &app.registry, ds.batches[0].shape()).unwrap();
@@ -89,7 +91,11 @@ fn main() {
             &Config::baseline(&app.cnn.graph),
             &device.timing,
             &device.promise,
-        ) + canny_perf.device_time(&Config::baseline(&app.canny), &device.timing, &device.promise);
+        ) + canny_perf.device_time(
+            &Config::baseline(&app.canny),
+            &device.timing,
+            &device.promise,
+        );
         let t = cnn_perf.device_time(&cc, &device.timing, &device.promise)
             + canny_perf.device_time(&kc, &device.timing, &device.promise);
         base / t.max(1e-30)
@@ -113,7 +119,11 @@ fn main() {
             // main tuner does — random joint configs are almost surely
             // infeasible.
             let mut fp16_cfg = base_cfg.clone();
-            for (node, ks) in app.node_knobs(KnobSet::HardwareIndependent).iter().enumerate() {
+            for (node, ks) in app
+                .node_knobs(KnobSet::HardwareIndependent)
+                .iter()
+                .enumerate()
+            {
                 if ks.len() > 1 {
                     fp16_cfg.set_knob(node, KnobId(1));
                 }
@@ -141,7 +151,11 @@ fn main() {
                 }
                 let ppsnr = if pm <= 0.0 { 150.0 } else { -10.0 * pm.log10() };
                 let margin = CombinedApp::margin(pa, ppsnr, acc_min, psnr_min);
-                let fitness = if margin >= 0.0 { speedup(&it.config) } else { margin };
+                let fitness = if margin >= 0.0 {
+                    speedup(&it.config)
+                } else {
+                    margin
+                };
                 if margin >= 0.0 {
                     candidates.push(it.config.clone());
                 }

@@ -36,7 +36,10 @@ fn main() {
         let p = Prepared::new(id, sizing);
         let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
         let mut times = [0.0f64; 2];
-        for (i, model) in [PredictionModel::Pi1, PredictionModel::Pi2].iter().enumerate() {
+        for (i, model) in [PredictionModel::Pi1, PredictionModel::Pi2]
+            .iter()
+            .enumerate()
+        {
             let mut params = p.params(3.0, *model, sizing);
             params.max_iters = iters;
             params.convergence_window = iters;

@@ -21,11 +21,81 @@ fn main() {
     ]);
     let yes = "yes";
     let no = "-";
-    t.row(vec!["ApproxTuner".into(), yes.into(), yes.into(), yes.into(), yes.into(), yes.into(), yes.into(), yes.into(), yes.into(), yes.into(), yes.into(), no.into(), no.into()]);
-    t.row(vec!["ApproxHPVM".into(), no.into(), yes.into(), no.into(), yes.into(), yes.into(), yes.into(), yes.into(), no.into(), no.into(), no.into(), no.into(), no.into()]);
-    t.row(vec!["TVM/AutoTVM".into(), no.into(), no.into(), no.into(), yes.into(), yes.into(), yes.into(), no.into(), no.into(), no.into(), no.into(), yes.into(), yes.into()]);
-    t.row(vec!["ACCEPT".into(), yes.into(), no.into(), yes.into(), yes.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into()]);
-    t.row(vec!["PetaBricks".into(), yes.into(), no.into(), yes.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into(), no.into()]);
+    t.row(vec![
+        "ApproxTuner".into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        no.into(),
+        no.into(),
+    ]);
+    t.row(vec![
+        "ApproxHPVM".into(),
+        no.into(),
+        yes.into(),
+        no.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+    ]);
+    t.row(vec![
+        "TVM/AutoTVM".into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        yes.into(),
+        yes.into(),
+        yes.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        yes.into(),
+        yes.into(),
+    ]);
+    t.row(vec![
+        "ACCEPT".into(),
+        yes.into(),
+        no.into(),
+        yes.into(),
+        yes.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+    ]);
+    t.row(vec![
+        "PetaBricks".into(),
+        yes.into(),
+        no.into(),
+        yes.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+        no.into(),
+    ]);
     println!("Table 5: capability comparison (reproduced from the paper's §9)\n");
     t.print();
 }

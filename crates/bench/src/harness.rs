@@ -153,6 +153,10 @@ impl Prepared {
             model,
             calibrate: true,
             seed: 0xA99 ^ self.bench.id as u64,
+            batch_size: std::env::var("AT_BATCH_SIZE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16),
         }
     }
 
@@ -283,7 +287,9 @@ impl Prepared {
             energy_reduction,
             test_accuracy,
             test_drop: base_test - test_accuracy,
-            histogram: best.config.coarse_histogram(&self.registry, &self.bench.graph),
+            histogram: best
+                .config
+                .coarse_histogram(&self.registry, &self.bench.graph),
         })
     }
 }

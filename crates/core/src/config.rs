@@ -60,7 +60,10 @@ impl Config {
 
     /// Number of nodes with a non-baseline knob.
     pub fn approximated_ops(&self) -> usize {
-        self.knobs.iter().filter(|&&k| k != KnobId::BASELINE).count()
+        self.knobs
+            .iter()
+            .filter(|&&k| k != KnobId::BASELINE)
+            .count()
     }
 
     /// Decodes to per-node execution choices via the registry.
@@ -108,7 +111,7 @@ impl Config {
                 hist.push((label, 1));
             }
         }
-        hist.sort_by(|a, b| b.1.cmp(&a.1));
+        hist.sort_by_key(|e| std::cmp::Reverse(e.1));
         hist
     }
 
@@ -141,7 +144,7 @@ impl Config {
                 hist.push((coarse, 1));
             }
         }
-        hist.sort_by(|a, b| b.1.cmp(&a.1));
+        hist.sort_by_key(|e| std::cmp::Reverse(e.1));
         hist
     }
 }
@@ -176,7 +179,12 @@ mod tests {
     fn graph() -> Graph {
         let mut rng = StdRng::seed_from_u64(1);
         let mut b = GraphBuilder::new("t", Shape::nchw(1, 3, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().avg_pool(2, 2).flatten().dense(10).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .avg_pool(2, 2)
+            .flatten()
+            .dense(10)
+            .softmax();
         b.finish()
     }
 

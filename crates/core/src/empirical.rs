@@ -7,13 +7,13 @@
 //! predictive tuner; only the QoS estimate differs: every iteration runs
 //! the program on the calibration inputs.
 
-use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve, TradeoffPoint};
+use crate::evaluate::{run_batched_search, EmpiricalEvaluator, EvalCache};
+use crate::knobs::KnobRegistry;
+use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve};
 use crate::perf::PerfModel;
-use crate::profile::measure_config;
+use crate::qos::{QosMetric, QosReference};
 use crate::search::{Autotuner, SearchSpace};
 use crate::tuner::{TunerParams, TuningResult};
-use crate::knobs::KnobRegistry;
-use crate::qos::{QosMetric, QosReference};
 use at_ir::Graph;
 use at_tensor::{Shape, Tensor, TensorError};
 
@@ -49,46 +49,31 @@ impl<'a> EmpiricalTuner<'a> {
             params.convergence_window,
             params.seed,
         );
-        let mut candidates: Vec<TradeoffPoint> = Vec::new();
+        // Empirical: run the program for the QoS of every distinct
+        // configuration. This is where batched evaluation pays — the
+        // per-candidate program runs of one round execute concurrently, and
+        // the cache spares re-proposed configs entirely.
+        let evaluator = EmpiricalEvaluator {
+            graph: self.graph,
+            registry: self.registry,
+            inputs: self.inputs,
+            metric: self.metric,
+            reference: self.reference,
+            perf: &perf,
+            promise_seed: self.promise_seed,
+        };
+        let mut cache = EvalCache::new();
         // Same feasible anchors as the predictive tuner (baseline, all-FP16).
         let seeds = crate::tuner::seed_configs(self.graph, self.registry);
-        let evaluate = |config: &crate::config::Config,
-                            tuner: &mut Autotuner,
-                            candidates: &mut Vec<TradeoffPoint>|
-         -> Result<(), TensorError> {
-            // Empirical: run the program for the QoS of every iteration.
-            let real_qos = measure_config(
-                self.graph,
-                self.registry,
-                config,
-                self.inputs,
-                self.metric,
-                self.reference,
-                self.promise_seed,
-            )?;
-            let pred_perf = perf.predicted_speedup(config);
-            let fitness = if real_qos >= params.qos_min {
-                pred_perf
-            } else {
-                real_qos - params.qos_min
-            };
-            if real_qos > params.qos_min {
-                candidates.push(TradeoffPoint {
-                    qos: real_qos,
-                    perf: pred_perf,
-                    config: config.clone(),
-                });
-            }
-            tuner.report(config, fitness);
-            Ok(())
-        };
-        for s in seeds {
-            evaluate(&s, &mut tuner, &mut candidates)?;
-        }
-        while tuner.continue_tuning() {
-            let it = tuner.next_config();
-            evaluate(&it.config, &mut tuner, &mut candidates)?;
-        }
+        let outcome = run_batched_search(
+            &mut tuner,
+            &evaluator,
+            &mut cache,
+            &seeds,
+            params.qos_min,
+            params.batch_size,
+        )?;
+        let candidates = outcome.candidates;
         let search_time_s = started.elapsed().as_secs_f64();
 
         // QoS already measured — only curve selection remains.
@@ -106,6 +91,8 @@ impl<'a> EmpiricalTuner<'a> {
             iterations: tuner.iterations(),
             candidates: tuner.iterations(),
             alpha: 1.0,
+            cache: cache.stats(),
+            telemetry: outcome.telemetry,
         })
     }
 }
@@ -122,7 +109,12 @@ mod tests {
     fn setup() -> (Graph, Vec<Tensor>, QosReference) {
         let mut rng = StdRng::seed_from_u64(5);
         let mut b = GraphBuilder::new("t", Shape::nchw(16, 2, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(5).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .dense(5)
+            .softmax();
         let g = b.finish();
         let mut rng2 = StdRng::seed_from_u64(6);
         let inputs: Vec<Tensor> = (0..2)

@@ -191,10 +191,12 @@ pub fn distributed_install_tune(
         }
     })
     .expect("device scope");
-    let merged = QosProfiles::merge(shard_profiles.into_iter().flatten().collect())
-        .ok_or_else(|| TensorError::ShapeMismatch {
-            op: "install::merge",
-            detail: "no device produced profiles".into(),
+    let merged =
+        QosProfiles::merge(shard_profiles.into_iter().flatten().collect()).ok_or_else(|| {
+            TensorError::ShapeMismatch {
+                op: "install::merge",
+                detail: "no device produced profiles".into(),
+            }
         })?;
     let device_profile_time_s = merged.collection_time_s;
 
@@ -279,7 +281,12 @@ mod tests {
     fn setup() -> (Graph, Vec<Tensor>, Vec<Vec<usize>>) {
         let mut rng = StdRng::seed_from_u64(5);
         let mut b = GraphBuilder::new("t", Shape::nchw(8, 2, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(5).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .dense(5)
+            .softmax();
         let g = b.finish();
         let mut rng2 = StdRng::seed_from_u64(6);
         let inputs: Vec<Tensor> = (0..4)

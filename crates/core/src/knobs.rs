@@ -217,12 +217,7 @@ impl KnobRegistry {
         graph
             .nodes()
             .iter()
-            .map(|n| {
-                self.knobs(n.op.class(), set)
-                    .iter()
-                    .map(|k| k.id)
-                    .collect()
-            })
+            .map(|n| self.knobs(n.op.class(), set).iter().map(|k| k.id).collect())
             .collect()
     }
 
@@ -247,7 +242,10 @@ impl KnobRegistry {
             .nodes()
             .iter()
             .map(|n| {
-                let id = knobs.get(n.id.0 as usize).copied().unwrap_or(KnobId::BASELINE);
+                let id = knobs
+                    .get(n.id.0 as usize)
+                    .copied()
+                    .unwrap_or(KnobId::BASELINE);
                 self.decode(n.op.class(), id)
             })
             .collect()
@@ -277,7 +275,10 @@ mod tests {
         assert_eq!(r.table(OpClass::Other).len(), 2);
         assert_eq!(r.table(OpClass::Dense).len(), 9);
         // Development-time (hardware-independent) conv knobs: 63 - 7 = 56.
-        assert_eq!(r.knobs(OpClass::Conv, KnobSet::HardwareIndependent).len(), 56);
+        assert_eq!(
+            r.knobs(OpClass::Conv, KnobSet::HardwareIndependent).len(),
+            56
+        );
         assert_eq!(r.knobs(OpClass::Conv, KnobSet::WithHardware).len(), 63);
     }
 

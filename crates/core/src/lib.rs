@@ -24,9 +24,17 @@
 //! configuration type; [`qos`] the quality-of-service metrics; and
 //! [`empirical`] the conventional measurement-based tuner used as the
 //! paper's comparison baseline.
+//!
+//! Both tuners drive the search through [`evaluate`]: a batch-synchronous
+//! loop in which the bandit ensemble proposes a batch of candidates per
+//! round, an [`evaluate::Evaluator`] scores unseen ones concurrently
+//! through a config-keyed memoisation cache, and fitness is reported back
+//! in proposal order — so seeded runs are deterministic regardless of
+//! thread count.
 
 pub mod config;
 pub mod empirical;
+pub mod evaluate;
 pub mod install;
 pub mod knobs;
 pub mod monitor;
@@ -41,6 +49,7 @@ pub mod ship;
 pub mod tuner;
 
 pub use config::Config;
+pub use evaluate::{CacheStats, Evaluation, Evaluator};
 pub use knobs::{Knob, KnobId, KnobRegistry, KnobSet};
 pub use pareto::{pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint};
 pub use qos::QosMetric;

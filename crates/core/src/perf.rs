@@ -76,9 +76,7 @@ impl<'a> PerfModel<'a> {
             .iter()
             .zip(&choices)
             .map(|(&c, &choice)| match choice {
-                ApproxChoice::Promise(level) => {
-                    (c.memory + c.compute) / level.speedup_vs_digital()
-                }
+                ApproxChoice::Promise(level) => (c.memory + c.compute) / level.speedup_vs_digital(),
                 _ => {
                     let (alg, precision) = digital_factors(choice);
                     let f = ReductionFactors {
@@ -212,7 +210,6 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-
     fn in_shape() -> Shape {
         Shape::nchw(1, 32, 32, 32)
     }
@@ -221,7 +218,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // Large enough that convolutions dominate launch overheads.
         let mut b = GraphBuilder::new("t", in_shape(), &mut rng);
-        b.conv(32, 3, (1, 1), (1, 1)).relu().conv(32, 3, (1, 1), (1, 1)).relu();
+        b.conv(32, 3, (1, 1), (1, 1))
+            .relu()
+            .conv(32, 3, (1, 1), (1, 1))
+            .relu();
         b.flatten().dense(10).softmax();
         (b.finish(), KnobRegistry::new())
     }

@@ -186,7 +186,10 @@ mod tests {
     fn setup() -> (Graph, Vec<Tensor>, QosReference, KnobRegistry) {
         let mut rng = StdRng::seed_from_u64(3);
         let mut b = GraphBuilder::new("p", Shape::nchw(16, 2, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().conv(4, 3, (1, 1), (1, 1)).relu();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .conv(4, 3, (1, 1), (1, 1))
+            .relu();
         b.max_pool(2, 2).flatten().dense(5).softmax();
         let g = b.finish();
         let mut rng2 = StdRng::seed_from_u64(4);
@@ -288,16 +291,8 @@ mod tests {
         let samples: Vec<(Config, f64)> = (0..12)
             .map(|_| {
                 let c = Config::random(&nk, &mut rng);
-                let q = measure_config(
-                    &g,
-                    &r,
-                    &c,
-                    &inputs,
-                    QosMetric::Accuracy,
-                    &reference,
-                    0,
-                )
-                .unwrap();
+                let q = measure_config(&g, &r, &c, &inputs, QosMetric::Accuracy, &reference, 0)
+                    .unwrap();
                 (c, q)
             })
             .collect();
@@ -310,7 +305,10 @@ mod tests {
         let before = err(&pred, &samples);
         pred.calibrate(&samples, &reference);
         let after = err(&pred, &samples);
-        assert!(after <= before + 1e-9, "calibration worsened fit: {before} → {after}");
+        assert!(
+            after <= before + 1e-9,
+            "calibration worsened fit: {before} → {after}"
+        );
         assert!(pred.alpha > 0.0);
     }
 
@@ -323,16 +321,8 @@ mod tests {
         let samples: Vec<(Config, f64)> = (0..6)
             .map(|_| {
                 let c = Config::random(&nk, &mut rng);
-                let q = measure_config(
-                    &g,
-                    &r,
-                    &c,
-                    &inputs,
-                    QosMetric::Accuracy,
-                    &reference,
-                    0,
-                )
-                .unwrap();
+                let q = measure_config(&g, &r, &c, &inputs, QosMetric::Accuracy, &reference, 0)
+                    .unwrap();
                 (c, q)
             })
             .collect();

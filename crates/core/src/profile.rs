@@ -18,6 +18,7 @@ use crate::knobs::{KnobId, KnobRegistry, KnobSet};
 use crate::qos::{measure, QosMetric, QosReference};
 use at_ir::{execute, execute_all, execute_suffix, ExecOptions, Graph, NodeId};
 use at_tensor::{Tensor, TensorError};
+use rayon::ParallelSlice;
 
 /// Executes a configuration over all calibration batches, returning the
 /// program outputs per batch.
@@ -132,6 +133,7 @@ impl QosProfiles {
 ///
 /// `collect_tensors` controls whether `ΔT` (needed by Π1) is stored; Π2
 /// only needs `ΔQ`.
+#[allow(clippy::too_many_arguments)]
 pub fn collect_profiles(
     graph: &Graph,
     registry: &KnobRegistry,
@@ -156,31 +158,44 @@ pub fn collect_profiles(
     }
     let qos_base = measure(metric, &t_base, reference);
 
-    // Per-pair suffix executions.
+    // Per-pair suffix executions, in parallel: each pair re-executes only
+    // its own graph suffix against the shared read-only baseline caches, so
+    // pairs are independent and results are collected in pair order
+    // (bit-identical to the sequential loop).
+    let per_pair: Result<Vec<(f64, Vec<Tensor>)>, TensorError> = pairs
+        .par_iter()
+        .map(|&(node, knob)| {
+            let class = graph.node(NodeId(node as u32)).op.class();
+            let choice = registry.decode(class, knob);
+            let mut config = vec![at_ir::ApproxChoice::BASELINE; graph.len()];
+            config[node] = choice;
+            let opts = ExecOptions {
+                config,
+                promise_seed,
+            };
+            let mut outs = Vec::with_capacity(inputs.len());
+            for (b, cache) in inputs.iter().zip(&caches) {
+                outs.push(execute_suffix(graph, b, cache, NodeId(node as u32), &opts)?);
+            }
+            let q = measure(metric, &outs, reference);
+            let deltas = if collect_tensors {
+                outs.iter()
+                    .zip(&t_base)
+                    .map(|(o, b)| o.sub(b))
+                    .collect::<Result<Vec<Tensor>, TensorError>>()?
+            } else {
+                Vec::new()
+            };
+            Ok((q - qos_base, deltas))
+        })
+        .collect();
     let mut dq = Vec::with_capacity(pairs.len());
-    let mut dt: Vec<Vec<Tensor>> = Vec::with_capacity(if collect_tensors { pairs.len() } else { 0 });
-    for &(node, knob) in &pairs {
-        let class = graph.node(NodeId(node as u32)).op.class();
-        let choice = registry.decode(class, knob);
-        let mut config = vec![at_ir::ApproxChoice::BASELINE; graph.len()];
-        config[node] = choice;
-        let opts = ExecOptions {
-            config,
-            promise_seed,
-        };
-        let mut outs = Vec::with_capacity(inputs.len());
-        for (b, cache) in inputs.iter().zip(&caches) {
-            outs.push(execute_suffix(graph, b, cache, NodeId(node as u32), &opts)?);
-        }
-        let q = measure(metric, &outs, reference);
-        dq.push(q - qos_base);
+    let mut dt: Vec<Vec<Tensor>> =
+        Vec::with_capacity(if collect_tensors { pairs.len() } else { 0 });
+    for (d, deltas) in per_pair? {
+        dq.push(d);
         if collect_tensors {
-            let deltas: Result<Vec<Tensor>, TensorError> = outs
-                .iter()
-                .zip(&t_base)
-                .map(|(o, b)| o.sub(b))
-                .collect();
-            dt.push(deltas?);
+            dt.push(deltas);
         }
     }
 
@@ -205,7 +220,12 @@ mod tests {
     fn setup() -> (Graph, Vec<Tensor>, QosReference) {
         let mut rng = StdRng::seed_from_u64(1);
         let mut b = GraphBuilder::new("t", Shape::nchw(8, 2, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(5).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .dense(5)
+            .softmax();
         let g = b.finish();
         let mut rng2 = StdRng::seed_from_u64(2);
         let inputs: Vec<Tensor> = (0..3)
@@ -281,8 +301,8 @@ mod tests {
         let (node, knob) = p.pairs[10];
         let mut config = Config::baseline(&g);
         config.set_knob(node, knob);
-        let q = measure_config(&g, &r, &config, &inputs, QosMetric::Accuracy, &reference, 0)
-            .unwrap();
+        let q =
+            measure_config(&g, &r, &config, &inputs, QosMetric::Accuracy, &reference, 0).unwrap();
         assert!(
             (p.delta_q(node, knob) - (q - p.qos_base)).abs() < 1e-9,
             "suffix ΔQ mismatch"

@@ -107,11 +107,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let out = Tensor::from_vec(
-            Shape::mat(3, 2),
-            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4],
-        )
-        .unwrap();
+        let out = Tensor::from_vec(Shape::mat(3, 2), vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
         let labels = vec![vec![0usize, 1, 1]];
         // Predictions: 0, 1, 0 → 2 of 3 correct.
         let acc = accuracy(&[out], &labels);
@@ -132,7 +128,10 @@ mod tests {
         let p_large = psnr(&[large], std::slice::from_ref(&a));
         assert!(p_small > p_large);
         // Exact: the finite cap.
-        assert_eq!(psnr(std::slice::from_ref(&a), std::slice::from_ref(&a)), 150.0);
+        assert_eq!(
+            psnr(std::slice::from_ref(&a), std::slice::from_ref(&a)),
+            150.0
+        );
     }
 
     #[test]

@@ -88,8 +88,12 @@ impl SearchSpace {
 /// One search technique of the ensemble.
 trait Technique {
     fn name(&self) -> &'static str;
-    fn propose(&mut self, space: &SearchSpace, best: Option<&(Config, f64)>, rng: &mut StdRng)
-        -> Config;
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        best: Option<&(Config, f64)>,
+        rng: &mut StdRng,
+    ) -> Config;
     fn feedback(&mut self, space: &SearchSpace, config: &Config, fitness: f64, improved: bool);
 }
 
@@ -211,8 +215,7 @@ impl Technique for NelderMead {
             return space.random(rng);
         }
         // Reflect worst vertex through the centroid of the others.
-        self.simplex
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        self.simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let worst = &self.simplex[self.simplex.len() - 1].0;
         let d = worst.len();
         let mut centroid = vec![0.0f64; d];
@@ -293,11 +296,23 @@ pub struct Iteration {
     pub technique: &'static str,
 }
 
+/// A proposal from [`Autotuner::propose_batch`] awaiting its fitness
+/// report ([`Autotuner::report_proposal`]).
+pub struct Proposal {
+    /// The proposed configuration.
+    pub config: Config,
+    /// Which technique proposed it.
+    pub technique: &'static str,
+    technique_index: usize,
+}
+
 /// The ensemble autotuner.
 ///
 /// Usage: call [`Autotuner::next_config`], evaluate its fitness (higher is
 /// better), then call [`Autotuner::report`]; repeat while
-/// [`Autotuner::continue_tuning`].
+/// [`Autotuner::continue_tuning`]. For batch-synchronous (parallel)
+/// evaluation, use [`Autotuner::propose_batch`] and report every proposal
+/// in order with [`Autotuner::report_proposal`] — see [`crate::evaluate`].
 pub struct Autotuner {
     space: SearchSpace,
     techniques: Vec<Box<dyn Technique>>,
@@ -371,12 +386,16 @@ impl Autotuner {
     }
 
     /// AUC-bandit arm selection: best recent credit + exploration bonus.
-    fn select_technique(&mut self) -> usize {
-        let t = (self.iterations + 1) as f64;
+    /// `in_batch` holds per-arm uses and `extra_iters` proposals already
+    /// issued within the current (unreported) batch, so one batch spreads
+    /// across arms like the same number of sequential picks would.
+    fn select_technique_with(&self, in_batch: &[usize], extra_iters: usize) -> usize {
+        let t = (self.iterations + extra_iters + 1) as f64;
         let mut best_i = 0;
         let mut best_score = f64::NEG_INFINITY;
         for (i, arm) in self.arms.iter().enumerate() {
-            let exploration = (2.0 * t.ln() / (arm.uses.max(1)) as f64).sqrt();
+            let uses = arm.uses + in_batch[i];
+            let exploration = (2.0 * t.ln() / uses.max(1) as f64).sqrt();
             let score = arm.auc() + exploration;
             if score > best_score {
                 best_score = score;
@@ -388,7 +407,7 @@ impl Autotuner {
 
     /// Algorithm 1's `autotuner.nextConfig()`.
     pub fn next_config(&mut self) -> Iteration {
-        let ti = self.select_technique();
+        let ti = self.select_technique_with(&vec![0; self.arms.len()], 0);
         self.pending = Some(ti);
         let config = self.techniques[ti].propose(&self.space, self.best.as_ref(), &mut self.rng);
         Iteration {
@@ -397,9 +416,48 @@ impl Autotuner {
         }
     }
 
+    /// Proposes up to `k` configurations for batch-synchronous evaluation,
+    /// capped at the remaining iteration budget.
+    ///
+    /// Technique selection and proposal advance only sequential state (the
+    /// bandit statistics and the shared RNG), so the proposal stream of a
+    /// seeded tuner is identical no matter how many threads later evaluate
+    /// the batch. All proposals are generated against the incumbent best of
+    /// the previous round (batch-synchronous semantics).
+    pub fn propose_batch(&mut self, k: usize) -> Vec<Proposal> {
+        let remaining = self.max_iterations.saturating_sub(self.iterations);
+        let k = k.min(remaining);
+        let mut in_batch = vec![0usize; self.techniques.len()];
+        let mut proposals = Vec::with_capacity(k);
+        for j in 0..k {
+            let ti = self.select_technique_with(&in_batch, j);
+            in_batch[ti] += 1;
+            let config =
+                self.techniques[ti].propose(&self.space, self.best.as_ref(), &mut self.rng);
+            proposals.push(Proposal {
+                config,
+                technique: self.techniques[ti].name(),
+                technique_index: ti,
+            });
+        }
+        proposals
+    }
+
     /// Algorithm 1's `autotuner.setConfigFitness(...)`: reports the fitness
     /// (higher is better) of the last proposal.
     pub fn report(&mut self, config: &Config, fitness: f64) {
+        let ti = self.pending.take();
+        self.record(ti, config, fitness);
+    }
+
+    /// Reports the fitness of one batch proposal. Callers must report every
+    /// proposal of a batch, in proposal order, so seeded runs stay
+    /// deterministic.
+    pub fn report_proposal(&mut self, proposal: &Proposal, fitness: f64) {
+        self.record(Some(proposal.technique_index), &proposal.config, fitness);
+    }
+
+    fn record(&mut self, ti: Option<usize>, config: &Config, fitness: f64) {
         self.iterations += 1;
         let improved = match &self.best {
             Some((_, f)) => fitness > *f,
@@ -411,7 +469,7 @@ impl Autotuner {
         } else {
             self.since_improvement += 1;
         }
-        if let Some(ti) = self.pending.take() {
+        if let Some(ti) = ti {
             self.arms[ti].record(improved);
             self.techniques[ti].feedback(&self.space, config, fitness, improved);
         }
@@ -466,7 +524,9 @@ mod tests {
                 .map(|(&a, &b)| (a as f64 - b as f64).abs())
                 .sum::<f64>()
         };
-        let mut tuner = Autotuner::new(s, 2000, 500, 42);
+        // Budget sized for the vendored deterministic RNG stream (the
+        // paper runs 30 K iterations; 4 K is ample for 8 dimensions).
+        let mut tuner = Autotuner::new(s, 4000, 1000, 42);
         while tuner.continue_tuning() {
             let it = tuner.next_config();
             let f = fitness(&it.config, tuner.space());
@@ -530,6 +590,51 @@ mod tests {
             assert!(iters < 200, "did not converge");
         }
         assert!(iters <= 52);
+    }
+
+    #[test]
+    fn batch_of_one_matches_sequential_api() {
+        // propose_batch(1)/report_proposal must walk the exact state
+        // trajectory of next_config/report under the same seed.
+        let fit = |c: &Config, s: &SearchSpace| -> f64 {
+            -(s.to_indices(c).iter().sum::<usize>() as f64)
+        };
+        let mut seq = Autotuner::new(space(6, 5), 300, 300, 99);
+        while seq.continue_tuning() {
+            let it = seq.next_config();
+            let f = fit(&it.config, seq.space());
+            seq.report(&it.config, f);
+        }
+        let mut bat = Autotuner::new(space(6, 5), 300, 300, 99);
+        while bat.continue_tuning() {
+            for p in bat.propose_batch(1) {
+                let f = fit(&p.config, bat.space());
+                bat.report_proposal(&p, f);
+            }
+        }
+        assert_eq!(seq.iterations(), bat.iterations());
+        assert_eq!(seq.best().unwrap(), bat.best().unwrap());
+    }
+
+    #[test]
+    fn propose_batch_respects_iteration_budget() {
+        let mut tuner = Autotuner::new(space(4, 3), 10, 10, 2);
+        assert_eq!(tuner.propose_batch(64).len(), 10);
+        for p in tuner.propose_batch(64) {
+            tuner.report_proposal(&p, 0.0);
+        }
+        assert_eq!(tuner.iterations(), 10);
+        assert!(tuner.propose_batch(64).is_empty());
+    }
+
+    #[test]
+    fn batch_spreads_across_techniques() {
+        // With no history, the exploration bonus must not hand the whole
+        // batch to one arm: in-batch uses count toward the bonus.
+        let mut tuner = Autotuner::new(space(6, 5), 100, 100, 5);
+        let batch = tuner.propose_batch(8);
+        let distinct: std::collections::HashSet<&str> = batch.iter().map(|p| p.technique).collect();
+        assert!(distinct.len() >= 3, "batch used only {distinct:?}");
     }
 
     #[test]

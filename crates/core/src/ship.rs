@@ -88,7 +88,10 @@ impl std::fmt::Display for ShipError {
         match self {
             ShipError::Malformed(e) => write!(f, "malformed artifact: {e}"),
             ShipError::VersionMismatch { found } => {
-                write!(f, "artifact schema v{found} newer than supported v{ARTIFACT_VERSION}")
+                write!(
+                    f,
+                    "artifact schema v{found} newer than supported v{ARTIFACT_VERSION}"
+                )
             }
             ShipError::WrongProgram { expected, got } => write!(
                 f,
@@ -168,7 +171,11 @@ mod tests {
     fn graph(seed: u64) -> Graph {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = GraphBuilder::new("ship-test", Shape::nchw(1, 3, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().flatten().dense(5).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .flatten()
+            .dense(5)
+            .softmax();
         b.finish()
     }
 
@@ -207,7 +214,12 @@ mod tests {
         // A structurally different program (extra relu).
         let mut rng = StdRng::seed_from_u64(2);
         let mut b = GraphBuilder::new("ship-test", Shape::nchw(1, 3, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().relu().flatten().dense(5).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .relu()
+            .flatten()
+            .dense(5)
+            .softmax();
         let g2 = b.finish();
         let art = ShippedArtifact::new(&g1, QosMetric::Accuracy, 88.0, Some(curve()), None);
         let err = ShippedArtifact::load(&art.to_json(), &g2, true).unwrap_err();
@@ -226,8 +238,7 @@ mod tests {
     #[test]
     fn future_version_rejected() {
         let g = graph(1);
-        let mut art =
-            ShippedArtifact::new(&g, QosMetric::Accuracy, 88.0, Some(curve()), None);
+        let mut art = ShippedArtifact::new(&g, QosMetric::Accuracy, 88.0, Some(curve()), None);
         art.version = ARTIFACT_VERSION + 1;
         let err = ShippedArtifact::load(&art.to_json(), &g, true).unwrap_err();
         assert!(matches!(err, ShipError::VersionMismatch { .. }));

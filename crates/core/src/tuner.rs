@@ -1,6 +1,9 @@
 //! Algorithm 1: predictive approximation tuning (development time, §3).
 
 use crate::config::Config;
+use crate::evaluate::{
+    run_batched_search, BatchTelemetry, CacheStats, EvalCache, PredictiveEvaluator,
+};
 use crate::knobs::{KnobRegistry, KnobSet};
 use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve, TradeoffPoint};
 use crate::perf::PerfModel;
@@ -10,6 +13,7 @@ use crate::qos::{QosMetric, QosReference};
 use crate::search::{Autotuner, SearchSpace};
 use at_ir::Graph;
 use at_tensor::{Shape, Tensor, TensorError};
+use rayon::ParallelSlice;
 
 /// Inputs of Algorithm 1 (plus engineering knobs).
 #[derive(Clone, Debug)]
@@ -39,6 +43,11 @@ pub struct TunerParams {
     pub calibrate: bool,
     /// RNG seed for the search.
     pub seed: u64,
+    /// Candidates proposed per batch-synchronous search round; unseen ones
+    /// are evaluated concurrently ([`crate::evaluate`]). `1` recovers the
+    /// classic one-at-a-time loop. For any value, a seeded run is
+    /// deterministic regardless of the evaluation thread count.
+    pub batch_size: usize,
 }
 
 impl Default for TunerParams {
@@ -54,6 +63,7 @@ impl Default for TunerParams {
             model: PredictionModel::Pi1,
             calibrate: true,
             seed: 0xA99,
+            batch_size: 16,
         }
     }
 }
@@ -73,6 +83,13 @@ pub struct TuningResult {
     pub candidates: usize,
     /// The calibrated α.
     pub alpha: f64,
+    /// Evaluation-cache counters of the search loop (hits, misses and
+    /// in-batch dedups; `misses` equals the number of distinct
+    /// configurations the evaluator actually scored).
+    pub cache: CacheStats,
+    /// Per-round search telemetry: batch size, cache hits, evaluator
+    /// invocations and best-so-far fitness.
+    pub telemetry: Vec<BatchTelemetry>,
 }
 
 impl TuningResult {
@@ -147,57 +164,35 @@ impl<'a> PredictiveTuner<'a> {
             predictor.calibrate(&samples, self.reference);
         }
 
-        // Step 3: autotune with the QoS and performance prediction models.
+        // Step 3: batched autotuning with the QoS and performance
+        // prediction models. The search is seeded with the two
+        // universally-sensible anchors — the exact baseline (always
+        // feasible) and all-FP16 — because random points in a
+        // 56-knobs-per-conv space are almost surely infeasible, so without
+        // anchors the ensemble spends its whole budget walking back to the
+        // feasible region.
         let mut tuner = Autotuner::new(
             space,
             params.max_iters,
             params.convergence_window,
             params.seed,
         );
-        let mut candidates: Vec<TradeoffPoint> = Vec::new();
-        // Seed the search with the two universally-sensible anchors: the
-        // exact baseline (always feasible) and all-FP16. Random points in a
-        // 56-knobs-per-conv space are almost surely infeasible, so without
-        // anchors the ensemble spends its whole budget walking back to the
-        // feasible region.
-        for seed_cfg in seed_configs(self.graph, self.registry) {
-            let pred_qos = predictor.predict(&seed_cfg, self.reference);
-            let pred_perf = perf.predicted_speedup(&seed_cfg);
-            let fitness = if pred_qos >= params.qos_min {
-                pred_perf
-            } else {
-                pred_qos - params.qos_min
-            };
-            if pred_qos > params.qos_min {
-                candidates.push(TradeoffPoint {
-                    qos: pred_qos,
-                    perf: pred_perf,
-                    config: seed_cfg.clone(),
-                });
-            }
-            tuner.report(&seed_cfg, fitness);
-        }
-        while tuner.continue_tuning() {
-            let it = tuner.next_config();
-            let pred_qos = predictor.predict(&it.config, self.reference);
-            let pred_perf = perf.predicted_speedup(&it.config);
-            // Fitness: maximise speedup subject to the QoS constraint; a
-            // violated constraint scores by (negative) violation so the
-            // search is pulled back toward feasibility.
-            let fitness = if pred_qos >= params.qos_min {
-                pred_perf
-            } else {
-                pred_qos - params.qos_min
-            };
-            if pred_qos > params.qos_min {
-                candidates.push(TradeoffPoint {
-                    qos: pred_qos,
-                    perf: pred_perf,
-                    config: it.config.clone(),
-                });
-            }
-            tuner.report(&it.config, fitness);
-        }
+        let evaluator = PredictiveEvaluator {
+            predictor: &predictor,
+            perf: &perf,
+            reference: self.reference,
+        };
+        let mut cache = EvalCache::new();
+        let seeds = seed_configs(self.graph, self.registry);
+        let outcome = run_batched_search(
+            &mut tuner,
+            &evaluator,
+            &mut cache,
+            &seeds,
+            params.qos_min,
+            params.batch_size,
+        )?;
+        let candidates = outcome.candidates;
 
         // Step 4: keep configs within ε1 of the Pareto set, with ε1 chosen
         // per benchmark to bound validation work.
@@ -209,27 +204,35 @@ impl<'a> PredictiveTuner<'a> {
         let pareto_configs = cap_points(pareto_configs, params.max_validated);
         let search_time_s = search_started.elapsed().as_secs_f64();
 
-        // Step 5: validate — measure the real QoS, filter violators.
+        // Step 5: validate — measure the real QoS of every retained config
+        // concurrently (each measurement is an independent program run),
+        // then filter violators. Order is preserved, so the shipped curve
+        // is identical to the sequential loop's.
         let validation_started = std::time::Instant::now();
-        let mut validated: Vec<TradeoffPoint> = Vec::new();
-        for p in pareto_configs {
-            let real_qos = measure_config(
-                self.graph,
-                self.registry,
-                &p.config,
-                self.inputs,
-                self.metric,
-                self.reference,
-                self.promise_seed,
-            )?;
-            if real_qos > params.qos_min {
-                validated.push(TradeoffPoint {
-                    qos: real_qos,
-                    perf: p.perf,
-                    config: p.config,
-                });
-            }
-        }
+        let measured: Result<Vec<(f64, TradeoffPoint)>, TensorError> = pareto_configs
+            .par_iter()
+            .map(|p| {
+                let real_qos = measure_config(
+                    self.graph,
+                    self.registry,
+                    &p.config,
+                    self.inputs,
+                    self.metric,
+                    self.reference,
+                    self.promise_seed,
+                )?;
+                Ok((real_qos, p.clone()))
+            })
+            .collect();
+        let validated: Vec<TradeoffPoint> = measured?
+            .into_iter()
+            .filter(|(real_qos, _)| *real_qos > params.qos_min)
+            .map(|(real_qos, p)| TradeoffPoint {
+                qos: real_qos,
+                perf: p.perf,
+                config: p.config,
+            })
+            .collect();
         let eps2 = eps_for_budget(&validated, params.max_shipped);
         let shipped = cap_points(pareto_set_eps(&validated, eps2), params.max_shipped);
         let curve = TradeoffCurve::from_points_eps(shipped, f64::INFINITY);
@@ -240,17 +243,13 @@ impl<'a> PredictiveTuner<'a> {
             search_time_s,
             validation_time_s,
             iterations: tuner.iterations(),
-            candidates: candidates_len_hint(&tuner),
+            // §7.3 "configurations generated": every iteration proposes one.
+            candidates: tuner.iterations(),
             alpha: predictor.alpha,
+            cache: cache.stats(),
+            telemetry: outcome.telemetry,
         })
     }
-}
-
-// The number of candidates generated equals the number of iterations that
-// passed the QoS predicate; expose iterations as the §7.3 "configurations
-// generated" proxy.
-fn candidates_len_hint(tuner: &Autotuner) -> usize {
-    tuner.iterations()
 }
 
 /// The search-seeding anchors: exact baseline and all-FP16 (the FP16 knob
@@ -281,7 +280,10 @@ mod tests {
     fn setup() -> (Graph, Vec<Tensor>, QosReference) {
         let mut rng = StdRng::seed_from_u64(5);
         let mut b = GraphBuilder::new("t", Shape::nchw(16, 2, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().conv(4, 3, (1, 1), (1, 1)).relu();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .conv(4, 3, (1, 1), (1, 1))
+            .relu();
         b.max_pool(2, 2).flatten().dense(5).softmax();
         let g = b.finish();
         let mut rng2 = StdRng::seed_from_u64(6);

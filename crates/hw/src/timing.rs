@@ -23,10 +23,7 @@ impl TimingModel {
     /// Builds a model at the device's nominal frequency.
     pub fn new(spec: DeviceSpec) -> TimingModel {
         let f = spec.nominal_mhz;
-        TimingModel {
-            spec,
-            freq_mhz: f,
-        }
+        TimingModel { spec, freq_mhz: f }
     }
 
     /// The device descriptor.
@@ -63,8 +60,8 @@ impl TimingModel {
             Precision::Fp32 => 4.0,
             Precision::Fp16 => 2.0,
         };
-        let memory_t =
-            counts.memory / alg.memory * bytes_per * self.spec.dram_miss_fraction / self.spec.mem_bw;
+        let memory_t = counts.memory / alg.memory * bytes_per * self.spec.dram_miss_fraction
+            / self.spec.mem_bw;
 
         self.spec.launch_overhead_s + compute_t.max(memory_t)
     }
@@ -75,9 +72,7 @@ impl TimingModel {
         &self,
         ops: impl IntoIterator<Item = (OpCounts, ReductionFactors, Precision)>,
     ) -> f64 {
-        ops.into_iter()
-            .map(|(c, a, p)| self.op_time(c, a, p))
-            .sum()
+        ops.into_iter().map(|(c, a, p)| self.op_time(c, a, p)).sum()
     }
 }
 
@@ -108,7 +103,10 @@ mod tests {
         let c32 = cpu.op_time(counts, none, Precision::Fp32);
         let c16 = cpu.op_time(counts, none, Precision::Fp16);
         // Compute-bound conv on CPU: fp16 gives no meaningful benefit.
-        assert!((c16 - c32).abs() / c32 < 0.05, "CPU fp16 {c16} vs fp32 {c32}");
+        assert!(
+            (c16 - c32).abs() / c32 < 0.05,
+            "CPU fp16 {c16} vs fp32 {c32}"
+        );
     }
 
     #[test]
@@ -153,10 +151,7 @@ mod tests {
         let gpu = TimingModel::new(DeviceSpec::tx2_gpu());
         let counts = conv_counts();
         let one = gpu.op_time(counts, ReductionFactors::NONE, Precision::Fp32);
-        let three = gpu.program_time(vec![
-            (counts, ReductionFactors::NONE, Precision::Fp32);
-            3
-        ]);
+        let three = gpu.program_time(vec![(counts, ReductionFactors::NONE, Precision::Fp32); 3]);
         assert!((three - 3.0 * one).abs() < 1e-12);
     }
 }

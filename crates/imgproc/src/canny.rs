@@ -89,11 +89,14 @@ pub fn non_max_suppression(mag: &Tensor) -> Tensor {
                         }
                         let ny = y as i32 + dy;
                         let nx = x as i32 + dx;
-                        if ny >= 0 && ny < h as i32 && nx >= 0 && nx < w as i32 {
-                            if src[base + ny as usize * w + nx as usize] > v {
-                                is_max = false;
-                                break 'scan;
-                            }
+                        if ny >= 0
+                            && ny < h as i32
+                            && nx >= 0
+                            && nx < w as i32
+                            && src[base + ny as usize * w + nx as usize] > v
+                        {
+                            is_max = false;
+                            break 'scan;
                         }
                     }
                 }
@@ -144,12 +147,15 @@ pub fn hysteresis(mag: &Tensor, lo: f32, hi: f32) -> Tensor {
                         for dx in -1i32..=1 {
                             let ny = y as i32 + dy;
                             let nx = x as i32 + dx;
-                            if ny >= 0 && ny < h as i32 && nx >= 0 && nx < w as i32 {
-                                if state[base + ny as usize * w + nx as usize] == 2 {
-                                    state[i] = 2;
-                                    changed = true;
-                                    break 'nb;
-                                }
+                            if ny >= 0
+                                && ny < h as i32
+                                && nx >= 0
+                                && nx < w as i32
+                                && state[base + ny as usize * w + nx as usize] == 2
+                            {
+                                state[i] = 2;
+                                changed = true;
+                                break 'nb;
                             }
                         }
                     }

@@ -101,8 +101,9 @@ impl CombinedApp {
         let (_, c, h, w) = batch.shape().as_nchw().expect("batch is NCHW");
         let mut data = vec![0.0f32; h * w];
         for ch in 0..c {
-            for i in 0..h * w {
-                data[i] += batch.data()[(row * c + ch) * h * w + i];
+            let plane = &batch.data()[(row * c + ch) * h * w..(row * c + ch + 1) * h * w];
+            for (d, p) in data.iter_mut().zip(plane) {
+                *d += p;
             }
         }
         for v in &mut data {
@@ -142,8 +143,13 @@ impl CombinedApp {
             for (row, &p) in preds.iter().enumerate() {
                 if self.edge_classes.contains(&p) {
                     let gray = self.grayscale(batch, row);
-                    let edges =
-                        canny_reference(&self.canny, &gray, &ExecOptions::baseline(), HYST_LO, HYST_HI)?;
+                    let edges = canny_reference(
+                        &self.canny,
+                        &gray,
+                        &ExecOptions::baseline(),
+                        HYST_LO,
+                        HYST_HI,
+                    )?;
                     forwarded.push((bi, row));
                     edge_maps.push(edges);
                 }

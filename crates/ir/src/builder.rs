@@ -48,8 +48,8 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
     /// residual branches).
     pub fn rewind(&mut self, to: NodeId) -> &mut Self {
         self.current = to;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("builder keeps graph valid")
-            [to.0 as usize];
+        self.shape = infer_shapes(&self.graph, self.input_shape)
+            .expect("builder keeps graph valid")[to.0 as usize];
         self
     }
 
@@ -69,12 +69,18 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         groups: usize,
     ) -> &mut Self {
         let (_, c, _, _) = self.shape.as_nchw().expect("conv input must be NCHW");
-        assert!(c % groups == 0 && out_channels % groups == 0, "bad groups");
+        assert!(
+            c.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
+            "bad groups"
+        );
         let cpg = c / groups;
         let fan_in = cpg * kernel * kernel;
         let w = self.he_tensor(Shape::nchw(out_channels, cpg, kernel, kernel), fan_in);
         let weight = self.graph.add_param(w);
-        let bias = Some(self.graph.add_param(Tensor::zeros(Shape::vec(out_channels))));
+        let bias = Some(
+            self.graph
+                .add_param(Tensor::zeros(Shape::vec(out_channels))),
+        );
         let label = format!("conv{}", self.graph.len());
         let node = self.graph.add_node(
             OpKind::Conv2d {
@@ -105,7 +111,12 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
     }
 
     /// Depthwise convolution (groups = channels), as in MobileNet.
-    pub fn depthwise(&mut self, kernel: usize, pad: (usize, usize), stride: (usize, usize)) -> &mut Self {
+    pub fn depthwise(
+        &mut self,
+        kernel: usize,
+        pad: (usize, usize),
+        stride: (usize, usize),
+    ) -> &mut Self {
         let (_, c, _, _) = self.shape.as_nchw().expect("depthwise input must be NCHW");
         self.conv_grouped(c, kernel, pad, stride, c)
     }
@@ -116,7 +127,9 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         let (_, c, _, _) = self.shape.as_nchw().expect("batchnorm input must be NCHW");
         let gamma = Tensor::from_vec(
             Shape::vec(c),
-            (0..c).map(|_| 1.0 + self.rng.gen_range(-0.05..0.05)).collect(),
+            (0..c)
+                .map(|_| 1.0 + self.rng.gen_range(-0.05..0.05))
+                .collect(),
         )
         .expect("shape matches");
         let beta = Tensor::from_vec(
@@ -254,11 +267,9 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         let weight = self.graph.add_param(w);
         let bias = Some(self.graph.add_param(Tensor::zeros(Shape::vec(out))));
         let label = format!("fc{}", self.graph.len());
-        let node = self.graph.add_node(
-            OpKind::Dense { weight, bias },
-            vec![self.current],
-            label,
-        );
+        let node = self
+            .graph
+            .add_node(OpKind::Dense { weight, bias }, vec![self.current], label);
         self.current = node;
         self.shape = Shape::mat(self.shape.as_mat().unwrap().0, out);
         self
@@ -312,7 +323,9 @@ mod tests {
         let mut b = GraphBuilder::new("res", Shape::nchw(1, 4, 8, 8), &mut rng);
         b.conv(4, 3, (1, 1), (1, 1)).relu();
         let skip = b.current();
-        b.conv(4, 3, (1, 1), (1, 1)).relu().conv(4, 3, (1, 1), (1, 1));
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .conv(4, 3, (1, 1), (1, 1));
         b.add_from(skip).relu();
         b.flatten().dense(10).softmax();
         let g = b.finish();
@@ -324,7 +337,10 @@ mod tests {
     fn depthwise_builds() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut b = GraphBuilder::new("dw", Shape::nchw(1, 8, 8, 8), &mut rng);
-        b.depthwise(3, (1, 1), (1, 1)).batchnorm().relu6().conv(16, 1, (0, 0), (1, 1));
+        b.depthwise(3, (1, 1), (1, 1))
+            .batchnorm()
+            .relu6()
+            .conv(16, 1, (0, 0), (1, 1));
         let g = b.finish();
         assert!(g.validate().is_ok());
     }

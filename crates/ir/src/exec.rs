@@ -82,8 +82,7 @@ fn eval_node<'a>(
                 // PROMISE path (dense convolutions only; grouped convs fall
                 // back to the digital exact kernel).
                 if *groups == 1 {
-                    let mut rng =
-                        StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
+                    let mut rng = StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
                     promise_conv2d(arg(0), w, b, *pad, *stride, level, &mut rng)?
                 } else {
                     ops::conv2d(
@@ -130,12 +129,16 @@ fn eval_node<'a>(
         OpKind::ClippedRelu { lo, hi } => ops::clipped_relu(arg(0), *lo, *hi, precision)?,
         OpKind::Tanh => ops::tanh_op(arg(0), precision)?,
         OpKind::Abs => ops::map_unary(arg(0), at_tensor::ops::UnaryOp::Abs, precision)?,
-        OpKind::MaxPool2d { window, pad, stride } => {
-            ops::max_pool2d(arg(0), *window, *pad, *stride, precision)?
-        }
-        OpKind::AvgPool2d { window, pad, stride } => {
-            ops::avg_pool2d(arg(0), *window, *pad, *stride, reduce_approx, precision)?
-        }
+        OpKind::MaxPool2d {
+            window,
+            pad,
+            stride,
+        } => ops::max_pool2d(arg(0), *window, *pad, *stride, precision)?,
+        OpKind::AvgPool2d {
+            window,
+            pad,
+            stride,
+        } => ops::avg_pool2d(arg(0), *window, *pad, *stride, reduce_approx, precision)?,
         OpKind::BatchNorm {
             gamma,
             beta,
@@ -295,7 +298,10 @@ pub fn node_costs(graph: &Graph, input: Shape) -> Result<Vec<OpCounts>, TensorEr
         let c = match &node.op {
             OpKind::Input => OpCounts::ZERO,
             OpKind::Conv2d {
-                weight, pad, stride, ..
+                weight,
+                pad,
+                stride,
+                ..
             } => cost::conv2d_counts(in_shape(0), graph.param(*weight).shape(), *pad, *stride),
             OpKind::Dense { weight, .. } => {
                 let (m, k) = in_shape(0).as_mat()?;
@@ -306,9 +312,16 @@ pub fn node_costs(graph: &Graph, input: Shape) -> Result<Vec<OpCounts>, TensorEr
                 cost::map_counts(in_shape(0).volume(), 1.0)
             }
             OpKind::Tanh => cost::map_counts(in_shape(0).volume(), 8.0),
-            OpKind::MaxPool2d { window, pad, stride } | OpKind::AvgPool2d { window, pad, stride } => {
-                cost::pool2d_counts(in_shape(0), *window, *pad, *stride)
+            OpKind::MaxPool2d {
+                window,
+                pad,
+                stride,
             }
+            | OpKind::AvgPool2d {
+                window,
+                pad,
+                stride,
+            } => cost::pool2d_counts(in_shape(0), *window, *pad, *stride),
             OpKind::BatchNorm { .. } => cost::batchnorm_counts(in_shape(0)),
             OpKind::Softmax => {
                 let (m, n) = in_shape(0).as_mat()?;
@@ -359,7 +372,12 @@ mod tests {
     fn tiny_cnn() -> (Graph, Tensor) {
         let mut rng = StdRng::seed_from_u64(7);
         let mut b = GraphBuilder::new("tiny", Shape::nchw(2, 3, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().max_pool(2, 2).flatten().dense(10).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .dense(10)
+            .softmax();
         let g = b.finish();
         let mut rng2 = StdRng::seed_from_u64(9);
         let x = Tensor::uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, &mut rng2);

@@ -202,7 +202,12 @@ impl Graph {
     }
 
     /// Adds a node with the given op and inputs, returning its id.
-    pub fn add_node(&mut self, op: OpKind, inputs: Vec<NodeId>, label: impl Into<String>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<NodeId>,
+        label: impl Into<String>,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             id,

@@ -190,9 +190,9 @@ impl Graph {
         let len = self.len();
         let mut remap: Vec<Option<u32>> = vec![None; len];
         let mut next = 0u32;
-        for i in 0..len {
+        for (i, slot) in remap.iter_mut().enumerate() {
             if !dead.iter().any(|d| d.0 as usize == i) {
-                remap[i] = Some(next);
+                *slot = Some(next);
                 next += 1;
             }
         }
@@ -205,10 +205,7 @@ impl Graph {
                 if remap[inp.0 as usize].is_none() {
                     return Err(TensorError::ShapeMismatch {
                         op: "remove_nodes",
-                        detail: format!(
-                            "live node {} references removed node {}",
-                            n.id.0, inp.0
-                        ),
+                        detail: format!("live node {} references removed node {}", n.id.0, inp.0),
                     });
                 }
             }

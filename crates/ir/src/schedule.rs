@@ -77,7 +77,11 @@ mod tests {
     fn g() -> Graph {
         let mut rng = StdRng::seed_from_u64(1);
         let mut b = GraphBuilder::new("t", Shape::nchw(1, 3, 8, 8), &mut rng);
-        b.conv(4, 3, (1, 1), (1, 1)).relu().flatten().dense(10).softmax();
+        b.conv(4, 3, (1, 1), (1, 1))
+            .relu()
+            .flatten()
+            .dense(10)
+            .softmax();
         b.finish()
     }
 

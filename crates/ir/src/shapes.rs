@@ -55,7 +55,16 @@ pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, TensorErr
                 }
                 Shape::mat(m, w_out)
             }
-            OpKind::MaxPool2d { window, pad, stride } | OpKind::AvgPool2d { window, pad, stride } => {
+            OpKind::MaxPool2d {
+                window,
+                pad,
+                stride,
+            }
+            | OpKind::AvgPool2d {
+                window,
+                pad,
+                stride,
+            } => {
                 let (n, c, h, w) = shapes[node.inputs[0].0 as usize].as_nchw()?;
                 Shape::nchw(
                     n,

@@ -128,8 +128,8 @@ pub fn synthetic_inputs(
         for _ in 0..b {
             let class = rng.gen_range(0..classes);
             intent.push(class);
-            for j in 0..sample_vol {
-                data.push(prototypes[class][j] + rng.gen_range(-0.25..0.25));
+            for p in &prototypes[class] {
+                data.push(p + rng.gen_range(-0.25..0.25));
             }
         }
         let shape = Shape::new(
@@ -221,7 +221,7 @@ mod tests {
         for (batch, labels) in ds.batches.iter().zip(&ds.labels) {
             let out = execute(&bench.graph, batch, &ExecOptions::baseline()).unwrap();
             let (rows, c) = out.shape().as_mat().unwrap();
-            for r in 0..rows {
+            for (r, label) in labels.iter().enumerate().take(rows) {
                 let row = &out.data()[r * c..(r + 1) * c];
                 let pred = row
                     .iter()
@@ -229,7 +229,7 @@ mod tests {
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .unwrap()
                     .0;
-                if pred == labels[r] {
+                if pred == *label {
                     correct += 1;
                 }
                 total += 1;

@@ -19,7 +19,13 @@ fn inject_noise<R: Rng + ?Sized>(out: &mut Tensor, level: VoltageLevel, rng: &mu
     if n == 0 {
         return;
     }
-    let rms = (out.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / n as f64).sqrt();
+    let rms = (out
+        .data()
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        / n as f64)
+        .sqrt();
     let std = (level.error_rel_std() * rms) as f32;
     if std == 0.0 {
         return;
@@ -115,7 +121,11 @@ mod tests {
         let a = Tensor::uniform(Shape::mat(64, 64), -1.0, 1.0, &mut rng);
         let b = Tensor::uniform(Shape::mat(64, 64), -1.0, 1.0, &mut rng);
         let exact = matmul::matmul(&a, &b, Precision::Fp32).unwrap();
-        let rms = (exact.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+        let rms = (exact
+            .data()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
             / exact.len() as f64)
             .sqrt();
         let level = VoltageLevel::P3;
@@ -133,7 +143,8 @@ mod tests {
         let x = Tensor::uniform(Shape::nchw(1, 2, 8, 8), -1.0, 1.0, &mut rng);
         let w = Tensor::uniform(Shape::nchw(2, 2, 3, 3), -1.0, 1.0, &mut rng);
         let exact = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
-        let noisy = promise_conv2d(&x, &w, None, (0, 0), (1, 1), VoltageLevel::P5, &mut rng).unwrap();
+        let noisy =
+            promise_conv2d(&x, &w, None, (0, 0), (1, 1), VoltageLevel::P5, &mut rng).unwrap();
         assert_eq!(exact.shape(), noisy.shape());
         assert!(exact.mse(&noisy).unwrap() > 0.0);
     }

@@ -109,7 +109,12 @@ pub fn map_counts(len: usize, flops_per_elem: f64) -> OpCounts {
 }
 
 /// Counts for pooling over NCHW input with the given window/stride.
-pub fn pool2d_counts(input: Shape, window: (usize, usize), pad: (usize, usize), stride: (usize, usize)) -> OpCounts {
+pub fn pool2d_counts(
+    input: Shape,
+    window: (usize, usize),
+    pad: (usize, usize),
+    stride: (usize, usize),
+) -> OpCounts {
     let (n, c, h, w) = match input.as_nchw() {
         Ok(v) => v,
         Err(_) => return OpCounts::ZERO,

@@ -49,7 +49,10 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank-{rank} tensor")
             }
             TensorError::DataLength { expected, got } => {
-                write!(f, "data length {got} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape volume {expected}"
+                )
             }
         }
     }

@@ -72,7 +72,8 @@ impl ConvApprox {
     pub fn validate(&self) -> Result<(), TensorError> {
         match *self {
             ConvApprox::Exact => Ok(()),
-            ConvApprox::FilterSampling { k, offset } | ConvApprox::Perforation { k, offset, .. } => {
+            ConvApprox::FilterSampling { k, offset }
+            | ConvApprox::Perforation { k, offset, .. } => {
                 if !(2..=4).contains(&k) {
                     return Err(TensorError::InvalidKnob {
                         op: "conv2d",
@@ -153,8 +154,11 @@ impl ReduceApprox {
     pub const QUARTER: ReduceApprox = ReduceApprox::Sampling { num: 1, den: 4 };
 
     /// The paper's three sampling ratios, most to least accurate.
-    pub const ALL_SAMPLING: [ReduceApprox; 3] =
-        [ReduceApprox::HALF, ReduceApprox::FORTY, ReduceApprox::QUARTER];
+    pub const ALL_SAMPLING: [ReduceApprox; 3] = [
+        ReduceApprox::HALF,
+        ReduceApprox::FORTY,
+        ReduceApprox::QUARTER,
+    ];
 
     /// Validates the ratio.
     pub fn validate(&self) -> Result<(), TensorError> {
@@ -195,17 +199,28 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(ConvApprox::FilterSampling { k: 2, offset: 0 }.validate().is_ok());
-        assert!(ConvApprox::FilterSampling { k: 5, offset: 0 }.validate().is_err());
-        assert!(ConvApprox::FilterSampling { k: 3, offset: 3 }.validate().is_err());
-        assert!(ReduceApprox::Sampling { num: 2, den: 2 }.validate().is_err());
+        assert!(ConvApprox::FilterSampling { k: 2, offset: 0 }
+            .validate()
+            .is_ok());
+        assert!(ConvApprox::FilterSampling { k: 5, offset: 0 }
+            .validate()
+            .is_err());
+        assert!(ConvApprox::FilterSampling { k: 3, offset: 3 }
+            .validate()
+            .is_err());
+        assert!(ReduceApprox::Sampling { num: 2, den: 2 }
+            .validate()
+            .is_err());
         assert!(ReduceApprox::FORTY.validate().is_ok());
     }
 
     #[test]
     fn kept_fractions() {
         assert_eq!(ConvApprox::Exact.kept_fraction(), 1.0);
-        assert_eq!(ConvApprox::FilterSampling { k: 2, offset: 0 }.kept_fraction(), 0.5);
+        assert_eq!(
+            ConvApprox::FilterSampling { k: 2, offset: 0 }.kept_fraction(),
+            0.5
+        );
         assert!((ReduceApprox::FORTY.kept_fraction() - 0.4).abs() < 1e-12);
     }
 

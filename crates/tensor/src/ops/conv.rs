@@ -149,15 +149,18 @@ fn compute_conv(
         // Which output rows/cols to actually compute under perforation.
         let skip = |coord: usize| -> bool {
             match params.approx {
-                ConvApprox::Perforation { dim: _, k: kk, offset } => coord % kk == offset,
+                ConvApprox::Perforation {
+                    dim: _,
+                    k: kk,
+                    offset,
+                } => coord % kk == offset,
                 _ => false,
             }
         };
         let (perf_rows, perf_cols) = match params.approx {
-            ConvApprox::Perforation { dim, .. } => (
-                dim == PerforationDim::Row,
-                dim == PerforationDim::Col,
-            ),
+            ConvApprox::Perforation { dim, .. } => {
+                (dim == PerforationDim::Row, dim == PerforationDim::Col)
+            }
             _ => (false, false),
         };
 
@@ -218,9 +221,7 @@ fn compute_conv(
                 let below = (oy + 1..ho).find(|&y| !skip(y));
                 for ox in 0..wo {
                     op[oy * wo + ox] = match (above, below) {
-                        (Some(a), Some(bl)) => {
-                            0.5 * (op[a * wo + ox] + op[bl * wo + ox])
-                        }
+                        (Some(a), Some(bl)) => 0.5 * (op[a * wo + ox] + op[bl * wo + ox]),
                         (Some(a), None) => op[a * wo + ox],
                         (None, Some(bl)) => op[bl * wo + ox],
                         (None, None) => bias_v,
@@ -236,9 +237,7 @@ fn compute_conv(
                 let right = (ox + 1..wo).find(|&x| !skip(x));
                 for oy in 0..ho {
                     op[oy * wo + ox] = match (left, right) {
-                        (Some(l), Some(rr)) => {
-                            0.5 * (op[oy * wo + l] + op[oy * wo + rr])
-                        }
+                        (Some(l), Some(rr)) => 0.5 * (op[oy * wo + l] + op[oy * wo + rr]),
                         (Some(l), None) => op[oy * wo + l],
                         (None, Some(rr)) => op[oy * wo + rr],
                         (None, None) => bias_v,
@@ -259,11 +258,7 @@ mod tests {
 
     fn simple_input() -> Tensor {
         // 1x1x4x4 ramp.
-        Tensor::from_vec(
-            Shape::nchw(1, 1, 4, 4),
-            (0..16).map(|i| i as f32).collect(),
-        )
-        .unwrap()
+        Tensor::from_vec(Shape::nchw(1, 1, 4, 4), (0..16).map(|i| i as f32).collect()).unwrap()
     }
 
     #[test]
@@ -415,7 +410,12 @@ mod tests {
         let _ = exact;
         // Skipping every 2nd row (k=2) must hurt at least as much as every
         // 4th (k=4).
-        assert!(mse_at(2) > mse_at(4), "mse k=2 {} k=4 {}", mse_at(2), mse_at(4));
+        assert!(
+            mse_at(2) > mse_at(4),
+            "mse k=2 {} k=4 {}",
+            mse_at(2),
+            mse_at(4)
+        );
         assert!(mse_at(4) > 0.0);
     }
 

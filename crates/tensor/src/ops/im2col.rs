@@ -15,6 +15,7 @@ use rayon::prelude::*;
 
 /// Unrolls input patches into a `[C·R·S, Ho·Wo]` column matrix for one
 /// image of an NCHW batch.
+#[allow(clippy::too_many_arguments)]
 fn im2col_image(
     data: &[f32],
     c: usize,
@@ -39,15 +40,12 @@ fn im2col_image(
                     let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
                     for ox in 0..wo {
                         let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
-                        dst[oy * wo + ox] = if iy >= 0
-                            && (iy as usize) < h
-                            && ix >= 0
-                            && (ix as usize) < w
-                        {
-                            plane[iy as usize * w + ix as usize]
-                        } else {
-                            0.0
-                        };
+                        dst[oy * wo + ox] =
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                plane[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
                     }
                 }
             }

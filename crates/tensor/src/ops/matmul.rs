@@ -55,7 +55,11 @@ pub fn matmul(a: &Tensor, b: &Tensor, precision: Precision) -> Result<Tensor, Te
 }
 
 /// Adds a bias row-vector `[N]` to every row of `x: [M,N]`.
-pub fn bias_add_rows(x: &Tensor, bias: &Tensor, precision: Precision) -> Result<Tensor, TensorError> {
+pub fn bias_add_rows(
+    x: &Tensor,
+    bias: &Tensor,
+    precision: Precision,
+) -> Result<Tensor, TensorError> {
     let (m, n) = x.shape().as_mat()?;
     if bias.len() != n {
         return Err(TensorError::ShapeMismatch {

@@ -17,7 +17,12 @@ pub fn batchnorm2d(
     precision: Precision,
 ) -> Result<Tensor, TensorError> {
     let (_, c, h, w) = input.shape().as_nchw()?;
-    for (name, t) in [("gamma", gamma), ("beta", beta), ("mean", mean), ("var", var)] {
+    for (name, t) in [
+        ("gamma", gamma),
+        ("beta", beta),
+        ("mean", mean),
+        ("var", var),
+    ] {
         if t.len() != c {
             return Err(TensorError::ShapeMismatch {
                 op: "batchnorm2d",
@@ -78,10 +83,10 @@ mod tests {
         let mut var = vec![0.0f32; c];
         let cnt = (n * h * w) as f32;
         for b in 0..n {
-            for ch in 0..c {
+            for (ch, m) in mean.iter_mut().enumerate() {
                 for y in 0..h {
                     for xx in 0..w {
-                        mean[ch] += x.at4(b, ch, y, xx);
+                        *m += x.at4(b, ch, y, xx);
                     }
                 }
             }

@@ -57,30 +57,33 @@ fn pool2d_impl(
     let data = input.data();
     let plane_out = ho * wo;
     let mut out = vec![0.0f32; out_shape.volume()];
-    out.par_chunks_mut(plane_out).enumerate().for_each(|(idx, op)| {
-        let b = idx / c;
-        let ch = idx % c;
-        let in_base = (b * c + ch) * h * w;
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let iy0 = (oy * stride.0) as isize - pad.0 as isize;
-                let ix0 = (ox * stride.1) as isize - pad.1 as isize;
-                let mut it = (0..window.0).flat_map(|ky| {
-                    let iy = iy0 + ky as isize;
-                    (0..window.1).filter_map(move |kx| {
-                        let ix = ix0 + kx as isize;
-                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                            Some((iy as usize, ix as usize))
-                        } else {
-                            None
-                        }
-                    })
-                })
-                .map(|(iy, ix)| data[in_base + iy * w + ix]);
-                op[oy * wo + ox] = f(&mut it);
+    out.par_chunks_mut(plane_out)
+        .enumerate()
+        .for_each(|(idx, op)| {
+            let b = idx / c;
+            let ch = idx % c;
+            let in_base = (b * c + ch) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let iy0 = (oy * stride.0) as isize - pad.0 as isize;
+                    let ix0 = (ox * stride.1) as isize - pad.1 as isize;
+                    let mut it = (0..window.0)
+                        .flat_map(|ky| {
+                            let iy = iy0 + ky as isize;
+                            (0..window.1).filter_map(move |kx| {
+                                let ix = ix0 + kx as isize;
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    Some((iy as usize, ix as usize))
+                                } else {
+                                    None
+                                }
+                            })
+                        })
+                        .map(|(iy, ix)| data[in_base + iy * w + ix]);
+                    op[oy * wo + ox] = f(&mut it);
+                }
             }
-        }
-    });
+        });
 
     let mut t = Tensor::from_vec(out_shape, out)?;
     if precision == Precision::Fp16 {

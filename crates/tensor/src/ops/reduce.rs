@@ -85,7 +85,10 @@ pub fn reduce(
                     let s: f64 = visit.iter().map(|&j| at(j) as f64).sum();
                     (s / visit.len() as f64) as f32
                 }
-                ReduceKind::Max => visit.iter().map(|&j| at(j)).fold(f32::NEG_INFINITY, f32::max),
+                ReduceKind::Max => visit
+                    .iter()
+                    .map(|&j| at(j))
+                    .fold(f32::NEG_INFINITY, f32::max),
                 ReduceKind::Min => visit.iter().map(|&j| at(j)).fold(f32::INFINITY, f32::min),
                 ReduceKind::Product => {
                     // Rescale in the exponent: p^(len/kept) approximates the
@@ -137,9 +140,15 @@ mod tests {
     fn mean_max_min() {
         let x = Tensor::from_vec(Shape::vec(4), vec![1., 2., 3., 4.]).unwrap();
         assert_eq!(
-            reduce(&x, 0, ReduceKind::Mean, ReduceApprox::Exact, Precision::Fp32)
-                .unwrap()
-                .data(),
+            reduce(
+                &x,
+                0,
+                ReduceKind::Mean,
+                ReduceApprox::Exact,
+                Precision::Fp32
+            )
+            .unwrap()
+            .data(),
             &[2.5]
         );
         assert_eq!(

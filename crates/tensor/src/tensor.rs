@@ -286,7 +286,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn(Shape::vec(100_000), 2.0, &mut rng);
         let mean = t.data().iter().sum::<f32>() / t.len() as f32;
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

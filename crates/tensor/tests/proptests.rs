@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate.
 
-use at_tensor::ops::{conv2d, reduce, ReduceKind};
 use at_tensor::ops::conv::Conv2dParams;
+use at_tensor::ops::{conv2d, reduce, ReduceKind};
 use at_tensor::{f16, ConvApprox, PerforationDim, Precision, ReduceApprox, Shape, Tensor};
 use proptest::prelude::*;
 

@@ -49,7 +49,10 @@ fn main() {
             .expect("measure");
         if acc >= acc_min && psnr >= psnr_min {
             let n = c.approximated_ops();
-            if best.as_ref().map_or(true, |(b, _, _)| n > b.approximated_ops()) {
+            if best
+                .as_ref()
+                .is_none_or(|(b, _, _)| n > b.approximated_ops())
+            {
                 best = Some((c, acc, psnr));
             }
         }

@@ -56,10 +56,7 @@ fn main() {
             }
             let avg_ms = 1e3 * times.iter().sum::<f64>() / times.len() as f64;
             let avg_s = speedups.iter().sum::<f64>() / speedups.len() as f64;
-            let qos = tuner
-                .current_point()
-                .map(|p| p.qos)
-                .unwrap_or(89.44);
+            let qos = tuner.current_point().map(|p| p.qos).unwrap_or(89.44);
             println!(
                 "  {:7.1} MHz (slowdown {:.2}x): avg batch {avg_ms:5.1} ms \
                  (target {:.1}), avg config speedup {avg_s:.2}x, accuracy {qos:.2}%",

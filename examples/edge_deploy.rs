@@ -14,9 +14,7 @@
 //! cargo run --release --example edge_deploy
 //! ```
 
-use approxtuner::core::install::{
-    distributed_install_tune, EdgeDevice, InstallObjective,
-};
+use approxtuner::core::install::{distributed_install_tune, EdgeDevice, InstallObjective};
 use approxtuner::core::knobs::{KnobRegistry, KnobSet};
 use approxtuner::core::predict::PredictionModel;
 use approxtuner::core::qos::{QosMetric, QosReference};
@@ -117,7 +115,13 @@ fn main() {
     }
     let ladder = FrequencyLadder::tx2_gpu();
     let base_time = 0.050; // seconds per batch at the top frequency
-    let mut rt = RuntimeTuner::new(install.curve.clone(), Policy::AverageOverTime, 1, base_time, 3);
+    let mut rt = RuntimeTuner::new(
+        install.curve.clone(),
+        Policy::AverageOverTime,
+        1,
+        base_time,
+        3,
+    );
     println!("phase 3 (run time): frequency sweep with dynamic adaptation");
     for step in [0, 4, 8, 11] {
         let slowdown = ladder.slowdown(step);

@@ -48,7 +48,9 @@ fn main() {
             (0..rows)
                 .map(|r| {
                     let row = &out.data()[r * c..(r + 1) * c];
-                    (0..c).max_by(|&i, &j| row[i].partial_cmp(&row[j]).unwrap()).unwrap()
+                    (0..c)
+                        .max_by(|&i, &j| row[i].partial_cmp(&row[j]).unwrap())
+                        .unwrap()
                 })
                 .collect::<Vec<usize>>(),
         );
@@ -83,11 +85,13 @@ fn main() {
     let result = tuner.tune(&profiles, &params).expect("tuning");
     println!(
         "tuning: {} iterations, alpha = {:.3}, curve = {} points\n",
-        result.iterations, result.alpha, result.curve.len()
+        result.iterations,
+        result.alpha,
+        result.curve.len()
     );
 
     // 4. The tradeoff curve: validated accuracy vs predicted speedup.
-    println!("{:>10}  {:>9}  {}", "accuracy", "speedup", "knobs used");
+    println!("{:>10}  {:>9}  knobs used", "accuracy", "speedup");
     for p in result.curve.points() {
         let hist = p
             .config

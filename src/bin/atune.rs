@@ -102,7 +102,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 }
 
 fn cmd_list() -> ExitCode {
-    println!("{:<18} {:<10} {:>6}  {:>9}", "benchmark", "dataset", "layers", "paper-acc");
+    println!(
+        "{:<18} {:<10} {:>6}  {:>9}",
+        "benchmark", "dataset", "layers", "paper-acc"
+    );
     for id in BenchmarkId::ALL {
         println!(
             "{:<18} {:<10} {:>6}  {:>8.2}%",
@@ -218,8 +221,14 @@ fn cmd_inspect(path: &str) -> ExitCode {
         "program {:?}  fingerprint {:#018x}  schema v{}",
         art.program, art.fingerprint, art.version
     );
-    println!("metric {:?}, tuned for QoS ≥ {:.2}", art.metric, art.qos_min);
-    for (tag, curve) in [("fp16", &art.curve_fp16), ("fp32-only", &art.curve_fp32_only)] {
+    println!(
+        "metric {:?}, tuned for QoS ≥ {:.2}",
+        art.metric, art.qos_min
+    );
+    for (tag, curve) in [
+        ("fp16", &art.curve_fp16),
+        ("fp32-only", &art.curve_fp32_only),
+    ] {
         match curve {
             Some(c) => {
                 println!("curve [{tag}]: {} points", c.len());
@@ -296,7 +305,9 @@ fn main() -> ExitCode {
     match args.first().map(|s| s.as_str()) {
         Some("list") => cmd_list(),
         Some("tune") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             match parse_flags(&args[2..]) {
                 Ok(f) => cmd_tune(name, f),
                 Err(e) => {
@@ -306,7 +317,9 @@ fn main() -> ExitCode {
             }
         }
         Some("inspect") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             cmd_inspect(path)
         }
         Some("install") => {

@@ -1,0 +1,130 @@
+//! The batched tuning loop is deterministic across thread counts.
+//!
+//! All bandit and RNG state advances only on the sequential propose/report
+//! path, and evaluators are pure functions of the configuration — so the
+//! same seed must produce bit-identical tradeoff curves whether candidates
+//! are evaluated on one thread or a pool.
+
+use approxtuner::core::empirical::EmpiricalTuner;
+use approxtuner::core::knobs::KnobRegistry;
+use approxtuner::core::predict::PredictionModel;
+use approxtuner::core::qos::{QosMetric, QosReference};
+use approxtuner::core::tuner::{PredictiveTuner, TunerParams, TuningResult};
+use approxtuner::models::data::build_dataset;
+use approxtuner::models::{build, Benchmark, BenchmarkId, Dataset, ModelScale};
+
+struct Setup {
+    bench: Benchmark,
+    cal: Dataset,
+    registry: KnobRegistry,
+}
+
+fn setup() -> Setup {
+    let bench = build(BenchmarkId::LeNet, ModelScale::Tiny);
+    let ds = build_dataset(&bench, 48, 12, 99);
+    let (cal, _) = ds.split();
+    Setup {
+        bench,
+        cal,
+        registry: KnobRegistry::new(),
+    }
+}
+
+fn params(model: PredictionModel, max_iters: usize) -> TunerParams {
+    TunerParams {
+        qos_min: 85.0,
+        n_calibrate: 4,
+        max_iters,
+        convergence_window: max_iters,
+        max_validated: 12,
+        max_shipped: 8,
+        model,
+        ..Default::default()
+    }
+}
+
+fn in_pool<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn predictive_run(s: &Setup, threads: usize) -> TuningResult {
+    let reference = QosReference::Labels(s.cal.labels.clone());
+    let tuner = PredictiveTuner {
+        graph: &s.bench.graph,
+        registry: &s.registry,
+        inputs: &s.cal.batches,
+        metric: QosMetric::Accuracy,
+        reference: &reference,
+        input_shape: s.cal.batches[0].shape(),
+        promise_seed: 0,
+    };
+    let p = params(PredictionModel::Pi1, 120);
+    in_pool(threads, || {
+        let profiles = tuner.collect(&p).expect("profiles");
+        tuner.tune(&profiles, &p).expect("tuning")
+    })
+}
+
+fn empirical_run(s: &Setup, threads: usize) -> TuningResult {
+    let reference = QosReference::Labels(s.cal.labels.clone());
+    let tuner = EmpiricalTuner {
+        graph: &s.bench.graph,
+        registry: &s.registry,
+        inputs: &s.cal.batches,
+        metric: QosMetric::Accuracy,
+        reference: &reference,
+        input_shape: s.cal.batches[0].shape(),
+        promise_seed: 0,
+    };
+    let p = params(PredictionModel::Pi2, 40);
+    in_pool(threads, || tuner.tune(&p).expect("tuning"))
+}
+
+fn assert_identical(a: &TuningResult, b: &TuningResult) {
+    assert_eq!(a.iterations, b.iterations, "iteration counts differ");
+    assert_eq!(a.cache, b.cache, "cache counters differ");
+    assert_eq!(a.telemetry.len(), b.telemetry.len(), "telemetry differs");
+    assert_eq!(a.curve.len(), b.curve.len(), "curve lengths differ");
+    // Bit-exact: the JSON writer roundtrips f64 exactly, so string equality
+    // is value equality.
+    assert_eq!(a.curve.to_json(), b.curve.to_json(), "curves differ");
+}
+
+#[test]
+fn predictive_tuning_identical_across_thread_counts() {
+    let s = setup();
+    let single = predictive_run(&s, 1);
+    let multi = predictive_run(&s, 4);
+    assert_identical(&single, &multi);
+    assert!(!single.curve.is_empty(), "tuning produced no curve");
+}
+
+#[test]
+fn empirical_tuning_identical_across_thread_counts() {
+    let s = setup();
+    let single = empirical_run(&s, 1);
+    let multi = empirical_run(&s, 4);
+    assert_identical(&single, &multi);
+}
+
+#[test]
+fn cache_counters_reconcile_with_iterations() {
+    let s = setup();
+    let r = predictive_run(&s, 2);
+    // Every proposal (plus the seed configurations) goes through the cache
+    // exactly once, so the counters must reconcile with the iteration count.
+    assert_eq!(
+        r.cache.hits + r.cache.misses + r.cache.dedup,
+        r.iterations,
+        "cache lookups must equal tuning iterations"
+    );
+    assert!(r.cache.hits > 0, "the ensemble never revisited a config");
+    assert!(
+        r.cache.misses <= r.iterations,
+        "more evaluator invocations than iterations"
+    );
+}

@@ -60,7 +60,11 @@ fn three_phase_pipeline() {
     };
     let p = params(85.0, PredictionModel::Pi1);
     let profiles = tuner.collect(&p).expect("profiles");
-    assert!(profiles.pairs.len() > 100, "profile pairs {}", profiles.pairs.len());
+    assert!(
+        profiles.pairs.len() > 100,
+        "profile pairs {}",
+        profiles.pairs.len()
+    );
     let dev = tuner.tune(&profiles, &p).expect("dev tuning");
     assert!(!dev.curve.is_empty(), "dev-time curve empty");
 
@@ -128,7 +132,13 @@ fn three_phase_pipeline() {
 
     // --- Phase 3: run time. ---
     let base_time = 0.02;
-    let mut rt = RuntimeTuner::new(refined.clone(), Policy::EnforceEachInvocation, 1, base_time, 1);
+    let mut rt = RuntimeTuner::new(
+        refined.clone(),
+        Policy::EnforceEachInvocation,
+        1,
+        base_time,
+        1,
+    );
     // Environment slows everything down 2x.
     rt.record_invocation(base_time * 2.0);
     let sp = rt.current_speedup();
@@ -136,7 +146,10 @@ fn three_phase_pipeline() {
     // as long as the curve has any point above 1x.
     let max_curve = refined.points().iter().map(|p| p.perf).fold(1.0, f64::max);
     if max_curve > 1.05 {
-        assert!(sp > 1.0, "runtime tuner did not react (curve max {max_curve})");
+        assert!(
+            sp > 1.0,
+            "runtime tuner did not react (curve max {max_curve})"
+        );
     }
 }
 

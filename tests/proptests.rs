@@ -119,6 +119,111 @@ proptest! {
     }
 }
 
+/// The checked-in shrink input from `tests/proptests.proptest-regressions`:
+/// a single-point curve whose QoS value needs 17 significant digits. The
+/// JSON writer/reader must roundtrip it bit-exactly (the original failure
+/// was a lossy float serialisation).
+#[test]
+fn regression_single_point_curve_roundtrips_exactly() {
+    let pt = TradeoffPoint {
+        qos: 95.83474401824101,
+        perf: 1.0,
+        config: Config::from_knobs(vec![]),
+    };
+    let curve = TradeoffCurve::from_points(vec![pt]);
+    assert_eq!(curve.len(), 1);
+    let back = TradeoffCurve::from_json(&curve.to_json()).expect("roundtrip");
+    assert_eq!(back.len(), 1);
+    assert_eq!(back.points()[0].qos, 95.83474401824101);
+    assert_eq!(back.points()[0].perf, 1.0);
+    // The point also survives the query paths.
+    assert!(curve.config_for_speedup(1.0).is_some());
+}
+
+mod runtime_tuner {
+    use approxtuner::core::config::Config;
+    use approxtuner::core::pareto::{TradeoffCurve, TradeoffPoint};
+    use approxtuner::core::runtime::{policy2_probabilities, Policy, RuntimeTuner};
+    use proptest::prelude::*;
+
+    fn curve() -> TradeoffCurve {
+        let pt = |qos: f64, perf: f64| TradeoffPoint {
+            qos,
+            perf,
+            config: Config::from_knobs(vec![]),
+        };
+        TradeoffCurve::from_points(vec![
+            pt(90.0, 1.2),
+            pt(88.5, 1.5),
+            pt(87.0, 1.8),
+            pt(85.0, 2.2),
+        ])
+    }
+
+    proptest! {
+        #[test]
+        fn policy2_pair_is_convex_and_reproduces_target(
+            lo in 1.0f64..3.0,
+            gap in 0.0f64..2.0,
+            target in 0.5f64..6.0,
+        ) {
+            let hi = lo + gap;
+            let (p_lo, p_hi) = policy2_probabilities(lo, hi, target);
+            // Always a convex pair…
+            prop_assert!((0.0..=1.0).contains(&p_lo), "p_lo {}", p_lo);
+            prop_assert!((0.0..=1.0).contains(&p_hi), "p_hi {}", p_hi);
+            prop_assert!((p_lo + p_hi - 1.0).abs() < 1e-9);
+            // …and inside the bracket the mix reproduces the target exactly.
+            if gap > 1e-9 && (lo..=hi).contains(&target) {
+                prop_assert!((p_lo * lo + p_hi * hi - target).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn hysteresis_band_never_switches(
+            factors in proptest::collection::vec(0.705f64..1.015, 1..50),
+            window in 1usize..5,
+            enforce in proptest::bool::ANY,
+            seed in 0u64..1000,
+        ) {
+            // Every invocation time lands strictly inside the hysteresis
+            // band [0.7, 1.02]·target, so the tuner must never reconfigure.
+            let policy = if enforce {
+                Policy::EnforceEachInvocation
+            } else {
+                Policy::AverageOverTime
+            };
+            let mut t = RuntimeTuner::new(curve(), policy, window, 1.0, seed);
+            for f in factors {
+                prop_assert!(t.record_invocation(f).is_none());
+            }
+            prop_assert_eq!(t.switches, 0);
+            prop_assert!(t.current_point().is_none());
+        }
+
+        #[test]
+        fn switch_counter_is_monotonic(
+            times in proptest::collection::vec(0.2f64..4.0, 1..60),
+            window in 1usize..4,
+            enforce in proptest::bool::ANY,
+            seed in 0u64..1000,
+        ) {
+            let policy = if enforce {
+                Policy::EnforceEachInvocation
+            } else {
+                Policy::AverageOverTime
+            };
+            let mut t = RuntimeTuner::new(curve(), policy, window, 1.0, seed);
+            let mut prev = t.switches;
+            for x in times {
+                t.record_invocation(x);
+                prop_assert!(t.switches >= prev, "switch counter went backwards");
+                prev = t.switches;
+            }
+        }
+    }
+}
+
 mod knob_roundtrips {
     use approxtuner::core::knobs::{KnobId, KnobRegistry, KnobSet};
     use approxtuner::ir::OpClass;

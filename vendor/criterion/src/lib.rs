@@ -1,0 +1,284 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Implements the slice of the criterion surface this workspace's benches
+//! use — `Criterion::default()` builder config, `bench_function`,
+//! `benchmark_group` / `bench_with_input`, `criterion_group!` /
+//! `criterion_main!` — over a plain wall-clock harness: per benchmark it
+//! warms up, then collects `sample_size` samples within roughly
+//! `measurement_time` and reports min / median / mean per iteration. No
+//! statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, configured with a consuming builder like upstream.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::new(self);
+        f(&mut b);
+        b.report(&id);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion);
+        f(&mut b);
+        b.report(&id);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = format!("{}/{}", self.name, id.render());
+        let mut b = Bencher::new(self.criterion);
+        f(&mut b, input);
+        b.report(&id);
+    }
+
+    /// Finishes the group (upstream flushes reports here; we report as we
+    /// go, so this is a no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and an input parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A new id: `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Handed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(c: &Criterion) -> Bencher {
+        Bencher {
+            sample_size: c.sample_size,
+            measurement_time: c.measurement_time,
+            warm_up_time: c.warm_up_time,
+            samples_ns: Vec::new(),
+            total_iters: 0,
+        }
+    }
+
+    /// Measures the routine: warm-up, then `sample_size` samples within
+    /// roughly the configured measurement time, each sample batching enough
+    /// iterations to dominate timer overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Batch so one sample takes ~ measurement_time / sample_size.
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).clamp(1, 1_000_000_000);
+
+        self.samples_ns.clear();
+        self.total_iters = 0;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+            self.total_iters += batch;
+            // Never run wildly past the configured budget.
+            if measure_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<50} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Opaque value barrier (re-exported for convenience; benches in this
+/// workspace mostly use `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("param", 42), &7usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

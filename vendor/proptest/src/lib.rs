@@ -1,0 +1,465 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Same surface as upstream for what this workspace uses — range and tuple
+//! strategies, `prop_map` / `prop_filter`, `collection::vec`,
+//! `sample::select`, and the `proptest!` / `prop_assert!` macros — but a
+//! much simpler engine: cases are generated from a deterministic RNG seeded
+//! by the test name, and failures panic with the generated inputs rather
+//! than shrinking. `.proptest-regressions` files are not consulted; pin any
+//! regression seed as an explicit unit test instead.
+//!
+//! The number of cases per property defaults to 256 and can be overridden
+//! with `PROPTEST_CASES`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test's module path).
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a, so seeds are stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// How many cases [`proptest!`] runs per property.
+pub fn cases() -> u32 {
+    cases_or(256)
+}
+
+/// Like [`cases`], but with an explicit default (used by
+/// `#![proptest_config(..)]`); the `PROPTEST_CASES` environment variable
+/// still wins.
+pub fn cases_or(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Per-block configuration, accepted via `#![proptest_config(..)]` at the
+/// top of a [`proptest!`] block. Only the case count is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (regenerates, up to a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// `bool` strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform over `{true, false}`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Upstream-compatible name for the uniform bool strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen_bool(0.5)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range, built from a `usize` (exact length), a
+    /// half-open range, or an inclusive range — mirroring upstream's
+    /// `Into<SizeRange>` conversions.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.end > r.start, "empty length range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng().gen_range(self.len.min..=self.len.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniformly selects one of `options` (which must be non-empty).
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    /// Upstream spells strategies like `prop::collection::vec(..)`.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions that run a body over generated inputs.
+///
+/// Unlike upstream there is no shrinking: the first failing case panics
+/// with the generated arguments included in the message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { $crate::cases_or(($cfg).cases); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::cases(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the first token is the case
+/// count expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..$cases {
+                let values = $crate::Strategy::generate(&strategies, &mut rng);
+                // Render inputs up front: the body may consume them.
+                let rendered = ::std::format!(
+                    concat!("  (", $(stringify!($arg), ", ",)+ ") = {:?}\n"),
+                    &values
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                    let ($($arg,)+) = values;
+                    $body
+                }));
+                if let ::std::result::Result::Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case} of {} failed with inputs:\n{rendered}",
+                        stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { ::std::assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, (a, b) in (0.0f64..1.0, 5i32..9)) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((5..9).contains(&b));
+        }
+
+        #[test]
+        fn mapped_and_filtered(
+            v in prop::collection::vec((0usize..100).prop_map(|x| x * 2), 1..8),
+            odd in (0i64..50).prop_filter("odd", |x| x % 2 == 1),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert_eq!(odd % 2, 1);
+        }
+    }
+
+    mod configured {
+        use crate::prelude::*;
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        static RAN: AtomicU32 = AtomicU32::new(0);
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(7))]
+
+            #[test]
+            fn config_block_sets_case_count(x in 0usize..10) {
+                RAN.fetch_add(1, Ordering::Relaxed);
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn case_count_was_honoured() {
+            config_block_sets_case_count();
+            // The env var may override the block config; either way the
+            // property must have run at least once.
+            assert!(RAN.load(Ordering::Relaxed) >= 7 || std::env::var("PROPTEST_CASES").is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let strat = (0u64..1_000_000, 0.0f64..1.0);
+        let mut r1 = crate::TestRng::from_name("fixed");
+        let mut r2 = crate::TestRng::from_name("fixed");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of rayon it uses: `par_iter().map().collect()`,
+//! `par_chunks[_mut]` with `for_each` / `enumerate` / `zip`, and
+//! [`ThreadPoolBuilder`] + [`ThreadPool::install`] for scoped thread-count
+//! control. Work runs on a single persistent pool of OS threads (sized to
+//! the machine's available parallelism); regions are fork-join with static
+//! contiguous partitioning, which preserves deterministic result ordering.
+//!
+//! Thread-count resolution order: [`ThreadPool::install`] override on the
+//! calling thread, then the `RAYON_NUM_THREADS` environment variable, then
+//! the machine's available parallelism. Nested parallel regions (a region
+//! entered from inside a pool worker) run sequentially, like a depth-1
+//! work-stealing cutoff.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Pool engine
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    tx: mpsc::Sender<Job>,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    workers: Mutex<usize>,
+}
+
+/// Growth cap for on-demand workers; far above any sane `num_threads`
+/// override, it only guards against runaway requests.
+const MAX_POOL_WORKERS: usize = 64;
+
+static POOL: OnceLock<PoolInner> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn spawn_worker(index: usize, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
+    std::thread::Builder::new()
+        .name(format!("at-rayon-{index}"))
+        .spawn(move || {
+            IN_WORKER.with(|w| w.set(true));
+            loop {
+                let job = {
+                    let guard = rx.lock().unwrap();
+                    guard.recv()
+                };
+                match job {
+                    Ok(job) => job(),
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn pool worker");
+}
+
+fn pool() -> &'static PoolInner {
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            spawn_worker(i, Arc::clone(&rx));
+        }
+        PoolInner {
+            tx,
+            rx,
+            workers: Mutex::new(workers),
+        }
+    })
+}
+
+/// Grows the pool so at least `needed` workers exist. An explicit
+/// `num_threads` override may exceed the machine's core count (useful for
+/// latency-bound work and for exercising concurrency on small machines);
+/// idle extra workers just block on the shared channel.
+fn ensure_workers(pool: &PoolInner, needed: usize) {
+    let needed = needed.min(MAX_POOL_WORKERS);
+    let mut count = pool.workers.lock().unwrap();
+    while *count < needed {
+        spawn_worker(*count, Arc::clone(&pool.rx));
+        *count += 1;
+    }
+}
+
+/// The number of threads a parallel region started on this thread would use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct RegionState {
+    remaining: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    done: Condvar,
+}
+
+/// Runs `parts` part-closures, parts 1.. on the pool and part 0 inline,
+/// blocking until all complete. Panics are propagated to the caller.
+fn run_region(parts: usize, f: &(dyn Fn(usize) + Sync)) {
+    if parts == 0 {
+        return;
+    }
+    let sequential = parts == 1 || IN_WORKER.with(|w| w.get());
+    if sequential {
+        for i in 0..parts {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    // Parts 1.. go to the pool (part 0 runs inline on the caller).
+    ensure_workers(pool, parts - 1);
+    let state = Arc::new(RegionState {
+        remaining: Mutex::new((parts - 1, None)),
+        done: Condvar::new(),
+    });
+    // SAFETY: this function blocks until every enqueued job has signalled
+    // completion (the condvar wait below), so the borrow erased to 'static
+    // strictly outlives each job's execution.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    for i in 1..parts {
+        let state = Arc::clone(&state);
+        pool.tx
+            .send(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f_static(i)));
+                let mut guard = state.remaining.lock().unwrap();
+                if let Err(payload) = result {
+                    guard.1.get_or_insert(payload);
+                }
+                guard.0 -= 1;
+                if guard.0 == 0 {
+                    state.done.notify_all();
+                }
+            }))
+            .expect("pool alive");
+    }
+    let main_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+    let mut guard = state.remaining.lock().unwrap();
+    while guard.0 > 0 {
+        guard = state.done.wait(guard).unwrap();
+    }
+    let worker_panic = guard.1.take();
+    drop(guard);
+    if let Err(payload) = main_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+fn effective_parts(items: usize) -> usize {
+    current_num_threads().min(items).max(1)
+}
+
+/// Fork-join over owned items with stable indices: calls `f(index, item)`
+/// for every item, partitioned contiguously across threads.
+fn parallel_for_each_indexed<I: Send>(items: Vec<I>, f: impl Fn(usize, I) + Sync) {
+    let n = items.len();
+    let parts = effective_parts(n);
+    if parts <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(parts);
+    let mut split: Vec<(usize, Vec<I>)> = Vec::with_capacity(parts);
+    let mut iter = items.into_iter();
+    let mut base = 0;
+    while base < n {
+        let part: Vec<I> = iter.by_ref().take(chunk).collect();
+        let len = part.len();
+        split.push((base, part));
+        base += len;
+    }
+    type Part<I> = Mutex<Option<(usize, Vec<I>)>>;
+    let split: Vec<Part<I>> = split.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    run_region(split.len(), &|pi| {
+        let (base, part) = split[pi].lock().unwrap().take().expect("part taken once");
+        for (j, item) in part.into_iter().enumerate() {
+            f(base + j, item);
+        }
+    });
+}
+
+/// Fork-join map preserving input order.
+fn parallel_map<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    parallel_for_each_indexed(items, |i, item| {
+        let r = f(item);
+        collected.lock().unwrap().push((i, r));
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator facade
+// ---------------------------------------------------------------------------
+
+/// `slice.par_iter()` — parallel shared iteration over slice elements.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` (evaluated in parallel on `collect`).
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let refs: Vec<&T> = self.slice.iter().collect();
+        parallel_for_each_indexed(refs, |_, r| f(r));
+    }
+}
+
+/// Lazy parallel map over a slice.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluates the map in parallel, collecting results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(&'a T) -> C::Item + Sync,
+        C: FromParallelResults,
+        C::Item: Send,
+    {
+        let refs: Vec<&T> = self.slice.iter().collect();
+        let results = parallel_map(refs, |r| (self.f)(r));
+        C::from_vec(results)
+    }
+}
+
+/// Result containers `ParMap::collect` can build (order-preserving).
+pub trait FromParallelResults {
+    /// Element type.
+    type Item;
+    /// Builds the container from ordered results.
+    fn from_vec(v: Vec<Self::Item>) -> Self;
+}
+
+impl<T> FromParallelResults for Vec<T> {
+    type Item = T;
+    fn from_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParallelResults for Result<Vec<T>, E> {
+    type Item = Result<T, E>;
+    fn from_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// `slice.par_chunks(n)` — parallel iteration over fixed-size chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+/// `slice.par_chunks_mut(n)` — parallel iteration over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send + Sync> ParChunksMut<'a, T> {
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.size).collect();
+        parallel_for_each_indexed(chunks, |_, c| f(c));
+    }
+
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { inner: self }
+    }
+
+    /// Zips mutable chunks with the shared chunks of another slice.
+    pub fn zip<'b, U: Sync>(self, other: ParChunks<'b, U>) -> ZipChunks<'a, 'b, T, U> {
+        ZipChunks { a: self, b: other }
+    }
+}
+
+/// `par_chunks_mut(..).enumerate()`.
+pub struct EnumerateChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send + Sync> EnumerateChunksMut<'_, T> {
+    /// Runs `f((index, chunk))` on every chunk in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let chunks: Vec<&mut [T]> = self.inner.slice.chunks_mut(self.inner.size).collect();
+        parallel_for_each_indexed(chunks, |i, c| f((i, c)));
+    }
+}
+
+/// `par_chunks_mut(..).zip(par_chunks(..))`.
+pub struct ZipChunks<'a, 'b, T, U> {
+    a: ParChunksMut<'a, T>,
+    b: ParChunks<'b, U>,
+}
+
+impl<T: Send + Sync, U: Sync> ZipChunks<'_, '_, T, U> {
+    /// Runs `f((mut_chunk, chunk))` on every chunk pair in parallel.
+    pub fn for_each<F: Fn((&mut [T], &[U])) + Sync>(self, f: F) {
+        let pairs: Vec<(&mut [T], &[U])> = self
+            .a
+            .slice
+            .chunks_mut(self.a.size)
+            .zip(self.b.slice.chunks(self.b.size))
+            .collect();
+        parallel_for_each_indexed(pairs, |_, (ca, cb)| f((ca, cb)));
+    }
+}
+
+/// Extension methods on shared slices (rayon's `ParallelSlice` +
+/// `IntoParallelRefIterator` subset).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel fixed-size chunks.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    /// Parallel shared element iterator.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { slice: self, size }
+    }
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Extension methods on mutable slices (rayon's `ParallelSliceMut` subset).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel fixed-size mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool facade
+// ---------------------------------------------------------------------------
+
+/// Error building a thread pool (infallible here; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread-count handle.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count regions inside `install` will use.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self
+                .num_threads
+                .filter(|&n| n > 0)
+                .unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A handle that scopes parallel regions to a fixed thread count. All
+/// handles share the single process-wide worker pool; `install` only
+/// controls how many partitions a region is split into.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count regions inside `install` use.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread count as the calling thread's
+    /// parallelism override.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let previous = OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let _restore = Restore(previous);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn explicit_thread_count_grows_the_pool() {
+        // A `num_threads` override above the machine's core count must
+        // still provide that much *concurrency* (the pool grows on
+        // demand): with 4 threads and 4 sleeping items, at least two
+        // sleeps must overlap even on a single-core machine.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..4).collect();
+        pool.install(|| {
+            items.par_iter().for_each(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "no two items ran concurrently"
+        );
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, i * 2);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_writes_every_chunk() {
+        let mut data = vec![0u64; 1024];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 64) as u64);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_aligned_chunks() {
+        let src: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let mut dst = vec![0f32; 256];
+        dst.par_chunks_mut(16)
+            .zip(src.par_chunks(16))
+            .for_each(|(d, s)| d.copy_from_slice(s));
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool4.install(|| assert_eq!(current_num_threads(), 4));
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let xs: Vec<i32> = (0..100).collect();
+        let r: Result<Vec<i32>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let xs: Vec<i32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            xs.par_iter().for_each(|&x| {
+                if x == 63 {
+                    panic!("worker panic");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<usize> = (0..100).collect();
+                let mapped: Vec<usize> = inner.par_iter().map(|&i| i + o).collect();
+                mapped.iter().sum()
+            })
+            .collect();
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums[0], 4950);
+    }
+}

@@ -1,0 +1,476 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade.
+//!
+//! The build environment has no crates.io access, so this derive is written
+//! directly against `proc_macro` — no `syn`, no `quote`. It parses just
+//! enough of the item grammar to recover the type's shape (struct vs enum,
+//! field names, variant arities) and emits impls of the facade's
+//! `Serialize`/`Deserialize` traits as source text. Field *types* are never
+//! inspected: the generated code only calls trait methods, so type
+//! resolution is left to the compiler.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named structs, tuple/newtype structs, unit structs, and enums with unit,
+//! newtype, tuple and struct variants. Generic parameters and `#[serde]`
+//! attributes are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a field list.
+enum Fields {
+    /// `{ a: T, b: U }` — the field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — the arity.
+    Tuple(usize),
+    /// No fields at all.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the facade's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the facade's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility qualifiers until the `struct` / `enum` keyword.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc: the `(crate)` group is consumed
+                // by the generic skip below if present.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => return Err("derive input ended before `struct`/`enum`".into()),
+        }
+    };
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    // Reject generics: a `<` directly after the name.
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive (vendored) does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    if kind == "struct" {
+        let fields = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        let body = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Parses `vis name: Type, ...` returning the field names. Types are
+/// skipped by scanning to the next comma at zero angle-bracket depth
+/// (parentheses/brackets/braces are single opaque `Group` tokens, so only
+/// `<`/`>` need balancing).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = toks.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                toks.next();
+                            }
+                        }
+                    } else {
+                        break s;
+                    }
+                }
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+                None => return Ok(names),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        names.push(name);
+        skip_type(&mut toks);
+    }
+}
+
+/// Advances past a type, stopping after the next top-level `,` (or the end).
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        // Skip attributes/visibility opening the next field, detect end.
+        loop {
+            match toks.peek() {
+                None => return count,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        count += 1;
+        skip_type(&mut toks);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in enum: {other}")),
+                None => return Ok(variants),
+            }
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle = 0i32;
+        while let Some(tok) = toks.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => obj_expr(names, |f| format!("&self.{f}")),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            serialize_impl(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inner = obj_expr(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), {inner})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            serialize_impl(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+/// `Value::Object` literal over `fields`, with `accessor` mapping a field
+/// name to the expression whose value is serialized.
+fn obj_expr(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({}))",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+fn serialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => named_from_value(name, names),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => tuple_from_value(name, *n, "v"),
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            deserialize_impl(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => data_arms.push_str(&format!(
+                        "{vn:?} => {{ {} }}\n",
+                        tuple_from_value(&format!("{name}::{vn}"), *n, "inner")
+                    )),
+                    Fields::Named(fields) => data_arms.push_str(&format!(
+                        "{vn:?} => {{ {} }}\n",
+                        named_variant_from_value(&format!("{name}::{vn}"), fields)
+                    )),
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            deserialize_impl(name, &body)
+        }
+    }
+}
+
+fn named_from_value(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(pairs, {f:?})?)?"))
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::Object(pairs) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected object for {name}, found {{}}\", other.kind()))),\n\
+         }}",
+        inits.join(", ")
+    )
+}
+
+/// Like [`named_from_value`] but for a *variant* path (`Enum::Var`): the
+/// matched value expression is `inner`, not `v`.
+fn named_variant_from_value(path: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(pairs, {f:?})?)?"))
+        .collect();
+    format!(
+        "match inner {{\n\
+             ::serde::Value::Object(pairs) => ::std::result::Result::Ok({path} {{ {} }}),\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected object for {path}, found {{}}\", other.kind()))),\n\
+         }}",
+        inits.join(", ")
+    )
+}
+
+fn tuple_from_value(path: &str, arity: usize, src: &str) -> String {
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "match {src} {{\n\
+             ::serde::Value::Array(items) if items.len() == {arity} => \
+                 ::std::result::Result::Ok({path}({})),\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {arity}-element array for {path}, found {{}}\", \
+                 other.kind()))),\n\
+         }}",
+        elems.join(", ")
+    )
+}
+
+fn deserialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
