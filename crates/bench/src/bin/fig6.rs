@@ -113,16 +113,9 @@ fn main() {
                 let speedup = tuner.current_speedup();
                 let t = base_time * slowdown / speedup;
                 dyn_times.push(t / base_time);
-                let acc = match tuner.current_point() {
+                let acc = match tuner.current_index() {
                     None => base_acc,
-                    Some(pt) => {
-                        let idx = curve
-                            .points()
-                            .iter()
-                            .position(|q| std::ptr::eq(q, pt))
-                            .unwrap_or(0);
-                        accuracies[idx]
-                    }
+                    Some(idx) => accuracies[idx],
                 };
                 accs.push(acc);
                 tuner.record_invocation(t);

@@ -1,0 +1,6 @@
+//! Closed-loop runtime adaptation under injected disturbances; see
+//! `at_bench::runtime_adapt` for the experiment body.
+
+fn main() {
+    at_bench::runtime_adapt::run();
+}

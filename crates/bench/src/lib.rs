@@ -8,3 +8,4 @@
 
 pub mod harness;
 pub mod report;
+pub mod runtime_adapt;

@@ -57,12 +57,23 @@ impl Table {
     }
 }
 
-/// Writes a JSON artifact under `results/`.
+/// Writes a pretty-printed JSON artifact under `results/`.
 pub fn write_json(name: &str, value: &impl serde::Serialize) {
+    write_artifact(name, serde_json::to_string_pretty(value));
+}
+
+/// Writes a compact (single-line) JSON artifact under `results/` — for
+/// artifacts carrying per-invocation traces, where pretty-printing
+/// multiplies the size several-fold.
+pub fn write_json_compact(name: &str, value: &impl serde::Serialize) {
+    write_artifact(name, serde_json::to_string(value));
+}
+
+fn write_artifact(name: &str, encoded: Result<String, serde_json::Error>) {
     let dir = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
+    match encoded {
         Ok(s) => {
             if std::fs::write(&path, s).is_ok() {
                 eprintln!("[results] wrote {}", path.display());

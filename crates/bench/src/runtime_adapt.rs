@@ -1,0 +1,254 @@
+//! Closed-loop runtime adaptation under injected hardware disturbances
+//! (§5, evaluated in §6.4) — the body of the `runtime_adapt` binary.
+//!
+//! Regenerates the paper's frequency-change adaptation figure with the
+//! `at_core::closed_loop` driver: a per-invocation time series of sensed
+//! frequency, selected configuration, achieved speedup and QoS, under four
+//! scripted scenarios against the simulated TX2 — the 12-step DVFS sweep,
+//! a thermal-throttling ramp, a brownout plus load spike, and a sensor
+//! dropout. Both control policies run over the same shipped curve; all
+//! traces are deterministic (seeded) and written to
+//! `results/runtime_adapt.json`.
+//!
+//! Environment: `AT_BENCH` selects the benchmark (`resnet18` default,
+//! `alexnet`, `alexnet2`), `AT_WINDOW` the sliding-window length (default
+//! 1 batch, as in the paper), `AT_DWELL` the feedback hysteresis dwell,
+//! plus the usual harness sizing variables (`AT_SAMPLES`, `AT_ITERS`, …).
+
+use crate::harness::{Prepared, Sizing};
+use crate::report::Table;
+use at_core::closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport};
+use at_core::install::EdgeDevice;
+use at_core::perf::PerfModel;
+use at_core::predict::PredictionModel;
+use at_core::qos::QosMetric;
+use at_core::runtime::Policy;
+use at_hw::{Disturbance, DisturbedDevice, FrequencyLadder, Scenario};
+use at_models::BenchmarkId;
+
+/// Per-ladder-step aggregate of the DVFS-sweep figure.
+#[derive(serde::Serialize)]
+struct SweepStepRow {
+    freq_mhz: f64,
+    static_norm_time: f64,
+    static_norm_time_roofline: f64,
+    dynamic_norm_time_p1: f64,
+    dynamic_norm_time_p2: f64,
+    qos_p1: f64,
+    qos_p2: f64,
+}
+
+/// The whole artifact written to `results/runtime_adapt.json`.
+#[derive(serde::Serialize)]
+struct Artifact {
+    benchmark: String,
+    baseline_time_s: f64,
+    baseline_qos: f64,
+    curve_points: usize,
+    curve_max_speedup: f64,
+    sweep_figure: Vec<SweepStepRow>,
+    runs: Vec<ClosedLoopReport>,
+}
+
+fn scenarios(batches_per_freq: usize) -> Vec<Scenario> {
+    let ladder = FrequencyLadder::tx2_gpu();
+    vec![
+        Scenario::tx2_dvfs_sweep(batches_per_freq),
+        Scenario::new("thermal-throttle", ladder.clone(), 240, 11).with(Disturbance::ThermalRamp {
+            at: 40,
+            len: 80,
+            floor_idx: 8,
+        }),
+        Scenario::new("brownout-spike", ladder.clone(), 240, 12)
+            .with(Disturbance::Brownout {
+                at: 40,
+                len: 60,
+                frequency_factor: 0.65,
+            })
+            .with(Disturbance::LoadSpike {
+                at: 140,
+                len: 60,
+                time_factor: 1.6,
+            })
+            .with(Disturbance::TimingJitter { amplitude: 0.01 }),
+        Scenario::new("sensor-dropout", ladder, 240, 13)
+            .with(Disturbance::SensorDropout { at: 40, len: 120 })
+            .with(Disturbance::GovernorStep {
+                at: 60,
+                ladder_idx: 7,
+            }),
+    ]
+}
+
+/// Mean normalised time of the *static* (no adaptation) program under a
+/// scenario — what Figure 6 plots as the growing dashed line.
+fn static_mean_norm(device: &DisturbedDevice, baseline: f64) -> f64 {
+    let n = device.scenario().invocations();
+    (0..n)
+        .map(|i| device.invocation_time(&device.state_at(i), baseline, 1.0) / baseline)
+        .sum::<f64>()
+        / n.max(1) as f64
+}
+
+/// Runs the whole experiment: tune + refine a curve, replay every scenario
+/// under both policies, print the summary tables and write the JSON
+/// artifact.
+pub fn run() {
+    let sizing = Sizing::from_env();
+    let device = EdgeDevice::tx2();
+    let id = match std::env::var("AT_BENCH").as_deref() {
+        Ok("alexnet") => BenchmarkId::AlexNetImageNet,
+        Ok("alexnet2") => BenchmarkId::AlexNet2,
+        _ => BenchmarkId::ResNet18,
+    };
+    let window = std::env::var("AT_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let min_dwell = std::env::var("AT_DWELL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let batches_per_freq = 20usize;
+
+    eprintln!("[runtime_adapt] preparing {} …", id.name());
+    let p = Prepared::new(id, sizing);
+    let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+    let params = p.params(3.0, PredictionModel::Pi1, sizing);
+    let dev_result = p.tune(&profiles, &params);
+    let reference = p.cal_reference();
+    let curve = at_core::install::refine_software_only(
+        &p.bench.graph,
+        &p.registry,
+        &device,
+        at_core::install::InstallObjective::Speedup,
+        &dev_result.curve,
+        &p.cal.batches,
+        QosMetric::Accuracy,
+        &reference,
+        params.qos_min,
+        p.cal.batches[0].shape(),
+        0,
+    )
+    .expect("refinement succeeds");
+    let baseline_qos = p.baseline_cal_accuracy();
+
+    let perf =
+        PerfModel::new(&p.bench.graph, &p.registry, p.cal.batches[0].shape()).expect("perf model");
+    let baseline_cfg = at_core::Config::baseline(&p.bench.graph);
+    let base_time = perf.device_time(&baseline_cfg, &device.timing, &device.promise);
+    let max_speedup = curve.points().iter().map(|q| q.perf).fold(1.0, f64::max);
+    eprintln!(
+        "[runtime_adapt] curve: {} points, max speedup {max_speedup:.2}x, baseline {base_time:.4}s",
+        curve.len()
+    );
+
+    let mut runs: Vec<ClosedLoopReport> = Vec::new();
+    let mut summary = Table::new(&[
+        "Scenario",
+        "Policy",
+        "Static time (norm)",
+        "Dynamic time (norm)",
+        "Hit rate (2%)",
+        "Switches",
+        "Breaches",
+        "QoS drop (pp)",
+    ]);
+    for scenario in scenarios(batches_per_freq) {
+        let disturbed = DisturbedDevice::new(scenario, device.power.clone());
+        let static_norm = static_mean_norm(&disturbed, base_time);
+        for policy in [Policy::EnforceEachInvocation, Policy::AverageOverTime] {
+            let report = run_closed_loop(
+                &curve,
+                base_time,
+                &disturbed,
+                &ClosedLoopParams {
+                    policy,
+                    window,
+                    min_dwell,
+                    seed: 7,
+                    baseline_qos,
+                },
+            );
+            summary.row(vec![
+                report.scenario.clone(),
+                report.policy.clone(),
+                format!("{static_norm:.2}"),
+                format!("{:.3}", report.mean_norm_time),
+                format!("{:.0}%", 100.0 * report.target_hit_rate(0.02)),
+                format!("{}", report.switches),
+                format!("{}", report.breaches),
+                format!("{:.2}", baseline_qos - report.mean_qos),
+            ]);
+            runs.push(report);
+        }
+    }
+
+    // Per-ladder-step aggregation of the sweep runs — the figure's x-axis.
+    let ladder = FrequencyLadder::tx2_gpu();
+    let (p1, p2) = (&runs[0], &runs[1]);
+    let mut sweep_figure = Vec::new();
+    let mut fig_table = Table::new(&[
+        "Freq (MHz)",
+        "Static (norm)",
+        "Roofline (norm)",
+        "P1 dyn (norm)",
+        "P2 dyn (norm)",
+        "P1 QoS",
+        "P2 QoS",
+    ]);
+    let roofline_base = base_time;
+    for step in 0..ladder.len() {
+        let lo = step * batches_per_freq;
+        let hi = lo + batches_per_freq;
+        let mean = |rows: &[at_core::closed_loop::TraceRow],
+                    f: fn(&at_core::closed_loop::TraceRow) -> f64| {
+            rows[lo..hi].iter().map(f).sum::<f64>() / batches_per_freq as f64
+        };
+        // The roofline static time uses the full timing model at the step's
+        // clock: memory-bound layers flatten the slowdown slightly below
+        // the compute-bound `f_nominal / f` line.
+        let throttled = device.timing.clone().with_frequency_mhz(ladder.at(step));
+        let roofline = perf.device_time(&baseline_cfg, &throttled, &device.promise) / roofline_base;
+        let row = SweepStepRow {
+            freq_mhz: ladder.at(step),
+            static_norm_time: ladder.slowdown(step),
+            static_norm_time_roofline: roofline,
+            dynamic_norm_time_p1: mean(&p1.trace, |r| r.norm_time),
+            dynamic_norm_time_p2: mean(&p2.trace, |r| r.norm_time),
+            qos_p1: mean(&p1.trace, |r| r.qos),
+            qos_p2: mean(&p2.trace, |r| r.qos),
+        };
+        fig_table.row(vec![
+            format!("{:.0}", row.freq_mhz),
+            format!("{:.2}", row.static_norm_time),
+            format!("{:.2}", row.static_norm_time_roofline),
+            format!("{:.2}", row.dynamic_norm_time_p1),
+            format!("{:.2}", row.dynamic_norm_time_p2),
+            format!("{:.2}", row.qos_p1),
+            format!("{:.2}", row.qos_p2),
+        ]);
+        sweep_figure.push(row);
+    }
+
+    println!(
+        "\nRuntime adaptation ({}): closed loop under injected disturbances\n",
+        id.name()
+    );
+    summary.print();
+    println!("\nDVFS sweep, per frequency step (dynamic stays near 1.0 while QoS degrades):\n");
+    fig_table.print();
+
+    crate::report::write_json_compact(
+        "runtime_adapt",
+        &Artifact {
+            benchmark: id.name().to_string(),
+            baseline_time_s: base_time,
+            baseline_qos,
+            curve_points: curve.len(),
+            curve_max_speedup: max_speedup,
+            sweep_figure,
+            runs,
+        },
+    );
+}

@@ -18,6 +18,10 @@
 //! 3. **Run-time tuning** (§5, [`runtime`]): a sliding-window performance
 //!    monitor picks configurations off the shipped curve to counteract
 //!    slowdowns (e.g. DVFS low-power modes), with two selection policies.
+//!    [`closed_loop`] closes that loop against `at-hw`'s disturbed device
+//!    model (DVFS sweeps, thermal throttling, brownouts, load spikes,
+//!    sensor dropout) with feed-forward + feedback control, graceful
+//!    QoS-floor degradation and a structured adaptation report.
 //!
 //! [`knobs`] defines the integer knob registry (63 per convolution, 8 per
 //! reduction, 2 per other op — §2.3); [`config`] the per-program
@@ -32,6 +36,7 @@
 //! in proposal order — so seeded runs are deterministic regardless of
 //! thread count.
 
+pub mod closed_loop;
 pub mod config;
 pub mod empirical;
 pub mod evaluate;
@@ -48,6 +53,7 @@ pub mod search;
 pub mod ship;
 pub mod tuner;
 
+pub use closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport, TraceRow};
 pub use config::Config;
 pub use evaluate::{CacheStats, Evaluation, Evaluator};
 pub use knobs::{Knob, KnobId, KnobRegistry, KnobSet};

@@ -98,17 +98,35 @@ impl SystemMonitor {
     }
 }
 
+/// What kind of control decision an [`AdaptationEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Reactive reselection: the sliding-window statistics missed the
+    /// target (load spikes, or any disturbance during sensor dropout).
+    Feedback,
+    /// Proactive reselection: the frequency sensor reported a clock change
+    /// before the invocation ran (the §6.4 DVFS experiments).
+    FeedForward,
+    /// Graceful degradation: the required speedup exceeds every curve
+    /// point, so selection clamped to the fastest point and the QoS floor
+    /// is breached (never a panic).
+    QosFloorBreach,
+}
+
 /// One control decision, as recorded for offline analysis.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AdaptationEvent {
     /// Invocation index at which the decision was taken.
     pub invocation: usize,
-    /// Window-mean time that triggered it, seconds.
+    /// Window-mean time that triggered it, seconds (for feed-forward
+    /// events: the most recent observation when the sensor fired).
     pub observed_time_s: f64,
     /// The required total speedup computed by the controller.
     pub required_speedup: f64,
     /// The (qos, perf) of the selected point; None = fell back to baseline.
     pub selected: Option<(f64, f64)>,
+    /// What triggered the decision.
+    pub kind: EventKind,
 }
 
 /// Records the dynamic tuner's decisions.
@@ -130,12 +148,14 @@ impl AdaptationLog {
         observed_time_s: f64,
         required_speedup: f64,
         selected: Option<&TradeoffPoint>,
+        kind: EventKind,
     ) {
         self.events.push(AdaptationEvent {
             invocation,
             observed_time_s,
             required_speedup,
             selected: selected.map(|p| (p.qos, p.perf)),
+            kind,
         });
     }
 
@@ -144,9 +164,21 @@ impl AdaptationLog {
         &self.events
     }
 
-    /// Number of configuration changes recorded.
+    /// Number of configuration changes recorded (breach markers are state
+    /// transitions, not switches).
     pub fn switches(&self) -> usize {
-        self.events.len()
+        self.events
+            .iter()
+            .filter(|e| e.kind != EventKind::QosFloorBreach)
+            .count()
+    }
+
+    /// Number of QoS-floor breaches recorded.
+    pub fn breaches(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::QosFloorBreach)
+            .count()
     }
 
     /// Serialises the log (an artifact the fig6 harness can persist).
@@ -215,7 +247,7 @@ mod tests {
     #[test]
     fn log_roundtrip() {
         let mut log = AdaptationLog::new();
-        log.push(10, 1.5, 1.5, None);
+        log.push(10, 1.5, 1.5, None, EventKind::Feedback);
         log.push(
             20,
             1.2,
@@ -225,12 +257,17 @@ mod tests {
                 perf: 1.5,
                 config: crate::config::Config::from_knobs(vec![]),
             }),
+            EventKind::FeedForward,
         );
+        log.push(30, 4.2, 5.0, None, EventKind::QosFloorBreach);
         assert_eq!(log.switches(), 2);
+        assert_eq!(log.breaches(), 1);
         let json = log.to_json();
         let back: AdaptationLog = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.events().len(), 2);
+        assert_eq!(back.events().len(), 3);
         assert_eq!(back.events()[1].selected, Some((88.0, 1.5)));
+        assert_eq!(back.events()[1].kind, EventKind::FeedForward);
+        assert_eq!(back.events()[2].kind, EventKind::QosFloorBreach);
     }
 
     #[test]

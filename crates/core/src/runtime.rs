@@ -32,6 +32,16 @@ pub enum Policy {
     AverageOverTime,
 }
 
+impl Policy {
+    /// Stable display name (used in reports and JSON artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::EnforceEachInvocation => "enforce-each-invocation",
+            Policy::AverageOverTime => "average-over-time",
+        }
+    }
+}
+
 /// The dynamic tuner.
 pub struct RuntimeTuner {
     curve: TradeoffCurve,
@@ -79,6 +89,43 @@ impl RuntimeTuner {
     /// The currently selected tradeoff point (None = baseline config).
     pub fn current_point(&self) -> Option<&TradeoffPoint> {
         self.current.map(|i| &self.curve.points()[i])
+    }
+
+    /// Index of the current point on the curve (None = baseline config).
+    pub fn current_index(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The shipped curve the tuner selects from.
+    pub fn curve(&self) -> &TradeoffCurve {
+        &self.curve
+    }
+
+    /// The highest speedup any curve point delivers (1.0 for an empty
+    /// curve): beyond this, the performance target cannot be met and
+    /// selection clamps to the fastest point.
+    pub fn max_speedup(&self) -> f64 {
+        self.curve
+            .points()
+            .iter()
+            .map(|p| p.perf)
+            .fold(1.0, f64::max)
+    }
+
+    /// Clears the sliding window, e.g. after a sensed frequency change
+    /// invalidates samples measured under the old clock.
+    pub fn reset_window(&mut self) {
+        self.window.clear();
+    }
+
+    /// Feed-forward entry point: re-selects a configuration for an
+    /// externally computed required speedup (e.g. from a sensed DVFS
+    /// transition, before the next invocation runs) instead of waiting for
+    /// the sliding window to observe the slowdown. Policy 2 re-rolls its
+    /// probabilistic mix on every call, which is how the average target is
+    /// met over time. Returns the new point when the selection changed.
+    pub fn adapt_to(&mut self, required_speedup: f64) -> Option<&TradeoffPoint> {
+        self.select_for_speedup(required_speedup)
     }
 
     /// The speedup of the current configuration relative to baseline.

@@ -19,14 +19,19 @@
 //!   (GPU power drops ~7×, total system power ~1.9× across the ladder).
 //! * [`rails`] — a simulated 1 kHz rail sampler and integrating energy
 //!   meter, mirroring the paper's I2C profiler.
+//! * [`disturb`] — scripted time-varying disturbances (governor steps,
+//!   thermal throttling, brownouts, load spikes, sensor dropout) against
+//!   the device model, for closed-loop runtime-adaptation experiments.
 
 pub mod device;
+pub mod disturb;
 pub mod dvfs;
 pub mod power;
 pub mod rails;
 pub mod timing;
 
 pub use device::{ComputeUnitKind, DeviceSpec};
+pub use disturb::{DeviceState, Disturbance, DisturbedDevice, Scenario};
 pub use dvfs::FrequencyLadder;
 pub use power::{PowerModel, RailPower};
 pub use rails::{EnergyMeter, RailSampler};

@@ -41,6 +41,13 @@ impl TimingModel {
         self.freq_mhz = mhz.clamp(1.0, self.spec.nominal_mhz);
     }
 
+    /// Builder-style clone at a different clock, for evaluating a program
+    /// across ladder steps without mutating the shared device model.
+    pub fn with_frequency_mhz(mut self, mhz: f64) -> TimingModel {
+        self.set_frequency_mhz(mhz);
+        self
+    }
+
     /// Predicted execution time in seconds of one tensor op with baseline
     /// counts `counts`, *algorithmic* reduction factors `alg` (sampling /
     /// perforation only — precision effects are applied here from

@@ -1,0 +1,121 @@
+//! Property tests for the disturbance engine: whatever the script, the
+//! resolved device state and invocation times stay physical (finite,
+//! positive) and replay deterministically.
+
+use at_hw::disturb::{DeviceState, Disturbance, DisturbedDevice, Scenario};
+use at_hw::FrequencyLadder;
+use proptest::prelude::*;
+
+/// An arbitrary disturbance: a kind selector plus a shared parameter
+/// tuple, mapped onto the matching variant (the vendored proptest has no
+/// `prop_oneof!`).
+fn disturbance() -> impl Strategy<Value = Disturbance> {
+    (0u8..6, 0usize..100, 0usize..40, 0usize..12, 0.01f64..4.0).prop_map(
+        |(kind, at, len, idx, x)| match kind {
+            0 => Disturbance::GovernorStep {
+                at,
+                ladder_idx: idx,
+            },
+            1 => Disturbance::ThermalRamp {
+                at,
+                len,
+                floor_idx: idx,
+            },
+            2 => Disturbance::Brownout {
+                at,
+                len,
+                frequency_factor: (x / 4.0).clamp(0.01, 1.0),
+            },
+            3 => Disturbance::LoadSpike {
+                at,
+                len,
+                time_factor: x,
+            },
+            4 => Disturbance::SensorDropout { at, len },
+            _ => Disturbance::TimingJitter {
+                amplitude: (x / 8.0).clamp(0.0, 0.49),
+            },
+        },
+    )
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (proptest::collection::vec(disturbance(), 0..8), 0u64..1000).prop_map(|(ds, seed)| {
+        let mut s = Scenario::new("prop", FrequencyLadder::tx2_gpu(), 120, seed);
+        for d in ds {
+            s = s.with(d);
+        }
+        s
+    })
+}
+
+fn physical(st: &DeviceState) -> bool {
+    st.freq_mhz.is_finite()
+        && st.freq_mhz > 0.0
+        && st.load_factor.is_finite()
+        && st.load_factor > 0.0
+}
+
+proptest! {
+    #[test]
+    fn resolved_state_is_always_physical(s in scenario()) {
+        for i in 0..s.invocations() {
+            let st = s.state_at(i);
+            prop_assert!(physical(&st), "unphysical state {st:?} at invocation {i}");
+            // The clock never exceeds the ladder's top step.
+            prop_assert!(st.freq_mhz <= FrequencyLadder::tx2_gpu().max() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn invocation_times_are_never_nan_or_negative(
+        s in scenario(),
+        baseline in 1e-6f64..10.0,
+        speedup in 0.5f64..8.0,
+    ) {
+        let d = DisturbedDevice::tx2(s);
+        for i in 0..d.scenario().invocations() {
+            let t = d.invocation_time(&d.state_at(i), baseline, speedup);
+            prop_assert!(t.is_finite() && t > 0.0, "time {t} at invocation {i}");
+        }
+    }
+
+    #[test]
+    fn state_resolution_is_replayable(s in scenario()) {
+        let twin = s.clone();
+        for i in 0..s.invocations() {
+            prop_assert_eq!(s.state_at(i), twin.state_at(i));
+        }
+    }
+
+    #[test]
+    fn sensors_report_iff_no_dropout(s in scenario()) {
+        let d = DisturbedDevice::tx2(s);
+        for i in 0..d.scenario().invocations() {
+            let st = d.state_at(i);
+            let (f, p) = d.sensors(&st);
+            prop_assert_eq!(f.is_some(), st.sensors_ok);
+            prop_assert_eq!(p.is_some(), st.sensors_ok);
+            if let (Some(f), Some(p)) = (f, p) {
+                prop_assert_eq!(f, st.freq_mhz);
+                prop_assert!(p.is_finite() && p > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn governor_step_pins_the_ladder_frequency(
+        idx in 0usize..12,
+        at in 0usize..50,
+    ) {
+        let ladder = FrequencyLadder::tx2_gpu();
+        let s = Scenario::new("pin", ladder.clone(), 100, 0)
+            .with(Disturbance::GovernorStep { at, ladder_idx: idx });
+        for i in at..100 {
+            prop_assert_eq!(s.state_at(i).freq_mhz, ladder.at(idx));
+        }
+        for i in 0..at {
+            prop_assert_eq!(s.state_at(i).freq_mhz, ladder.max());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `runtime_adapt` experiment, so
+//! `cargo run --release --bin runtime_adapt` works without `-p at-bench`;
+//! see `at_bench::runtime_adapt` for the experiment body.
+
+fn main() {
+    at_bench::runtime_adapt::run();
+}

@@ -5,11 +5,16 @@
 //! same seed must produce bit-identical tradeoff curves whether candidates
 //! are evaluated on one thread or a pool.
 
+use approxtuner::core::closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport};
+use approxtuner::core::config::Config;
 use approxtuner::core::empirical::EmpiricalTuner;
 use approxtuner::core::knobs::KnobRegistry;
+use approxtuner::core::pareto::{TradeoffCurve, TradeoffPoint};
 use approxtuner::core::predict::PredictionModel;
 use approxtuner::core::qos::{QosMetric, QosReference};
+use approxtuner::core::runtime::Policy;
 use approxtuner::core::tuner::{PredictiveTuner, TunerParams, TuningResult};
+use approxtuner::hw::{Disturbance, DisturbedDevice, FrequencyLadder, Scenario};
 use approxtuner::models::data::build_dataset;
 use approxtuner::models::{build, Benchmark, BenchmarkId, Dataset, ModelScale};
 
@@ -110,6 +115,84 @@ fn empirical_tuning_identical_across_thread_counts() {
     let multi = empirical_run(&s, 4);
     assert_identical(&single, &multi);
 }
+
+/// A kitchen-sink scenario exercising every disturbance class at once.
+fn kitchen_sink() -> Scenario {
+    Scenario::new("kitchen-sink", FrequencyLadder::tx2_gpu(), 160, 21)
+        .with(Disturbance::GovernorStep {
+            at: 20,
+            ladder_idx: 5,
+        })
+        .with(Disturbance::ThermalRamp {
+            at: 50,
+            len: 20,
+            floor_idx: 9,
+        })
+        .with(Disturbance::Brownout {
+            at: 90,
+            len: 15,
+            frequency_factor: 0.8,
+        })
+        .with(Disturbance::LoadSpike {
+            at: 110,
+            len: 20,
+            time_factor: 1.5,
+        })
+        .with(Disturbance::SensorDropout { at: 120, len: 25 })
+        .with(Disturbance::TimingJitter { amplitude: 0.02 })
+}
+
+fn adaptation_run(policy: Policy, threads: usize) -> ClosedLoopReport {
+    let curve = TradeoffCurve::from_points(
+        [1.15, 1.5, 2.0, 2.6, 3.3, 4.2]
+            .iter()
+            .enumerate()
+            .map(|(i, &perf)| TradeoffPoint {
+                qos: 98.0 - 2.0 * i as f64,
+                perf,
+                config: Config::from_knobs(vec![]),
+            })
+            .collect(),
+    );
+    let device = DisturbedDevice::tx2(kitchen_sink());
+    let params = ClosedLoopParams {
+        policy,
+        window: 4,
+        ..ClosedLoopParams::default()
+    };
+    in_pool(threads, || run_closed_loop(&curve, 0.05, &device, &params))
+}
+
+#[test]
+fn closed_loop_reports_identical_across_thread_counts() {
+    // The closed loop is sequential by construction — device state is a
+    // pure function of (scenario, seed, invocation) — so the full report
+    // (trace + adaptation log) must be bit-identical JSON regardless of
+    // the ambient rayon pool.
+    for policy in [Policy::EnforceEachInvocation, Policy::AverageOverTime] {
+        let single = adaptation_run(policy, 1);
+        let multi = adaptation_run(policy, 4);
+        assert!(!single.log.events().is_empty(), "scenario forced no events");
+        assert_eq!(
+            single.to_json(),
+            multi.to_json(),
+            "{policy:?} report differs across thread counts"
+        );
+    }
+}
+
+#[test]
+fn adaptation_log_first_event_matches_golden_snapshot() {
+    // Pins the serialised form of one adaptation event: the feed-forward
+    // re-selection at the kitchen-sink scenario's first governor step.
+    // Churn here means either the controller or the JSON encoding drifted.
+    let r = adaptation_run(Policy::EnforceEachInvocation, 2);
+    let first = serde_json::to_string(&r.log.events()[0]).expect("serialises");
+    assert_eq!(first, GOLDEN_FIRST_EVENT, "golden adaptation event drifted");
+}
+
+const GOLDEN_FIRST_EVENT: &str = "{\"invocation\":20,\"observed_time_s\":0.04990458067877124,\
+     \"required_speedup\":1.5223880597014925,\"selected\":[94,2],\"kind\":\"FeedForward\"}";
 
 #[test]
 fn cache_counters_reconcile_with_iterations() {
