@@ -1,0 +1,6 @@
+//! Fault-injection sweep over the supervised tuning pipeline; see
+//! `at_bench::tune_faults` for the experiment body.
+
+fn main() {
+    at_bench::tune_faults::run();
+}

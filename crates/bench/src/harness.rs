@@ -157,6 +157,7 @@ impl Prepared {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(16),
+            robustness: at_core::tuner::RobustnessParams::default(),
         }
     }
 

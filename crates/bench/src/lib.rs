@@ -9,3 +9,4 @@
 pub mod harness;
 pub mod report;
 pub mod runtime_adapt;
+pub mod tune_faults;

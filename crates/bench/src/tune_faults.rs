@@ -1,0 +1,203 @@
+//! Fault-tolerance sweep over the development-time tuner — the body of the
+//! `tune_faults` binary.
+//!
+//! Injects deterministic faults (transient errors, panics, stalls,
+//! poisoned QoS/perf readings) into every candidate evaluation at a range
+//! of per-attempt fault rates, and reports how the supervised tuning
+//! pipeline holds up: faults absorbed, retries spent, candidates
+//! quarantined or skipped, and how close the final curve stays to the
+//! zero-fault run. Also demonstrates crash recovery: the highest-rate run
+//! is repeated with a checkpoint + forced halt + resume, and the resumed
+//! result is compared bit-for-bit against the uninterrupted one. Results go
+//! to `results/fault_tolerance.json`.
+//!
+//! Environment: `AT_BENCH` selects the benchmark (`lenet` default,
+//! `alexnet`, `alexnet2`, `resnet18`), `AT_FAULT_RATES` a comma-separated
+//! rate list (default `0,0.05,0.1,0.2,0.3`), `AT_FAULT_SEED` the injection
+//! seed, plus the usual harness sizing variables (`AT_SAMPLES`,
+//! `AT_ITERS`, …).
+
+use crate::harness::{Prepared, Sizing};
+use crate::report::{fx, Table};
+use at_core::checkpoint::{CheckpointPolicy, SearchCheckpoint};
+use at_core::fault::{FaultMix, FaultPlan};
+use at_core::predict::PredictionModel;
+use at_core::supervise::{FaultStats, SupervisionPolicy};
+use at_core::tuner::{RobustnessParams, TunerParams, TuningResult};
+use at_models::BenchmarkId;
+
+/// One row of the fault-rate sweep.
+#[derive(serde::Serialize)]
+struct RateRow {
+    fault_rate: f64,
+    curve_points: usize,
+    best_speedup: f64,
+    best_vs_clean: f64,
+    iterations: usize,
+    search_time_s: f64,
+    faults: FaultStats,
+}
+
+/// The crash-recovery demonstration at the highest sweep rate.
+#[derive(serde::Serialize)]
+struct ResumeDemo {
+    fault_rate: f64,
+    halted_after_rounds: usize,
+    resume_bit_identical: bool,
+}
+
+/// The whole artifact written to `results/fault_tolerance.json`.
+#[derive(serde::Serialize)]
+struct Artifact {
+    benchmark: String,
+    qos_min: f64,
+    fault_seed: u64,
+    sweep: Vec<RateRow>,
+    resume: ResumeDemo,
+}
+
+fn rates_from_env() -> Vec<f64> {
+    std::env::var("AT_FAULT_RATES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| vec![0.0, 0.05, 0.1, 0.2, 0.3])
+}
+
+fn robustness(rate: f64, seed: u64) -> RobustnessParams {
+    RobustnessParams {
+        fault_plan: (rate > 0.0).then(|| FaultPlan {
+            rate,
+            seed,
+            mix: FaultMix::default(),
+            stall_ms: 0,
+        }),
+        supervision: SupervisionPolicy {
+            backoff_ms: 0,
+            ..SupervisionPolicy::default()
+        },
+        ..RobustnessParams::default()
+    }
+}
+
+fn best_speedup(r: &TuningResult) -> f64 {
+    r.curve.points().iter().map(|p| p.perf).fold(1.0, f64::max)
+}
+
+/// Runs the sweep, prints the summary table, writes the JSON artifact.
+pub fn run() {
+    let sizing = Sizing::from_env();
+    let id = match std::env::var("AT_BENCH").as_deref() {
+        Ok("alexnet") => BenchmarkId::AlexNetImageNet,
+        Ok("alexnet2") => BenchmarkId::AlexNet2,
+        Ok("resnet18") => BenchmarkId::ResNet18,
+        _ => BenchmarkId::LeNet,
+    };
+    let fault_seed = std::env::var("AT_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xF417u64);
+    let rates = rates_from_env();
+
+    eprintln!("[tune_faults] preparing {} …", id.name());
+    let p = Prepared::new(id, sizing);
+    let profiles = p.profiles(at_core::knobs::KnobSet::HardwareIndependent);
+    let base_params = p.params(3.0, PredictionModel::Pi1, sizing);
+
+    let tune_at = |robust: RobustnessParams| -> TuningResult {
+        let params = TunerParams {
+            robustness: robust,
+            ..base_params.clone()
+        };
+        p.tune(&profiles, &params)
+    };
+
+    // The sweep.
+    let mut sweep = Vec::new();
+    let mut clean_best = 1.0;
+    for &rate in &rates {
+        eprintln!("[tune_faults] tuning at fault rate {rate} …");
+        let r = tune_at(robustness(rate, fault_seed));
+        let best = best_speedup(&r);
+        if rate == 0.0 {
+            clean_best = best;
+        }
+        sweep.push(RateRow {
+            fault_rate: rate,
+            curve_points: r.curve.len(),
+            best_speedup: best,
+            best_vs_clean: best / clean_best.max(1e-12),
+            iterations: r.iterations,
+            search_time_s: r.search_time_s,
+            faults: r.faults,
+        });
+    }
+
+    // Crash recovery at the highest rate: checkpoint, halt mid-search,
+    // resume from disk, and compare against the uninterrupted run.
+    let demo_rate = rates.iter().cloned().fold(0.0, f64::max);
+    let halt_after = 4usize;
+    let ckpt_path = std::path::Path::new("target").join("tune_faults.ckpt.json");
+    eprintln!("[tune_faults] crash-recovery demo at rate {demo_rate} …");
+    let uninterrupted = tune_at(robustness(demo_rate, fault_seed));
+    let halted = tune_at(RobustnessParams {
+        checkpoint: Some(CheckpointPolicy::new(2, &ckpt_path)),
+        halt_after_rounds: Some(halt_after),
+        ..robustness(demo_rate, fault_seed)
+    });
+    let resumed = match SearchCheckpoint::load(&ckpt_path) {
+        Ok(ckpt) => Some(tune_at(RobustnessParams {
+            resume_from: Some(ckpt),
+            ..robustness(demo_rate, fault_seed)
+        })),
+        Err(e) => {
+            eprintln!("[tune_faults] checkpoint load failed: {e}");
+            None
+        }
+    };
+    let resume_bit_identical = resumed.as_ref().is_some_and(|r| {
+        r.curve.to_json() == uninterrupted.curve.to_json()
+            && r.telemetry == uninterrupted.telemetry
+            && r.faults == uninterrupted.faults
+            && r.iterations == uninterrupted.iterations
+    });
+    let _ = std::fs::remove_file(&ckpt_path);
+
+    // Console summary.
+    let mut t = Table::new(&[
+        "rate", "absorbed", "retries", "quarant.", "skipped", "curve", "best", "vs clean", "iters",
+    ]);
+    for row in &sweep {
+        t.row(vec![
+            format!("{:.2}", row.fault_rate),
+            row.faults.faults_absorbed().to_string(),
+            row.faults.retries.to_string(),
+            row.faults.quarantined.to_string(),
+            row.faults.skipped.to_string(),
+            row.curve_points.to_string(),
+            fx(row.best_speedup),
+            format!("{:.3}", row.best_vs_clean),
+            row.iterations.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "crash recovery at rate {:.2}: halted after {} rounds, resume bit-identical: {}",
+        demo_rate,
+        if halted.halted { halt_after } else { 0 },
+        resume_bit_identical
+    );
+
+    let artifact = Artifact {
+        benchmark: id.name().to_string(),
+        qos_min: base_params.qos_min,
+        fault_seed,
+        sweep,
+        resume: ResumeDemo {
+            fault_rate: demo_rate,
+            halted_after_rounds: if halted.halted { halt_after } else { 0 },
+            resume_bit_identical,
+        },
+    };
+    crate::report::write_json_compact("fault_tolerance", &artifact);
+}

@@ -1,0 +1,324 @@
+//! Versioned checkpoints for long tuning campaigns.
+//!
+//! Development-time tuning runs for hours (§4); a crash near the end of a
+//! campaign must not throw the whole run away. Every N rounds the batch
+//! driver ([`crate::evaluate::run_batched_search`]) serialises a
+//! [`SearchCheckpoint`] capturing *all* advancing state — bandit and RNG
+//! state ([`TunerState`]), the evaluation cache, the collected candidates
+//! and telemetry, and the supervision bookkeeping (quarantine, per-config
+//! attempt cursors) — so a resumed run replays the exact proposal stream
+//! and fault draws of an uninterrupted one, bit for bit.
+//!
+//! The on-disk format is versioned JSON, written atomically (temp file +
+//! rename) so a crash mid-write can never leave a truncated checkpoint in
+//! place of a good one. Loading is strict: version, structure, and float
+//! finiteness are all validated into typed [`CheckpointError`]s.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::{BatchTelemetry, CacheSnapshot};
+use crate::pareto::TradeoffPoint;
+use crate::search::TunerState;
+use crate::supervise::SupervisionSnapshot;
+
+/// Current checkpoint schema version; bumped on any layout change.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// When and where the batch driver writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Write after every N completed rounds (values < 1 behave as 1).
+    pub every_rounds: usize,
+    /// Checkpoint file path (overwritten atomically each time).
+    pub path: PathBuf,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `path` every `every_rounds` rounds.
+    pub fn new(every_rounds: usize, path: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_rounds,
+            path: path.into(),
+        }
+    }
+}
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure (rendered, since `io::Error` is not `Clone`).
+    Io(String),
+    /// The file is not a structurally valid checkpoint.
+    Malformed(String),
+    /// The file is a checkpoint of an incompatible schema version.
+    VersionMismatch {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The checkpoint is valid but was written by a run with different
+    /// parameters than the one trying to resume from it.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+            CheckpointError::VersionMismatch { found } => write!(
+                f,
+                "checkpoint version {found} incompatible with supported version {CHECKPOINT_VERSION}"
+            ),
+            CheckpointError::Mismatch(e) => write!(f, "checkpoint/run mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Everything needed to resume a batched search mid-campaign.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`] at write time).
+    pub version: u32,
+    /// The QoS constraint of the run.
+    pub qos_min: f64,
+    /// The batch size of the run.
+    pub batch_size: usize,
+    /// Completed rounds (seed-anchor round included).
+    pub rounds: usize,
+    /// Bandit, RNG, and technique state.
+    pub tuner: TunerState,
+    /// The evaluation cache (sorted entries + counters).
+    pub cache: CacheSnapshot,
+    /// Constraint-satisfying candidates collected so far.
+    pub candidates: Vec<TradeoffPoint>,
+    /// Per-round telemetry so far.
+    pub telemetry: Vec<BatchTelemetry>,
+    /// Supervision state: fault counters, quarantine, attempt cursors.
+    pub supervision: SupervisionSnapshot,
+}
+
+impl SearchCheckpoint {
+    /// Serialises the checkpoint to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint state contains only finite floats")
+    }
+
+    /// Parses and validates a checkpoint from JSON.
+    pub fn from_json(s: &str) -> Result<SearchCheckpoint, CheckpointError> {
+        // Peek at the version first so an old-format file reports a
+        // version mismatch, not an opaque structural error.
+        if let Ok(v) = serde_json::from_str::<VersionProbe>(s) {
+            if v.version != CHECKPOINT_VERSION {
+                return Err(CheckpointError::VersionMismatch { found: v.version });
+            }
+        }
+        let cp: SearchCheckpoint =
+            serde_json::from_str(s).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::VersionMismatch { found: cp.version });
+        }
+        if !cp.qos_min.is_finite() {
+            return Err(CheckpointError::Malformed("non-finite qos_min".into()));
+        }
+        Ok(cp)
+    }
+
+    /// Writes the checkpoint atomically: serialise to `<path>.tmp`, then
+    /// rename over `path`, so a crash mid-write never corrupts an existing
+    /// good checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = self.to_json();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &json).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Loads and validates a checkpoint from disk.
+    pub fn load(path: &Path) -> Result<SearchCheckpoint, CheckpointError> {
+        let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        SearchCheckpoint::from_json(&json)
+    }
+
+    /// Checks that this checkpoint belongs to a run with the given
+    /// parameters — resuming under different parameters would silently
+    /// break bit-identical replay, so it is refused instead.
+    pub fn validate_run(&self, qos_min: f64, batch_size: usize) -> Result<(), CheckpointError> {
+        if self.qos_min != qos_min {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint qos_min {} vs run qos_min {}",
+                self.qos_min, qos_min
+            )));
+        }
+        if self.batch_size != batch_size.max(1) {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint batch_size {} vs run batch_size {}",
+                self.batch_size, batch_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Minimal probe deserialising only the version field (tolerates any
+/// trailing fields because the vendored deserializer ignores unknown keys).
+#[derive(Deserialize)]
+struct VersionProbe {
+    version: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::evaluate::{CacheStats, Evaluation};
+    use crate::knobs::KnobId;
+    use crate::search::{ArmState, TechniqueState};
+    use crate::supervise::FaultStats;
+
+    fn sample() -> SearchCheckpoint {
+        SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            qos_min: 89.5,
+            batch_size: 16,
+            rounds: 3,
+            tuner: TunerState {
+                rng: [1, 2, 3, u64::MAX],
+                iterations: 48,
+                since_improvement: 7,
+                best: Some((Config::from_knobs(vec![KnobId(2), KnobId(0)]), 1.75)),
+                arms: vec![ArmState {
+                    history: vec![true, false, true],
+                    uses: 12,
+                }],
+                techniques: vec![
+                    TechniqueState::Random,
+                    TechniqueState::Evolutionary { sites: 3 },
+                    TechniqueState::Torczon {
+                        center: Some(vec![1, 0]),
+                        step: 2,
+                    },
+                    TechniqueState::NelderMead {
+                        simplex: vec![(vec![0, 1], 1.25)],
+                        max_vertices: 8,
+                    },
+                ],
+            },
+            cache: CacheSnapshot {
+                entries: vec![(
+                    Config::from_knobs(vec![KnobId(2), KnobId(0)]),
+                    Evaluation {
+                        qos: 92.125,
+                        perf: 1.75,
+                    },
+                )],
+                stats: CacheStats {
+                    hits: 30,
+                    misses: 17,
+                    dedup: 1,
+                },
+            },
+            candidates: vec![TradeoffPoint {
+                qos: 92.125,
+                perf: 1.75,
+                config: Config::from_knobs(vec![KnobId(2), KnobId(0)]),
+            }],
+            telemetry: vec![BatchTelemetry {
+                round: 0,
+                proposed: 2,
+                cached: 0,
+                evaluated: 2,
+                failed: 0,
+                best_fitness: 1.75,
+            }],
+            supervision: SupervisionSnapshot {
+                stats: FaultStats {
+                    attempts: 20,
+                    retries: 3,
+                    errors_caught: 2,
+                    panics_caught: 1,
+                    poisoned: 0,
+                    exhausted: 1,
+                    quarantined: 1,
+                    quarantine_hits: 2,
+                    skipped: 1,
+                },
+                quarantine: vec![Config::from_knobs(vec![KnobId(1), KnobId(1)])],
+                failures: vec![],
+                attempt_base: vec![(Config::from_knobs(vec![KnobId(2), KnobId(0)]), 4)],
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let cp = sample();
+        let back = SearchCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn disk_roundtrip_is_exact_and_atomic() {
+        let dir = std::env::temp_dir().join("at_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        // No stray temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(SearchCheckpoint::load(&path).unwrap(), cp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut cp = sample();
+        cp.version = CHECKPOINT_VERSION + 1;
+        let err = SearchCheckpoint::from_json(&cp.to_json()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::VersionMismatch {
+                found: CHECKPOINT_VERSION + 1
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_json_is_malformed_not_a_panic() {
+        let json = sample().to_json();
+        for cut in [0, 1, json.len() / 2, json.len() - 1] {
+            let err = SearchCheckpoint::from_json(&json[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Malformed(_) | CheckpointError::VersionMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = SearchCheckpoint::load(Path::new("/nonexistent/at/cp.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn run_validation_rejects_parameter_drift() {
+        let cp = sample();
+        cp.validate_run(89.5, 16).unwrap();
+        assert!(matches!(
+            cp.validate_run(90.0, 16),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            cp.validate_run(89.5, 8),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

@@ -7,7 +7,7 @@
 //! predictive tuner; only the QoS estimate differs: every iteration runs
 //! the program on the calibration inputs.
 
-use crate::evaluate::{run_batched_search, EmpiricalEvaluator, EvalCache};
+use crate::evaluate::{EmpiricalEvaluator, EvalCache};
 use crate::knobs::KnobRegistry;
 use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve};
 use crate::perf::PerfModel;
@@ -65,21 +65,15 @@ impl<'a> EmpiricalTuner<'a> {
         let mut cache = EvalCache::new();
         // Same feasible anchors as the predictive tuner (baseline, all-FP16).
         let seeds = crate::tuner::seed_configs(self.graph, self.registry);
-        let outcome = run_batched_search(
-            &mut tuner,
-            &evaluator,
-            &mut cache,
-            &seeds,
-            params.qos_min,
-            params.batch_size,
-        )?;
+        let outcome =
+            crate::tuner::run_supervised(&mut tuner, &evaluator, &mut cache, &seeds, params)?;
         let candidates = outcome.candidates;
         let search_time_s = started.elapsed().as_secs_f64();
 
         // QoS already measured — only curve selection remains.
         let eps = eps_for_budget(&candidates, params.max_shipped);
         let mut kept = pareto_set_eps(&candidates, eps);
-        kept.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
+        kept.sort_by(|a, b| a.perf.total_cmp(&b.perf));
         kept.dedup_by(|a, b| a.config == b.config);
         let kept = cap_points(kept, params.max_shipped);
         let curve = TradeoffCurve::from_points_eps(kept, f64::INFINITY);
@@ -93,6 +87,8 @@ impl<'a> EmpiricalTuner<'a> {
             alpha: 1.0,
             cache: cache.stats(),
             telemetry: outcome.telemetry,
+            faults: outcome.faults,
+            halted: outcome.halted,
         })
     }
 }

@@ -21,6 +21,7 @@
 //! than per iteration (so a run can overshoot the window by at most one
 //! batch).
 
+use crate::checkpoint::{CheckpointPolicy, SearchCheckpoint, CHECKPOINT_VERSION};
 use crate::config::Config;
 use crate::knobs::KnobRegistry;
 use crate::pareto::TradeoffPoint;
@@ -29,13 +30,15 @@ use crate::predict::Predictor;
 use crate::profile::measure_config;
 use crate::qos::{QosMetric, QosReference};
 use crate::search::Autotuner;
+use crate::supervise::{EvalError, FaultStats, SupervisedEvaluator};
 use at_ir::Graph;
 use at_tensor::{Tensor, TensorError};
 use rayon::ParallelSlice;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One candidate's estimated quality and performance.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
     /// QoS estimate (same unit as the driving metric).
     pub qos: f64,
@@ -52,6 +55,25 @@ pub struct Evaluation {
 pub trait Evaluator: Sync {
     /// Scores one configuration.
     fn evaluate(&self, config: &Config) -> Result<Evaluation, TensorError>;
+}
+
+/// An evaluator that may answer differently per *attempt* — the seam the
+/// fault-injection layer ([`crate::fault`]) and the supervision layer
+/// ([`crate::supervise`]) meet at. Retrying a failed evaluation passes a
+/// fresh attempt index, so an injected transient fault can clear on retry
+/// while staying a pure function of `(config, attempt)`.
+///
+/// Every plain [`Evaluator`] is an `AttemptEvaluator` that ignores the
+/// attempt index (real evaluators are pure per config).
+pub trait AttemptEvaluator: Sync {
+    /// Scores one configuration on the given attempt.
+    fn evaluate_attempt(&self, config: &Config, attempt: u32) -> Result<Evaluation, TensorError>;
+}
+
+impl<E: Evaluator> AttemptEvaluator for E {
+    fn evaluate_attempt(&self, config: &Config, _attempt: u32) -> Result<Evaluation, TensorError> {
+        self.evaluate(config)
+    }
 }
 
 /// The predictive path of Algorithm 1: QoS from the Π1/Π2 error-composition
@@ -115,7 +137,7 @@ impl Evaluator for EmpiricalEvaluator<'_> {
 }
 
 /// Counters of the evaluation cache.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered by a previously stored evaluation.
     pub hits: usize,
@@ -208,10 +230,85 @@ impl EvalCache {
         }
         Ok(configs.iter().map(|c| self.map[c]).collect())
     }
+
+    /// The supervised sibling of [`EvalCache::evaluate_batch`]: scores a
+    /// batch through a [`SupervisedEvaluator`], returning a per-config
+    /// result in input order. Only successful (finite) evaluations enter
+    /// the cache; failures are reported as typed [`EvalError`]s, and
+    /// in-batch duplicates of a failed config share its error.
+    pub fn evaluate_batch_supervised<E: AttemptEvaluator>(
+        &mut self,
+        supervisor: &SupervisedEvaluator<'_, E>,
+        configs: &[Config],
+    ) -> Vec<Result<Evaluation, EvalError>> {
+        let mut fresh: Vec<Config> = Vec::new();
+        let mut in_flight: HashMap<&Config, ()> = HashMap::new();
+        for c in configs {
+            if self.map.contains_key(c) {
+                self.stats.hits += 1;
+            } else if in_flight.contains_key(c) {
+                self.stats.dedup += 1;
+            } else {
+                in_flight.insert(c, ());
+                fresh.push(c.clone());
+                self.stats.misses += 1;
+            }
+        }
+        drop(in_flight);
+        let results: Vec<Result<Evaluation, EvalError>> =
+            fresh.par_iter().map(|c| supervisor.evaluate(c)).collect();
+        let mut failed: HashMap<&Config, EvalError> = HashMap::new();
+        for (c, r) in fresh.iter().zip(results) {
+            match r {
+                Ok(e) => {
+                    self.map.insert(c.clone(), e);
+                }
+                Err(err) => {
+                    failed.insert(c, err);
+                }
+            }
+        }
+        configs
+            .iter()
+            .map(|c| match self.map.get(c) {
+                Some(e) => Ok(*e),
+                None => Err(failed[c].clone()),
+            })
+            .collect()
+    }
+
+    /// Serialisable snapshot of the cache: entries sorted by knob vector
+    /// (so two identical runs snapshot identically) plus the counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut entries: Vec<(Config, Evaluation)> =
+            self.map.iter().map(|(c, e)| (c.clone(), *e)).collect();
+        entries.sort_by_key(|(c, _)| c.knobs().to_vec());
+        CacheSnapshot {
+            entries,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a cache from a [`EvalCache::snapshot`].
+    pub fn from_snapshot(snap: &CacheSnapshot) -> EvalCache {
+        EvalCache {
+            map: snap.entries.iter().cloned().collect(),
+            stats: snap.stats,
+        }
+    }
+}
+
+/// Serialised form of an [`EvalCache`], stored inside checkpoints.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// `(config, evaluation)` pairs, sorted by knob vector.
+    pub entries: Vec<(Config, Evaluation)>,
+    /// The hit/miss/dedup counters at snapshot time.
+    pub stats: CacheStats,
 }
 
 /// One round of per-batch telemetry from [`run_batched_search`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BatchTelemetry {
     /// Round index (0 = the seed-anchor round).
     pub round: usize,
@@ -221,6 +318,8 @@ pub struct BatchTelemetry {
     pub cached: usize,
     /// Evaluator invocations this round (cache misses).
     pub evaluated: usize,
+    /// Candidates that failed supervision this round (skipped).
+    pub failed: usize,
     /// Best fitness seen so far (after this round's reports).
     pub best_fitness: f64,
 }
@@ -231,94 +330,232 @@ pub struct SearchOutcome {
     pub candidates: Vec<TradeoffPoint>,
     /// Per-round telemetry.
     pub telemetry: Vec<BatchTelemetry>,
+    /// What supervision absorbed (faults, retries, quarantines, skips).
+    pub faults: FaultStats,
+    /// `true` if the loop stopped early at `halt_after_rounds` (a
+    /// simulated crash) rather than by convergence or budget.
+    pub halted: bool,
 }
 
-/// Runs the batch-synchronous search loop shared by the predictive and
-/// empirical tuners (step 3 of Algorithm 1).
+/// The fitness reported to the bandit for a candidate that failed
+/// supervision (errors/panics on every attempt, poisoned readings, or
+/// quarantine). Strongly negative so no failing technique looks good, yet
+/// finite so telemetry and checkpoints serialise exactly.
+pub const FAILED_FITNESS: f64 = -1.0e9;
+
+/// Knobs of [`run_batched_search`] beyond the evaluator itself.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// The QoS constraint driving the fitness shape.
+    pub qos_min: f64,
+    /// Proposals per round (≥ 1).
+    pub batch_size: usize,
+    /// Write a checkpoint every N rounds, if set.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Stop (with `halted = true`) once this many total rounds have run —
+    /// the hook the crash/resume tests use to kill a run mid-campaign.
+    pub halt_after_rounds: Option<usize>,
+}
+
+impl SearchOptions {
+    /// Plain options: no checkpointing, no simulated crash.
+    pub fn new(qos_min: f64, batch_size: usize) -> SearchOptions {
+        SearchOptions {
+            qos_min,
+            batch_size,
+            checkpoint: None,
+            halt_after_rounds: None,
+        }
+    }
+}
+
+/// Runs the supervised batch-synchronous search loop shared by the
+/// predictive and empirical tuners (step 3 of Algorithm 1).
 ///
 /// `seeds` are evaluated first (through the same cache path) and reported
 /// without technique attribution, exactly like the sequential loop's
 /// anchors. Then, while [`Autotuner::continue_tuning`], the bandit proposes
-/// up to `batch_size` candidates, the cache/evaluator scores them, and the
-/// fitness `perf if qos ≥ qos_min else qos − qos_min` is reported back in
-/// proposal order. Candidates with `qos > qos_min` are collected as
+/// up to `batch_size` candidates, the supervised cache path scores them,
+/// and the fitness `perf if qos ≥ qos_min else qos − qos_min` is reported
+/// back in proposal order. Candidates with `qos > qos_min` are collected as
 /// tradeoff points.
-pub fn run_batched_search<E: Evaluator>(
+///
+/// Every candidate runs under the supervisor's isolation/retry/quarantine
+/// envelope: a candidate that fails for good is *skipped* — it is reported
+/// to the bandit as [`FAILED_FITNESS`] (so bandit and RNG state advance
+/// identically on every replay) but never enters the cache or the
+/// candidate set, and the round continues.
+///
+/// When `resume` is given, tuner/cache/supervision state is restored from
+/// the checkpoint and the loop continues from the following round; a
+/// resumed run is bit-identical to one that never stopped. When
+/// `opts.checkpoint` is set, a [`SearchCheckpoint`] is written every N
+/// completed rounds (checkpoint I/O failures are logged and ignored — an
+/// unwritable disk must not kill a tuning campaign).
+pub fn run_batched_search<E: AttemptEvaluator>(
     tuner: &mut Autotuner,
-    evaluator: &E,
+    supervisor: &SupervisedEvaluator<'_, E>,
     cache: &mut EvalCache,
     seeds: &[Config],
-    qos_min: f64,
-    batch_size: usize,
-) -> Result<SearchOutcome, TensorError> {
-    let batch_size = batch_size.max(1);
+    opts: &SearchOptions,
+    resume: Option<&SearchCheckpoint>,
+) -> SearchOutcome {
+    let qos_min = opts.qos_min;
+    let batch_size = opts.batch_size.max(1);
     let mut candidates: Vec<TradeoffPoint> = Vec::new();
     let mut telemetry: Vec<BatchTelemetry> = Vec::new();
+    let mut halted = false;
 
-    if !seeds.is_empty() {
+    if let Some(cp) = resume {
+        tuner.restore(&cp.tuner);
+        *cache = EvalCache::from_snapshot(&cp.cache);
+        supervisor.restore(&cp.supervision);
+        candidates = cp.candidates.clone();
+        telemetry = cp.telemetry.clone();
+    }
+
+    let save_checkpoint = |tuner: &Autotuner,
+                           cache: &EvalCache,
+                           candidates: &[TradeoffPoint],
+                           telemetry: &[BatchTelemetry]| {
+        if let Some(policy) = &opts.checkpoint {
+            let cp = SearchCheckpoint {
+                version: CHECKPOINT_VERSION,
+                qos_min,
+                batch_size,
+                rounds: telemetry.len(),
+                tuner: tuner.snapshot(),
+                cache: cache.snapshot(),
+                candidates: candidates.to_vec(),
+                telemetry: telemetry.to_vec(),
+                supervision: supervisor.snapshot(),
+            };
+            if let Err(e) = cp.save(&policy.path) {
+                eprintln!(
+                    "[at-core] checkpoint write to {} failed (continuing): {e}",
+                    policy.path.display()
+                );
+            }
+        }
+    };
+
+    if telemetry.is_empty() && !seeds.is_empty() {
         let before = cache.stats();
-        let evals = cache.evaluate_batch(evaluator, seeds)?;
-        for (config, eval) in seeds.iter().zip(&evals) {
-            let fitness = record_candidate(config, eval, qos_min, &mut candidates);
+        let results = cache.evaluate_batch_supervised(supervisor, seeds);
+        let mut failed = 0usize;
+        for (config, result) in seeds.iter().zip(&results) {
+            let fitness = supervised_fitness(config, result, qos_min, &mut candidates, &mut failed);
             tuner.report(config, fitness);
         }
-        telemetry.push(round_entry(0, seeds.len(), before, cache.stats(), tuner));
+        supervisor.note_skipped(failed as u64);
+        telemetry.push(round_entry(
+            0,
+            seeds.len(),
+            failed,
+            before,
+            cache.stats(),
+            tuner,
+        ));
+        if checkpoint_due(&opts.checkpoint, telemetry.len()) {
+            save_checkpoint(tuner, cache, &candidates, &telemetry);
+        }
     }
 
     while tuner.continue_tuning() {
+        if opts.halt_after_rounds.is_some_and(|h| telemetry.len() >= h) {
+            halted = true;
+            break;
+        }
         let proposals = tuner.propose_batch(batch_size);
         if proposals.is_empty() {
             break;
         }
         let configs: Vec<Config> = proposals.iter().map(|p| p.config.clone()).collect();
         let before = cache.stats();
-        let evals = cache.evaluate_batch(evaluator, &configs)?;
-        for (proposal, eval) in proposals.iter().zip(&evals) {
-            let fitness = record_candidate(&proposal.config, eval, qos_min, &mut candidates);
+        let results = cache.evaluate_batch_supervised(supervisor, &configs);
+        let mut failed = 0usize;
+        for (proposal, result) in proposals.iter().zip(&results) {
+            let fitness = supervised_fitness(
+                &proposal.config,
+                result,
+                qos_min,
+                &mut candidates,
+                &mut failed,
+            );
             tuner.report_proposal(proposal, fitness);
         }
+        supervisor.note_skipped(failed as u64);
         telemetry.push(round_entry(
             telemetry.len(),
             proposals.len(),
+            failed,
             before,
             cache.stats(),
             tuner,
         ));
+        if checkpoint_due(&opts.checkpoint, telemetry.len()) {
+            save_checkpoint(tuner, cache, &candidates, &telemetry);
+        }
     }
 
-    Ok(SearchOutcome {
+    if halted {
+        // A simulated crash still leaves a checkpoint at the exact halt
+        // round so resume tests have a well-defined restart point.
+        save_checkpoint(tuner, cache, &candidates, &telemetry);
+    }
+
+    SearchOutcome {
         candidates,
         telemetry,
-    })
+        faults: supervisor.stats(),
+        halted,
+    }
+}
+
+fn checkpoint_due(policy: &Option<CheckpointPolicy>, rounds: usize) -> bool {
+    policy
+        .as_ref()
+        .is_some_and(|p| rounds.is_multiple_of(p.every_rounds.max(1)))
 }
 
 /// The shared fitness shape: maximise speedup subject to the QoS
 /// constraint; a violated constraint scores by (negative) violation so the
 /// search is pulled back toward feasibility. Feasible candidates are
-/// collected as tradeoff points.
-fn record_candidate(
+/// collected as tradeoff points; failed candidates are skipped and score
+/// [`FAILED_FITNESS`].
+fn supervised_fitness(
     config: &Config,
-    eval: &Evaluation,
+    result: &Result<Evaluation, EvalError>,
     qos_min: f64,
     candidates: &mut Vec<TradeoffPoint>,
+    failed: &mut usize,
 ) -> f64 {
-    if eval.qos > qos_min {
-        candidates.push(TradeoffPoint {
-            qos: eval.qos,
-            perf: eval.perf,
-            config: config.clone(),
-        });
-    }
-    if eval.qos >= qos_min {
-        eval.perf
-    } else {
-        eval.qos - qos_min
+    match result {
+        Ok(eval) => {
+            if eval.qos > qos_min {
+                candidates.push(TradeoffPoint {
+                    qos: eval.qos,
+                    perf: eval.perf,
+                    config: config.clone(),
+                });
+            }
+            if eval.qos >= qos_min {
+                eval.perf
+            } else {
+                eval.qos - qos_min
+            }
+        }
+        Err(_) => {
+            *failed += 1;
+            FAILED_FITNESS
+        }
     }
 }
 
 fn round_entry(
     round: usize,
     proposed: usize,
+    failed: usize,
     before: CacheStats,
     after: CacheStats,
     tuner: &Autotuner,
@@ -328,7 +565,10 @@ fn round_entry(
         proposed,
         cached: (after.hits - before.hits) + (after.dedup - before.dedup),
         evaluated: after.misses - before.misses,
-        best_fitness: tuner.best().map_or(f64::NEG_INFINITY, |(_, f)| *f),
+        failed,
+        // `f64::MIN`, not −∞: telemetry lives inside checkpoints, and the
+        // vendored serde_json maps non-finite floats to `null`.
+        best_fitness: tuner.best().map_or(f64::MIN, |(_, f)| *f),
     }
 }
 
@@ -337,6 +577,7 @@ mod tests {
     use super::*;
     use crate::knobs::KnobId;
     use crate::search::SearchSpace;
+    use crate::supervise::SupervisionPolicy;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A pure synthetic evaluator that counts its invocations.
@@ -378,8 +619,15 @@ mod tests {
             calls: AtomicUsize::new(0),
         };
         let mut cache = EvalCache::new();
-        let outcome =
-            run_batched_search(&mut tuner, &evaluator, &mut cache, &[], 90.0, 16).unwrap();
+        let sup = SupervisedEvaluator::new(&evaluator, SupervisionPolicy::default());
+        let outcome = run_batched_search(
+            &mut tuner,
+            &sup,
+            &mut cache,
+            &[],
+            &SearchOptions::new(90.0, 16),
+            None,
+        );
         let calls = evaluator.calls.load(Ordering::SeqCst);
         let stats = cache.stats();
         assert!(calls <= 9, "evaluator ran {calls} times for ≤ 9 configs");
@@ -469,7 +717,15 @@ mod tests {
             };
             let mut tuner = Autotuner::new(tiny_space(), 50, 50, 3);
             let mut cache = EvalCache::new();
-            run_batched_search(&mut tuner, &evaluator, &mut cache, &[], 90.0, batch).unwrap();
+            let sup = SupervisedEvaluator::new(&evaluator, SupervisionPolicy::default());
+            run_batched_search(
+                &mut tuner,
+                &sup,
+                &mut cache,
+                &[],
+                &SearchOptions::new(90.0, batch),
+                None,
+            );
             assert!(
                 tuner.iterations() <= 50,
                 "batch {batch}: iterations {} exceed the budget",

@@ -35,11 +35,20 @@
 //! through a config-keyed memoisation cache, and fitness is reported back
 //! in proposal order — so seeded runs are deterministic regardless of
 //! thread count.
+//!
+//! Long campaigns are fault-tolerant: every candidate runs under a
+//! [`supervise::SupervisedEvaluator`] (panic isolation, retry with bounded
+//! backoff, quarantine, non-finite sanitisation), the driver checkpoints
+//! its full state every N rounds ([`checkpoint`]) so a crashed run resumes
+//! bit-identically, and [`fault`] provides deterministic fault injection to
+//! prove all of it under test.
 
+pub mod checkpoint;
 pub mod closed_loop;
 pub mod config;
 pub mod empirical;
 pub mod evaluate;
+pub mod fault;
 pub mod install;
 pub mod knobs;
 pub mod monitor;
@@ -51,13 +60,17 @@ pub mod qos;
 pub mod runtime;
 pub mod search;
 pub mod ship;
+pub mod supervise;
 pub mod tuner;
 
+pub use checkpoint::{CheckpointError, CheckpointPolicy, SearchCheckpoint, CHECKPOINT_VERSION};
 pub use closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport, TraceRow};
 pub use config::Config;
-pub use evaluate::{CacheStats, Evaluation, Evaluator};
+pub use evaluate::{AttemptEvaluator, CacheStats, Evaluation, Evaluator};
+pub use fault::{FaultKind, FaultMix, FaultPlan, FaultyEvaluator};
 pub use knobs::{Knob, KnobId, KnobRegistry, KnobSet};
 pub use pareto::{pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint};
 pub use qos::QosMetric;
 pub use ship::ShippedArtifact;
-pub use tuner::{PredictiveTuner, TunerParams};
+pub use supervise::{EvalError, FaultStats, SupervisedEvaluator, SupervisionPolicy};
+pub use tuner::{PredictiveTuner, RobustnessParams, TunerParams};

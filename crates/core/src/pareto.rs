@@ -88,7 +88,7 @@ pub fn cap_points(mut points: Vec<TradeoffPoint>, max_points: usize) -> Vec<Trad
     if points.len() <= max_points || max_points == 0 {
         return points;
     }
-    points.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
+    points.sort_by(|a, b| a.perf.total_cmp(&b.perf));
     let n = points.len();
     (0..max_points)
         .map(|i| {
@@ -102,6 +102,18 @@ pub fn cap_points(mut points: Vec<TradeoffPoint>, max_points: usize) -> Vec<Trad
         .collect()
 }
 
+/// Sorts points into the curve invariant: *strictly* increasing
+/// performance. Exact performance ties keep only the highest-QoS point —
+/// the runtime's index arithmetic over the curve assumes strict ordering,
+/// so the invariant is enforced where curves are built (and re-checked
+/// where shipped artifacts are loaded, [`crate::ship`]). `total_cmp` keeps
+/// the sort panic-free even if a NaN slips in; validation rejects it later.
+fn sort_strict(mut points: Vec<TradeoffPoint>) -> Vec<TradeoffPoint> {
+    points.sort_by(|a, b| a.perf.total_cmp(&b.perf).then(b.qos.total_cmp(&a.qos)));
+    points.dedup_by(|a, b| a.perf == b.perf);
+    points
+}
+
 /// The tradeoff curve shipped with the program binary: Pareto points
 /// sorted by increasing performance, serialisable to JSON.
 #[derive(Clone, Debug, Serialize, Deserialize, Default)]
@@ -113,18 +125,17 @@ impl TradeoffCurve {
     /// Builds a curve from arbitrary points: keeps the Pareto subset and
     /// sorts by performance.
     pub fn from_points(points: Vec<TradeoffPoint>) -> TradeoffCurve {
-        let mut ps = pareto_set(&points);
-        ps.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
-        ps.dedup_by(|a, b| a.perf == b.perf && a.qos == b.qos);
-        TradeoffCurve { points: ps }
+        TradeoffCurve {
+            points: sort_strict(pareto_set(&points)),
+        }
     }
 
     /// Builds a relaxed curve `PS_ε` (still sorted by performance; used for
     /// the development-time curve that is shipped, §2.2).
     pub fn from_points_eps(points: Vec<TradeoffPoint>, eps: f64) -> TradeoffCurve {
-        let mut ps = pareto_set_eps(&points, eps);
-        ps.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
-        TradeoffCurve { points: ps }
+        TradeoffCurve {
+            points: sort_strict(pareto_set_eps(&points, eps)),
+        }
     }
 
     /// The points, sorted by increasing performance.
@@ -148,7 +159,7 @@ impl TradeoffCurve {
         self.points
             .iter()
             .filter(|p| p.qos >= min_qos)
-            .max_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap())
+            .max_by(|a, b| a.perf.total_cmp(&b.perf))
     }
 
     /// Policy 1 (§5): the *lowest-performance* point with `perf >=

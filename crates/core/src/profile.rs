@@ -153,7 +153,8 @@ pub fn collect_profiles(
     let mut t_base = Vec::with_capacity(inputs.len());
     for b in inputs {
         let all = execute_all(graph, b, &baseline_opts)?;
-        t_base.push(all.last().expect("non-empty graph").clone());
+        let last = all.last().ok_or(TensorError::EmptyGraph)?;
+        t_base.push(last.clone());
         caches.push(all);
     }
     let qos_base = measure(metric, &t_base, reference);

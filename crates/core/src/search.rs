@@ -16,6 +16,7 @@ use crate::config::Config;
 use crate::knobs::KnobId;
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// The per-node allowed-knob lists defining the search space.
 #[derive(Clone, Debug)]
@@ -95,6 +96,54 @@ trait Technique {
         rng: &mut StdRng,
     ) -> Config;
     fn feedback(&mut self, space: &SearchSpace, config: &Config, fitness: f64, improved: bool);
+    /// The technique's adaptive state, for checkpoints.
+    fn state(&self) -> TechniqueState;
+}
+
+/// Serialised adaptive state of one ensemble technique — everything a
+/// technique mutates across iterations, so a checkpointed tuner resumes
+/// with the exact ensemble it stopped with.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TechniqueState {
+    /// [`RandomSearch`] is stateless.
+    Random,
+    /// [`GreedyMutation`]'s adaptive mutation strength.
+    Evolutionary {
+        /// Current mutation sites.
+        sites: usize,
+    },
+    /// [`TorczonHillclimber`]'s pattern state.
+    Torczon {
+        /// Current search center on the index lattice, if established.
+        center: Option<Vec<usize>>,
+        /// Current step length.
+        step: usize,
+    },
+    /// [`NelderMead`]'s simplex.
+    NelderMead {
+        /// `(index vector, fitness)` vertices.
+        simplex: Vec<(Vec<usize>, f64)>,
+        /// Vertex capacity.
+        max_vertices: usize,
+    },
+}
+
+fn technique_from_state(state: &TechniqueState) -> Box<dyn Technique> {
+    match state {
+        TechniqueState::Random => Box::new(RandomSearch),
+        TechniqueState::Evolutionary { sites } => Box::new(GreedyMutation { sites: *sites }),
+        TechniqueState::Torczon { center, step } => Box::new(TorczonHillclimber {
+            center: center.clone(),
+            step: *step,
+        }),
+        TechniqueState::NelderMead {
+            simplex,
+            max_vertices,
+        } => Box::new(NelderMead {
+            simplex: simplex.clone(),
+            max_vertices: *max_vertices,
+        }),
+    }
 }
 
 /// Pure random sampling.
@@ -113,6 +162,9 @@ impl Technique for RandomSearch {
         space.random(rng)
     }
     fn feedback(&mut self, _: &SearchSpace, _: &Config, _: f64, _: bool) {}
+    fn state(&self) -> TechniqueState {
+        TechniqueState::Random
+    }
 }
 
 /// Evolutionary greedy mutation of the incumbent.
@@ -143,6 +195,9 @@ impl Technique for GreedyMutation {
         } else {
             self.sites = (self.sites + 1).min(4);
         }
+    }
+    fn state(&self) -> TechniqueState {
+        TechniqueState::Evolutionary { sites: self.sites }
     }
 }
 
@@ -186,6 +241,12 @@ impl Technique for TorczonHillclimber {
             self.step = (self.step / 2).max(1);
         }
     }
+    fn state(&self) -> TechniqueState {
+        TechniqueState::Torczon {
+            center: self.center.clone(),
+            step: self.step,
+        }
+    }
 }
 
 /// A compact Nelder–Mead variant on the discrete index lattice: reflects
@@ -215,7 +276,9 @@ impl Technique for NelderMead {
             return space.random(rng);
         }
         // Reflect worst vertex through the centroid of the others.
-        self.simplex.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // total_cmp: a NaN fitness must never panic the ensemble (the
+        // supervision layer filters NaN out, but the sort stays robust).
+        self.simplex.sort_by(|a, b| b.1.total_cmp(&a.1));
         let worst = &self.simplex[self.simplex.len() - 1].0;
         let d = worst.len();
         let mut centroid = vec![0.0f64; d];
@@ -241,14 +304,16 @@ impl Technique for NelderMead {
             return;
         }
         // Replace the worst vertex when the proposal beats it.
-        if let Some(worst) = self
-            .simplex
-            .iter_mut()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        {
+        if let Some(worst) = self.simplex.iter_mut().min_by(|a, b| a.1.total_cmp(&b.1)) {
             if fitness > worst.1 {
                 *worst = (idx, fitness);
             }
+        }
+    }
+    fn state(&self) -> TechniqueState {
+        TechniqueState::NelderMead {
+            simplex: self.simplex.clone(),
+            max_vertices: self.max_vertices,
         }
     }
 }
@@ -286,6 +351,36 @@ impl Arm {
             .sum();
         score / denom
     }
+}
+
+/// Serialised state of one AUC-bandit arm.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArmState {
+    /// Improvement history window, oldest first.
+    pub history: Vec<bool>,
+    /// Total uses of the arm.
+    pub uses: usize,
+}
+
+/// Serialised state of an [`Autotuner`]: everything that advances as the
+/// search runs (RNG stream, bandit statistics, technique state, incumbent,
+/// convergence counters). Restoring into a tuner constructed with the same
+/// space and budgets resumes the exact proposal stream — the backbone of
+/// the checkpoint/resume guarantee.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TunerState {
+    /// Raw xoshiro256++ RNG state.
+    pub rng: [u64; 4],
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Iterations since the incumbent last improved.
+    pub since_improvement: usize,
+    /// The incumbent `(config, fitness)`.
+    pub best: Option<(Config, f64)>,
+    /// Per-technique bandit statistics.
+    pub arms: Vec<ArmState>,
+    /// Per-technique adaptive state (same order as `arms`).
+    pub techniques: Vec<TechniqueState>,
 }
 
 /// Outcome of one autotuning iteration.
@@ -474,6 +569,47 @@ impl Autotuner {
             self.techniques[ti].feedback(&self.space, config, fitness, improved);
         }
     }
+
+    /// Captures all advancing state for a checkpoint. The search space and
+    /// the iteration/convergence budgets are *not* captured — a resumed
+    /// tuner must be constructed with the same parameters, which the tuning
+    /// entry points derive deterministically from [`crate::tuner::TunerParams`].
+    pub fn snapshot(&self) -> TunerState {
+        TunerState {
+            rng: self.rng.state(),
+            iterations: self.iterations,
+            since_improvement: self.since_improvement,
+            best: self.best.clone(),
+            arms: self
+                .arms
+                .iter()
+                .map(|a| ArmState {
+                    history: a.history.iter().copied().collect(),
+                    uses: a.uses,
+                })
+                .collect(),
+            techniques: self.techniques.iter().map(|t| t.state()).collect(),
+        }
+    }
+
+    /// Restores state captured by [`Autotuner::snapshot`]. The proposal
+    /// stream continues bit-identically from the snapshot point.
+    pub fn restore(&mut self, state: &TunerState) {
+        self.rng = StdRng::from_state(state.rng);
+        self.iterations = state.iterations;
+        self.since_improvement = state.since_improvement;
+        self.best = state.best.clone();
+        self.arms = state
+            .arms
+            .iter()
+            .map(|a| Arm {
+                history: a.history.iter().copied().collect(),
+                uses: a.uses,
+            })
+            .collect();
+        self.techniques = state.techniques.iter().map(technique_from_state).collect();
+        self.pending = None;
+    }
 }
 
 #[cfg(test)]
@@ -635,6 +771,45 @@ mod tests {
         let batch = tuner.propose_batch(8);
         let distinct: std::collections::HashSet<&str> = batch.iter().map(|p| p.technique).collect();
         assert!(distinct.len() >= 3, "batch used only {distinct:?}");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identical_stream() {
+        // Run to completion once; re-run restoring a mid-flight snapshot
+        // into a tuner with a *different* seed. Both must finish in the
+        // same final state, proposal for proposal.
+        let fit = |c: &Config, s: &SearchSpace| -> f64 {
+            -(s.to_indices(c).iter().sum::<usize>() as f64)
+        };
+        let drive = |tuner: &mut Autotuner, snap_at: Option<usize>| -> Option<TunerState> {
+            let mut snap = None;
+            let mut round = 0;
+            while tuner.continue_tuning() {
+                let batch = tuner.propose_batch(4);
+                if batch.is_empty() {
+                    break;
+                }
+                for p in batch {
+                    let f = fit(&p.config, tuner.space());
+                    tuner.report_proposal(&p, f);
+                }
+                round += 1;
+                if snap_at == Some(round) {
+                    snap = Some(tuner.snapshot());
+                }
+            }
+            snap
+        };
+        let mut full = Autotuner::new(space(6, 5), 200, 200, 13);
+        let snap = drive(&mut full, Some(5)).expect("snapshot at round 5");
+
+        let mut resumed = Autotuner::new(space(6, 5), 200, 200, 999);
+        resumed.restore(&snap);
+        drive(&mut resumed, None);
+
+        assert_eq!(full.iterations(), resumed.iterations());
+        assert_eq!(full.best(), resumed.best());
+        assert_eq!(full.snapshot(), resumed.snapshot());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! allow users to tune the program with and without FP16 support, creating
 //! two separate curves" (§3.5), the artifact can hold both variants.
 
-use crate::pareto::TradeoffCurve;
+use crate::pareto::{TradeoffCurve, TradeoffPoint};
 use crate::qos::QosMetric;
 use at_ir::Graph;
 use serde::{Deserialize, Serialize};
@@ -81,6 +81,23 @@ pub enum ShipError {
     },
     /// No curve variant suits the platform.
     NoUsableCurve,
+    /// A curve point carries non-finite QoS or performance — the artifact
+    /// was corrupted or written by a buggy tuner.
+    NonFinitePoint {
+        /// Which curve variant (`"fp16"` or `"fp32"`).
+        curve: &'static str,
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// Curve points are not strictly increasing in performance — the
+    /// runtime's index arithmetic over the curve would silently pick wrong
+    /// configurations, so the artifact is refused.
+    UnsortedCurve {
+        /// Which curve variant (`"fp16"` or `"fp32"`).
+        curve: &'static str,
+        /// Index of the first out-of-order point.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for ShipError {
@@ -98,6 +115,13 @@ impl std::fmt::Display for ShipError {
                 "artifact tuned for program {expected:#x}, local graph is {got:#x}"
             ),
             ShipError::NoUsableCurve => write!(f, "artifact holds no curve for this platform"),
+            ShipError::NonFinitePoint { curve, index } => {
+                write!(f, "{curve} curve point {index} has non-finite qos/perf")
+            }
+            ShipError::UnsortedCurve { curve, index } => write!(
+                f,
+                "{curve} curve point {index} breaks strict speedup ordering"
+            ),
         }
     }
 }
@@ -130,17 +154,67 @@ impl ShippedArtifact {
     }
 
     /// Loads and checks an artifact on a device: schema version, program
-    /// fingerprint, then picks the curve matching the platform's FP16
-    /// support.
+    /// fingerprint, curve finiteness and strict speedup ordering, then
+    /// picks the curve matching the platform's FP16 support. Strict: a
+    /// corrupted curve is refused (see [`ShippedArtifact::load_repaired`]
+    /// for the salvaging variant). Never panics on malformed input.
     pub fn load(
         json: &str,
         graph: &Graph,
         platform_has_fp16: bool,
     ) -> Result<TradeoffCurve, ShipError> {
+        let art = Self::parse_checked(json, graph)?;
+        let (name, curve) = art.select_curve(platform_has_fp16)?;
+        validate_curve(name, &curve)?;
+        Ok(curve)
+    }
+
+    /// The tolerant sibling of [`ShippedArtifact::load`]: instead of
+    /// refusing a curve with bad points, drops every non-finite point,
+    /// re-Pareto-filters and re-sorts what remains, and reports what was
+    /// done. Header problems (malformed JSON, wrong program, version skew)
+    /// are *not* repairable and still fail. Fails with
+    /// [`ShipError::NoUsableCurve`] when nothing survives repair.
+    pub fn load_repaired(
+        json: &str,
+        graph: &Graph,
+        platform_has_fp16: bool,
+    ) -> Result<(TradeoffCurve, RepairReport), ShipError> {
+        let art = Self::parse_checked(json, graph)?;
+        let (_, curve) = art.select_curve(platform_has_fp16)?;
+        let total = curve.len();
+        let finite: Vec<TradeoffPoint> = curve
+            .points()
+            .iter()
+            .filter(|p| p.qos.is_finite() && p.perf.is_finite())
+            .cloned()
+            .collect();
+        let dropped_non_finite = total - finite.len();
+        let repaired = TradeoffCurve::from_points(finite);
+        if repaired.is_empty() {
+            return Err(ShipError::NoUsableCurve);
+        }
+        let report = RepairReport {
+            original: total,
+            dropped_non_finite,
+            kept: repaired.len(),
+        };
+        Ok((repaired, report))
+    }
+
+    /// Parses the JSON and checks the header invariants shared by
+    /// [`ShippedArtifact::load`] and [`ShippedArtifact::load_repaired`].
+    fn parse_checked(json: &str, graph: &Graph) -> Result<ShippedArtifact, ShipError> {
         let art: ShippedArtifact =
             serde_json::from_str(json).map_err(|e| ShipError::Malformed(e.to_string()))?;
         if art.version > ARTIFACT_VERSION {
             return Err(ShipError::VersionMismatch { found: art.version });
+        }
+        if !art.qos_min.is_finite() {
+            return Err(ShipError::Malformed(format!(
+                "non-finite qos_min {}",
+                art.qos_min
+            )));
         }
         let got = graph_fingerprint(graph);
         if art.fingerprint != got {
@@ -149,13 +223,67 @@ impl ShippedArtifact {
                 got,
             });
         }
-        let curve = if platform_has_fp16 {
-            art.curve_fp16.or(art.curve_fp32_only)
-        } else {
-            art.curve_fp32_only
-        };
-        curve.ok_or(ShipError::NoUsableCurve)
+        Ok(art)
     }
+
+    fn select_curve(
+        self,
+        platform_has_fp16: bool,
+    ) -> Result<(&'static str, TradeoffCurve), ShipError> {
+        if platform_has_fp16 {
+            if let Some(c) = self.curve_fp16 {
+                return Ok(("fp16", c));
+            }
+        }
+        self.curve_fp32_only
+            .map(|c| ("fp32", c))
+            .ok_or(ShipError::NoUsableCurve)
+    }
+}
+
+/// What [`ShippedArtifact::load_repaired`] did to a damaged curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Points in the shipped curve before repair.
+    pub original: usize,
+    /// Points dropped for non-finite QoS/perf.
+    pub dropped_non_finite: usize,
+    /// Points in the repaired curve (after re-Pareto-filtering).
+    pub kept: usize,
+}
+
+impl RepairReport {
+    /// True when the curve loaded clean (nothing was dropped or reordered
+    /// away).
+    pub fn was_clean(&self) -> bool {
+        self.dropped_non_finite == 0 && self.kept == self.original
+    }
+}
+
+/// The curve invariants a device relies on: every point finite, points
+/// strictly increasing in performance.
+fn validate_curve(name: &'static str, curve: &TradeoffCurve) -> Result<(), ShipError> {
+    let pts = curve.points();
+    if pts.is_empty() {
+        return Err(ShipError::NoUsableCurve);
+    }
+    for (i, p) in pts.iter().enumerate() {
+        if !p.qos.is_finite() || !p.perf.is_finite() {
+            return Err(ShipError::NonFinitePoint {
+                curve: name,
+                index: i,
+            });
+        }
+    }
+    for i in 1..pts.len() {
+        if pts[i].perf <= pts[i - 1].perf {
+            return Err(ShipError::UnsortedCurve {
+                curve: name,
+                index: i,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

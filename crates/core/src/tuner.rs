@@ -1,9 +1,12 @@
 //! Algorithm 1: predictive approximation tuning (development time, §3).
 
+use crate::checkpoint::{CheckpointPolicy, SearchCheckpoint};
 use crate::config::Config;
 use crate::evaluate::{
-    run_batched_search, BatchTelemetry, CacheStats, EvalCache, PredictiveEvaluator,
+    run_batched_search, AttemptEvaluator, BatchTelemetry, CacheStats, EvalCache,
+    PredictiveEvaluator, SearchOptions, SearchOutcome,
 };
+use crate::fault::{FaultPlan, FaultyEvaluator};
 use crate::knobs::{KnobRegistry, KnobSet};
 use crate::pareto::{cap_points, eps_for_budget, pareto_set_eps, TradeoffCurve, TradeoffPoint};
 use crate::perf::PerfModel;
@@ -11,6 +14,7 @@ use crate::predict::{PredictionModel, Predictor};
 use crate::profile::{collect_profiles, measure_config, QosProfiles};
 use crate::qos::{QosMetric, QosReference};
 use crate::search::{Autotuner, SearchSpace};
+use crate::supervise::{FaultStats, SupervisedEvaluator, SupervisionPolicy};
 use at_ir::Graph;
 use at_tensor::{Shape, Tensor, TensorError};
 use rayon::ParallelSlice;
@@ -48,6 +52,27 @@ pub struct TunerParams {
     /// classic one-at-a-time loop. For any value, a seeded run is
     /// deterministic regardless of the evaluation thread count.
     pub batch_size: usize,
+    /// Fault-tolerance knobs: supervision policy, optional fault injection,
+    /// checkpointing and resume.
+    pub robustness: RobustnessParams,
+}
+
+/// Fault-tolerance configuration of a tuning run.
+#[derive(Clone, Debug, Default)]
+pub struct RobustnessParams {
+    /// Inject deterministic faults into every evaluation (test harness;
+    /// `None` in production runs).
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/quarantine policy for supervised evaluation.
+    pub supervision: SupervisionPolicy,
+    /// Write a [`SearchCheckpoint`] every N rounds, if set.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Stop the search after this many total rounds with `halted = true`
+    /// (a simulated crash; used by the resume-determinism tests).
+    pub halt_after_rounds: Option<usize>,
+    /// Resume the search from a previously written checkpoint. The
+    /// checkpoint must match the run's `qos_min` and `batch_size`.
+    pub resume_from: Option<SearchCheckpoint>,
 }
 
 impl Default for TunerParams {
@@ -64,8 +89,48 @@ impl Default for TunerParams {
             calibrate: true,
             seed: 0xA99,
             batch_size: 16,
+            robustness: RobustnessParams::default(),
         }
     }
+}
+
+/// Runs the supervised batched search shared by the predictive and
+/// empirical tuners, wiring in the run's [`RobustnessParams`]: optional
+/// fault injection around the evaluator, the supervision policy,
+/// checkpointing, simulated crashes, and resume (validated against the
+/// run's parameters first).
+pub(crate) fn run_supervised<E: AttemptEvaluator>(
+    tuner: &mut Autotuner,
+    evaluator: &E,
+    cache: &mut EvalCache,
+    seeds: &[Config],
+    params: &TunerParams,
+) -> Result<SearchOutcome, TensorError> {
+    let opts = SearchOptions {
+        qos_min: params.qos_min,
+        batch_size: params.batch_size,
+        checkpoint: params.robustness.checkpoint.clone(),
+        halt_after_rounds: params.robustness.halt_after_rounds,
+    };
+    let resume = params.robustness.resume_from.as_ref();
+    if let Some(cp) = resume {
+        cp.validate_run(opts.qos_min, opts.batch_size)
+            .map_err(|e| TensorError::Transient {
+                detail: e.to_string(),
+            })?;
+    }
+    let policy = params.robustness.supervision;
+    Ok(match &params.robustness.fault_plan {
+        Some(plan) => {
+            let faulty = FaultyEvaluator::new(evaluator, plan.clone());
+            let sup = SupervisedEvaluator::new(&faulty, policy);
+            run_batched_search(tuner, &sup, cache, seeds, &opts, resume)
+        }
+        None => {
+            let sup = SupervisedEvaluator::new(evaluator, policy);
+            run_batched_search(tuner, &sup, cache, seeds, &opts, resume)
+        }
+    })
 }
 
 /// Everything Algorithm 1 produced, plus timing breakdowns for Table 4.
@@ -90,6 +155,13 @@ pub struct TuningResult {
     /// Per-round search telemetry: batch size, cache hits, evaluator
     /// invocations and best-so-far fitness.
     pub telemetry: Vec<BatchTelemetry>,
+    /// What supervision absorbed during the search: faults caught, retries,
+    /// quarantines, skipped candidates.
+    pub faults: FaultStats,
+    /// `true` when the search stopped at a simulated crash
+    /// (`halt_after_rounds`) rather than by convergence or budget; the
+    /// curve then reflects only the rounds that ran.
+    pub halted: bool,
 }
 
 impl TuningResult {
@@ -184,14 +256,7 @@ impl<'a> PredictiveTuner<'a> {
         };
         let mut cache = EvalCache::new();
         let seeds = seed_configs(self.graph, self.registry);
-        let outcome = run_batched_search(
-            &mut tuner,
-            &evaluator,
-            &mut cache,
-            &seeds,
-            params.qos_min,
-            params.batch_size,
-        )?;
+        let outcome = run_supervised(&mut tuner, &evaluator, &mut cache, &seeds, params)?;
         let candidates = outcome.candidates;
 
         // Step 4: keep configs within ε1 of the Pareto set, with ε1 chosen
@@ -199,7 +264,7 @@ impl<'a> PredictiveTuner<'a> {
         let eps1 = eps_for_budget(&candidates, params.max_validated);
         let mut pareto_configs = pareto_set_eps(&candidates, eps1);
         // Deduplicate identical configs to avoid redundant validations.
-        pareto_configs.sort_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap());
+        pareto_configs.sort_by(|a, b| a.perf.total_cmp(&b.perf));
         pareto_configs.dedup_by(|a, b| a.config == b.config);
         let pareto_configs = cap_points(pareto_configs, params.max_validated);
         let search_time_s = search_started.elapsed().as_secs_f64();
@@ -226,7 +291,7 @@ impl<'a> PredictiveTuner<'a> {
             .collect();
         let validated: Vec<TradeoffPoint> = measured?
             .into_iter()
-            .filter(|(real_qos, _)| *real_qos > params.qos_min)
+            .filter(|(real_qos, _)| real_qos.is_finite() && *real_qos > params.qos_min)
             .map(|(real_qos, p)| TradeoffPoint {
                 qos: real_qos,
                 perf: p.perf,
@@ -248,6 +313,8 @@ impl<'a> PredictiveTuner<'a> {
             alpha: predictor.alpha,
             cache: cache.stats(),
             telemetry: outcome.telemetry,
+            faults: outcome.faults,
+            halted: outcome.halted,
         })
     }
 }

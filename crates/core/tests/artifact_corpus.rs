@@ -1,0 +1,242 @@
+//! Corrupted-artifact corpus: every damaged shipped artifact must yield a
+//! typed [`ShipError`] — never a panic — and `load_repaired` must salvage
+//! what strict loading rightly refuses.
+
+use at_core::config::Config;
+use at_core::pareto::{TradeoffCurve, TradeoffPoint};
+use at_core::qos::QosMetric;
+use at_core::ship::{graph_fingerprint, ShipError, ShippedArtifact, ARTIFACT_VERSION};
+use at_ir::{Graph, GraphBuilder};
+use at_tensor::Shape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new("corpus-test", Shape::nchw(1, 3, 8, 8), &mut rng);
+    b.conv(4, 3, (1, 1), (1, 1))
+        .relu()
+        .flatten()
+        .dense(5)
+        .softmax();
+    b.finish()
+}
+
+/// A 3-point curve with unique, exactly-representable sentinel values so
+/// corpus entries can corrupt individual numbers by string surgery.
+/// perf sentinels: 1.25, 1.75, 2.5 — qos sentinels: 98.25, 96.25, 94.25.
+fn curve() -> TradeoffCurve {
+    TradeoffCurve::from_points(vec![
+        TradeoffPoint {
+            qos: 98.25,
+            perf: 1.25,
+            config: Config::from_knobs(vec![]),
+        },
+        TradeoffPoint {
+            qos: 96.25,
+            perf: 1.75,
+            config: Config::from_knobs(vec![]),
+        },
+        TradeoffPoint {
+            qos: 94.25,
+            perf: 2.5,
+            config: Config::from_knobs(vec![]),
+        },
+    ])
+}
+
+fn good_json(g: &Graph) -> String {
+    let art = ShippedArtifact::new(g, QosMetric::Accuracy, 88.5, None, Some(curve()));
+    let json = art.to_json();
+    // The corpus relies on these sentinels appearing verbatim exactly once.
+    for s in ["1.25", "1.75", "2.5", "88.5"] {
+        assert_eq!(json.matches(s).count(), 1, "sentinel {s} not unique");
+    }
+    json
+}
+
+/// Strict load, shielded so a panic becomes a test failure with context.
+fn load_no_panic(json: &str, g: &Graph, label: &str) -> Result<TradeoffCurve, ShipError> {
+    catch_unwind(AssertUnwindSafe(|| ShippedArtifact::load(json, g, false)))
+        .unwrap_or_else(|_| panic!("ShippedArtifact::load panicked on corpus case `{label}`"))
+}
+
+#[test]
+fn baseline_artifact_loads_clean() {
+    let g = graph(1);
+    let c = load_no_panic(&good_json(&g), &g, "baseline").unwrap();
+    assert_eq!(c.len(), 3);
+}
+
+#[test]
+fn truncations_yield_typed_errors_never_panic() {
+    let g = graph(1);
+    let json = good_json(&g);
+    // Every strict prefix is invalid JSON (the document ends with `}`).
+    let cuts: Vec<usize> = (0..8)
+        .map(|i| i * json.len() / 8)
+        .chain([json.len().saturating_sub(1)])
+        .collect();
+    for cut in cuts {
+        let prefix = &json[..cut];
+        let err = load_no_panic(prefix, &g, &format!("truncate@{cut}")).unwrap_err();
+        assert!(
+            matches!(err, ShipError::Malformed(_)),
+            "truncate@{cut}: expected Malformed, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn garbage_inputs_yield_typed_errors() {
+    let g = graph(1);
+    for (label, bad) in [
+        ("empty", String::new()),
+        ("not-json", "not json at all".to_string()),
+        ("wrong-type", "[1, 2, 3]".to_string()),
+        ("null", "null".to_string()),
+        ("nested-garbage", "{\"version\": {}}".to_string()),
+        ("binaryish", "\u{0}\u{1}\u{2}".to_string()),
+    ] {
+        let err = load_no_panic(&bad, &g, label).unwrap_err();
+        assert!(
+            matches!(err, ShipError::Malformed(_)),
+            "{label}: expected Malformed, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn wrong_fingerprint_is_refused() {
+    let g1 = graph(1);
+    // Structurally different program (extra relu) → different fingerprint.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut b = GraphBuilder::new("corpus-test", Shape::nchw(1, 3, 8, 8), &mut rng);
+    b.conv(4, 3, (1, 1), (1, 1))
+        .relu()
+        .relu()
+        .flatten()
+        .dense(5)
+        .softmax();
+    let g2 = b.finish();
+    assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+    let err = load_no_panic(&good_json(&g1), &g2, "wrong-program").unwrap_err();
+    assert!(matches!(err, ShipError::WrongProgram { .. }));
+}
+
+#[test]
+fn future_schema_version_is_refused() {
+    let g = graph(1);
+    let mut art = ShippedArtifact::new(&g, QosMetric::Accuracy, 88.5, None, Some(curve()));
+    art.version = ARTIFACT_VERSION + 41;
+    let err = load_no_panic(&art.to_json(), &g, "future-version").unwrap_err();
+    assert_eq!(
+        err,
+        ShipError::VersionMismatch {
+            found: ARTIFACT_VERSION + 41
+        }
+    );
+}
+
+#[test]
+fn non_finite_point_is_refused_strictly() {
+    let g = graph(1);
+    // `1e999` overflows f64 parsing to +inf: a poisoned perf value.
+    let poisoned = good_json(&g).replace("1.75", "1e999");
+    let err = load_no_panic(&poisoned, &g, "inf-perf").unwrap_err();
+    assert_eq!(
+        err,
+        ShipError::NonFinitePoint {
+            curve: "fp32",
+            index: 1
+        }
+    );
+    // Non-finite qos_min in the header is equally refused.
+    let bad_header = good_json(&g).replace("88.5", "1e999");
+    let err = load_no_panic(&bad_header, &g, "inf-qos-min").unwrap_err();
+    assert!(matches!(err, ShipError::Malformed(_)));
+}
+
+#[test]
+fn unsorted_curve_is_refused() {
+    let g = graph(1);
+    // Break strict speedup ordering: the last point drops below the first.
+    let unsorted = good_json(&g).replace("2.5", "0.5");
+    let err = load_no_panic(&unsorted, &g, "unsorted").unwrap_err();
+    assert_eq!(
+        err,
+        ShipError::UnsortedCurve {
+            curve: "fp32",
+            index: 2
+        }
+    );
+    // A duplicated speedup (plateau) is also not *strictly* increasing.
+    let plateau = good_json(&g).replace("2.5", "1.25");
+    let err = load_no_panic(&plateau, &g, "plateau").unwrap_err();
+    assert!(matches!(err, ShipError::UnsortedCurve { .. }));
+}
+
+#[test]
+fn empty_curve_is_refused() {
+    let g = graph(1);
+    let art = ShippedArtifact::new(
+        &g,
+        QosMetric::Accuracy,
+        88.5,
+        None,
+        Some(TradeoffCurve::default()),
+    );
+    let err = load_no_panic(&art.to_json(), &g, "empty-curve").unwrap_err();
+    assert_eq!(err, ShipError::NoUsableCurve);
+    // No curve at all for the platform, likewise.
+    let art = ShippedArtifact::new(&g, QosMetric::Accuracy, 88.5, None, None);
+    let err = load_no_panic(&art.to_json(), &g, "no-curve").unwrap_err();
+    assert_eq!(err, ShipError::NoUsableCurve);
+}
+
+#[test]
+fn repair_salvages_poisoned_curve() {
+    let g = graph(1);
+    let poisoned = good_json(&g).replace("1.75", "1e999");
+    // Strict load refuses it...
+    assert!(ShippedArtifact::load(&poisoned, &g, false).is_err());
+    // ...repair drops the bad point and keeps the rest usable.
+    let (curve, report) = ShippedArtifact::load_repaired(&poisoned, &g, false).unwrap();
+    assert_eq!(report.original, 3);
+    assert_eq!(report.dropped_non_finite, 1);
+    assert_eq!(report.kept, curve.len());
+    assert!(!report.was_clean());
+    assert!(curve
+        .points()
+        .iter()
+        .all(|p| p.qos.is_finite() && p.perf.is_finite()));
+    // The repaired curve satisfies the strict-load invariants.
+    let pts = curve.points();
+    for i in 1..pts.len() {
+        assert!(pts[i].perf > pts[i - 1].perf);
+    }
+}
+
+#[test]
+fn repair_reports_clean_on_good_artifact() {
+    let g = graph(1);
+    let (curve, report) = ShippedArtifact::load_repaired(&good_json(&g), &g, false).unwrap();
+    assert_eq!(curve.len(), 3);
+    assert!(report.was_clean());
+}
+
+#[test]
+fn repair_cannot_invent_a_curve() {
+    let g = graph(1);
+    // All three points poisoned: nothing survives repair.
+    let hopeless = good_json(&g)
+        .replace("1.25", "1e999")
+        .replace("1.75", "1e999")
+        .replace("2.5", "1e999");
+    let err = ShippedArtifact::load_repaired(&hopeless, &g, false).unwrap_err();
+    assert_eq!(err, ShipError::NoUsableCurve);
+    // Header damage is not repairable either.
+    let err = ShippedArtifact::load_repaired("{oops", &g, false).unwrap_err();
+    assert!(matches!(err, ShipError::Malformed(_)));
+}

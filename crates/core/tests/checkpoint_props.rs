@@ -1,0 +1,255 @@
+//! Property tests on the checkpoint format: any structurally valid
+//! [`SearchCheckpoint`] must serialise/deserialise losslessly, and any
+//! damaged serialisation must produce a typed [`CheckpointError`], never a
+//! panic.
+
+use at_core::checkpoint::{CheckpointError, SearchCheckpoint, CHECKPOINT_VERSION};
+use at_core::config::Config;
+use at_core::evaluate::{BatchTelemetry, CacheSnapshot, CacheStats, Evaluation};
+use at_core::knobs::KnobId;
+use at_core::pareto::TradeoffPoint;
+use at_core::search::{ArmState, TechniqueState, TunerState};
+use at_core::supervise::{FaultStats, SupervisionSnapshot};
+use proptest::prelude::*;
+
+fn config_s() -> impl Strategy<Value = Config> {
+    proptest::collection::vec(0u16..64, 0..6)
+        .prop_map(|v| Config::from_knobs(v.into_iter().map(KnobId).collect()))
+}
+
+fn technique_s() -> impl Strategy<Value = TechniqueState> {
+    (
+        0u8..4,
+        1usize..6,
+        proptest::collection::vec(0usize..16, 0..4),
+        proptest::collection::vec(
+            (proptest::collection::vec(0usize..16, 0..4), -1.0e3..1.0e3),
+            0..4,
+        ),
+    )
+        .prop_map(|(tag, step, center, simplex)| match tag {
+            0 => TechniqueState::Random,
+            1 => TechniqueState::Evolutionary { sites: step },
+            2 => TechniqueState::Torczon {
+                center: if center.is_empty() {
+                    None
+                } else {
+                    Some(center)
+                },
+                step,
+            },
+            _ => TechniqueState::NelderMead {
+                simplex,
+                max_vertices: step + 1,
+            },
+        })
+}
+
+fn tuner_state_s() -> impl Strategy<Value = TunerState> {
+    (
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+        ),
+        (0usize..5000, 0usize..500),
+        (proptest::bool::ANY, config_s(), -1.0e6..1.0e6),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(proptest::bool::ANY, 0..8),
+                0usize..100,
+            ),
+            0..5,
+        ),
+        proptest::collection::vec(technique_s(), 0..5),
+    )
+        .prop_map(
+            |(rng, (iterations, since_improvement), (has_best, cfg, f), arms, techniques)| {
+                TunerState {
+                    rng: [rng.0, rng.1, rng.2, rng.3],
+                    iterations,
+                    since_improvement,
+                    best: has_best.then_some((cfg, f)),
+                    arms: arms
+                        .into_iter()
+                        .map(|(history, uses)| ArmState { history, uses })
+                        .collect(),
+                    techniques,
+                }
+            },
+        )
+}
+
+fn fault_stats_s() -> impl Strategy<Value = FaultStats> {
+    (
+        (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+        (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+    )
+        .prop_map(
+            |(
+                (attempts, retries, errors_caught, panics_caught, poisoned),
+                (exhausted, quarantined, quarantine_hits, skipped),
+            )| FaultStats {
+                attempts,
+                retries,
+                errors_caught,
+                panics_caught,
+                poisoned,
+                exhausted,
+                quarantined,
+                quarantine_hits,
+                skipped,
+            },
+        )
+}
+
+fn supervision_s() -> impl Strategy<Value = SupervisionSnapshot> {
+    (
+        fault_stats_s(),
+        proptest::collection::vec(config_s(), 0..4),
+        proptest::collection::vec((config_s(), 0u32..10), 0..4),
+        proptest::collection::vec((config_s(), 0u32..10), 0..4),
+    )
+        .prop_map(
+            |(stats, quarantine, failures, attempt_base)| SupervisionSnapshot {
+                stats,
+                quarantine,
+                failures,
+                attempt_base,
+            },
+        )
+}
+
+fn cache_s() -> impl Strategy<Value = CacheSnapshot> {
+    (
+        proptest::collection::vec((config_s(), (0.0..100.0f64, 0.25..10.0)), 0..8),
+        (0usize..1000, 0usize..1000, 0usize..1000),
+    )
+        .prop_map(|(entries, (hits, misses, dedup))| CacheSnapshot {
+            entries: entries
+                .into_iter()
+                .map(|(c, (qos, perf))| (c, Evaluation { qos, perf }))
+                .collect(),
+            stats: CacheStats {
+                hits,
+                misses,
+                dedup,
+            },
+        })
+}
+
+fn telemetry_s() -> impl Strategy<Value = Vec<BatchTelemetry>> {
+    proptest::collection::vec(
+        (
+            (0usize..500, 1usize..64, 0usize..64),
+            (0usize..64, 0usize..64),
+            -1.0e9..1.0e9,
+        ),
+        0..8,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(
+                |((round, proposed, cached), (evaluated, failed), best_fitness)| BatchTelemetry {
+                    round,
+                    proposed,
+                    cached,
+                    evaluated,
+                    failed,
+                    best_fitness,
+                },
+            )
+            .collect()
+    })
+}
+
+fn candidates_s() -> impl Strategy<Value = Vec<TradeoffPoint>> {
+    proptest::collection::vec((config_s(), (0.0..100.0f64, 0.25..10.0)), 0..6).prop_map(|pts| {
+        pts.into_iter()
+            .map(|(config, (qos, perf))| TradeoffPoint { qos, perf, config })
+            .collect()
+    })
+}
+
+fn checkpoint_s() -> impl Strategy<Value = SearchCheckpoint> {
+    (
+        (0.0..100.0f64, 1usize..64, 0usize..500),
+        tuner_state_s(),
+        cache_s(),
+        (candidates_s(), telemetry_s()),
+        supervision_s(),
+    )
+        .prop_map(
+            |(
+                (qos_min, batch_size, rounds),
+                tuner,
+                cache,
+                (candidates, telemetry),
+                supervision,
+            )| {
+                SearchCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    qos_min,
+                    batch_size,
+                    rounds,
+                    tuner,
+                    cache,
+                    candidates,
+                    telemetry,
+                    supervision,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip_is_lossless(ckpt in checkpoint_s()) {
+        let json = ckpt.to_json();
+        let back = SearchCheckpoint::from_json(&json).expect("valid checkpoint parses");
+        prop_assert_eq!(&back, &ckpt);
+        // And stable: re-serialising yields the identical byte string.
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn truncation_never_panics(ckpt in checkpoint_s(), cut in 0usize..10_000) {
+        let json = ckpt.to_json();
+        let cut = cut % json.len();
+        // Guard against slicing mid-UTF-8 (knob JSON is ASCII, but stay safe).
+        let cut = (0..=cut).rev().find(|&i| json.is_char_boundary(i)).unwrap();
+        match SearchCheckpoint::from_json(&json[..cut]) {
+            Ok(_) => prop_assert!(cut == json.len(), "strict prefix parsed"),
+            Err(CheckpointError::Malformed(_)) | Err(CheckpointError::VersionMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_typed(ckpt in checkpoint_s(), bump in 1u32..100) {
+        let mut foreign = ckpt;
+        foreign.version = CHECKPOINT_VERSION + bump;
+        let err = SearchCheckpoint::from_json(&foreign.to_json()).unwrap_err();
+        prop_assert_eq!(err, CheckpointError::VersionMismatch {
+            found: CHECKPOINT_VERSION + bump,
+        });
+    }
+
+    #[test]
+    fn validate_run_accepts_own_params_only(
+        ckpt in checkpoint_s(),
+        other_qos in 101.0..200.0f64,
+    ) {
+        prop_assert!(ckpt.validate_run(ckpt.qos_min, ckpt.batch_size).is_ok());
+        // qos_min drawn from 0..100, so other_qos is always a true mismatch.
+        prop_assert!(matches!(
+            ckpt.validate_run(other_qos, ckpt.batch_size),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        prop_assert!(matches!(
+            ckpt.validate_run(ckpt.qos_min, ckpt.batch_size + 1),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

@@ -34,6 +34,14 @@ pub enum TensorError {
         /// Provided element count.
         got: usize,
     },
+    /// An operation that needs at least one node was given an empty graph.
+    EmptyGraph,
+    /// A transient evaluation failure (flaky device, simulator hiccup,
+    /// injected fault) that may well succeed if the same work is retried.
+    Transient {
+        /// What failed, for logs.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -54,6 +62,8 @@ impl fmt::Display for TensorError {
                     "data length {got} does not match shape volume {expected}"
                 )
             }
+            TensorError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            TensorError::Transient { detail } => write!(f, "transient failure: {detail}"),
         }
     }
 }
