@@ -31,7 +31,7 @@ fn setup() -> (
         .conv(8, 3, (1, 1), (1, 1))
         .relu();
     b.max_pool(2, 2).flatten().dense(10).softmax();
-    let g = b.finish();
+    let g = b.finish().unwrap();
     let mut rng2 = StdRng::seed_from_u64(6);
     let inputs: Vec<Tensor> = (0..2)
         .map(|_| Tensor::uniform(Shape::nchw(16, 3, 16, 16), -1.0, 1.0, &mut rng2))

@@ -25,7 +25,7 @@ struct It {
 fn main() {
     let sizing = Sizing::from_env();
     let device = EdgeDevice::tx2();
-    let mut app = CombinedApp::new(ModelScale::Tiny);
+    let mut app = CombinedApp::new(ModelScale::Tiny).expect("combined app builds");
     let ds = build_dataset(&app.cnn, sizing.samples.min(48), sizing.batch, 0xF16);
     app.calibrate_routing(&ds.batches).expect("routing");
     let golden = app.golden(&ds.batches).expect("golden");

@@ -1,0 +1,6 @@
+//! Overload-resilient serving under an adversarial storm; see
+//! `at_bench::serve_storm` for the experiment body.
+
+fn main() {
+    at_bench::serve_storm::run();
+}

@@ -9,4 +9,5 @@
 pub mod harness;
 pub mod report;
 pub mod runtime_adapt;
+pub mod serve_storm;
 pub mod tune_faults;

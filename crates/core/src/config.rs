@@ -185,7 +185,7 @@ mod tests {
             .flatten()
             .dense(10)
             .softmax();
-        b.finish()
+        b.finish().unwrap()
     }
 
     #[test]

@@ -287,7 +287,7 @@ mod tests {
             .flatten()
             .dense(5)
             .softmax();
-        let g = b.finish();
+        let g = b.finish().unwrap();
         let mut rng2 = StdRng::seed_from_u64(6);
         let inputs: Vec<Tensor> = (0..4)
             .map(|_| Tensor::uniform(Shape::nchw(8, 2, 8, 8), -1.0, 1.0, &mut rng2))

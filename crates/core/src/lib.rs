@@ -21,7 +21,11 @@
 //!    [`closed_loop`] closes that loop against `at-hw`'s disturbed device
 //!    model (DVFS sweeps, thermal throttling, brownouts, load spikes,
 //!    sensor dropout) with feed-forward + feedback control, graceful
-//!    QoS-floor degradation and a structured adaptation report.
+//!    QoS-floor degradation and a structured adaptation report. [`serve`]
+//!    lifts the same mechanism into an overload-resilient serving loop:
+//!    deadline-aware admission over a bounded queue, a degradation ladder
+//!    that sheds *accuracy* before it sheds requests, and a circuit
+//!    breaker around execution — all deterministic and seeded.
 //!
 //! [`knobs`] defines the integer knob registry (63 per convolution, 8 per
 //! reduction, 2 per other op — §2.3); [`config`] the per-program
@@ -59,6 +63,7 @@ pub mod profile;
 pub mod qos;
 pub mod runtime;
 pub mod search;
+pub mod serve;
 pub mod ship;
 pub mod supervise;
 pub mod tuner;
@@ -71,6 +76,11 @@ pub use fault::{FaultKind, FaultMix, FaultPlan, FaultyEvaluator};
 pub use knobs::{Knob, KnobId, KnobRegistry, KnobSet};
 pub use pareto::{pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint};
 pub use qos::QosMetric;
+pub use serve::{
+    generate_arrivals, serve, ArrivalTrace, BreakerState, GraphExecutor, NoFaultExecutor,
+    RequestExecutor, ScriptedFaultExecutor, ServeEvent, ServeEventKind, ServeParams, ServeReport,
+    ShedReason, TrafficPattern,
+};
 pub use ship::ShippedArtifact;
 pub use supervise::{EvalError, FaultStats, SupervisedEvaluator, SupervisionPolicy};
 pub use tuner::{PredictiveTuner, RobustnessParams, TunerParams};

@@ -130,15 +130,33 @@ pub struct AdaptationEvent {
 }
 
 /// Records the dynamic tuner's decisions.
+///
+/// By default the log grows without bound — fine for bounded experiments,
+/// wrong for a long-running server. [`AdaptationLog::with_limit`] caps the
+/// retained event window ring-buffer style: old events are evicted from the
+/// front while the totals (`switches`, `breaches`) remain exact counters.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct AdaptationLog {
     events: Vec<AdaptationEvent>,
+    limit: Option<usize>,
+    total_switches: usize,
+    total_breaches: usize,
+    evicted: usize,
 }
 
 impl AdaptationLog {
-    /// A fresh log.
+    /// A fresh, unbounded log.
     pub fn new() -> AdaptationLog {
         AdaptationLog::default()
+    }
+
+    /// A log that retains at most `limit` events (ring buffer; totals keep
+    /// counting past the cap). A limit of 0 keeps counters only.
+    pub fn with_limit(limit: usize) -> AdaptationLog {
+        AdaptationLog {
+            limit: Some(limit),
+            ..AdaptationLog::default()
+        }
     }
 
     /// Appends a decision.
@@ -150,6 +168,11 @@ impl AdaptationLog {
         selected: Option<&TradeoffPoint>,
         kind: EventKind,
     ) {
+        if kind == EventKind::QosFloorBreach {
+            self.total_breaches += 1;
+        } else {
+            self.total_switches += 1;
+        }
         self.events.push(AdaptationEvent {
             invocation,
             observed_time_s,
@@ -157,28 +180,35 @@ impl AdaptationLog {
             selected: selected.map(|p| (p.qos, p.perf)),
             kind,
         });
+        if let Some(limit) = self.limit {
+            // Caps are small in practice; front-removal keeps Vec (the
+            // vendored serde has no VecDeque support) and stays O(limit).
+            while self.events.len() > limit {
+                self.events.remove(0);
+                self.evicted += 1;
+            }
+        }
     }
 
-    /// The recorded events.
+    /// The retained events (the most recent `limit` when capped).
     pub fn events(&self) -> &[AdaptationEvent] {
         &self.events
     }
 
-    /// Number of configuration changes recorded (breach markers are state
-    /// transitions, not switches).
-    pub fn switches(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| e.kind != EventKind::QosFloorBreach)
-            .count()
+    /// Number of events evicted by the ring-buffer cap.
+    pub fn evicted(&self) -> usize {
+        self.evicted
     }
 
-    /// Number of QoS-floor breaches recorded.
+    /// Number of configuration changes recorded (breach markers are state
+    /// transitions, not switches). Counts past the retention cap.
+    pub fn switches(&self) -> usize {
+        self.total_switches
+    }
+
+    /// Number of QoS-floor breaches recorded. Counts past the retention cap.
     pub fn breaches(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| e.kind == EventKind::QosFloorBreach)
-            .count()
+        self.total_breaches
     }
 
     /// Serialises the log (an artifact the fig6 harness can persist).
@@ -274,5 +304,24 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         let _ = SystemMonitor::new(0);
+    }
+
+    #[test]
+    fn capped_log_evicts_but_counts() {
+        let mut log = AdaptationLog::with_limit(2);
+        for i in 0..5 {
+            log.push(i, 1.0, 1.0, None, EventKind::Feedback);
+        }
+        log.push(5, 4.0, 9.0, None, EventKind::QosFloorBreach);
+        assert_eq!(log.events().len(), 2, "ring buffer holds the cap");
+        assert_eq!(log.events()[1].kind, EventKind::QosFloorBreach);
+        assert_eq!(log.switches(), 5, "totals count past the cap");
+        assert_eq!(log.breaches(), 1);
+        assert_eq!(log.evicted(), 4);
+        // The capped log still serde-roundtrips.
+        let back: AdaptationLog = serde_json::from_str(&log.to_json()).unwrap();
+        assert_eq!(back.events().len(), 2);
+        assert_eq!(back.switches(), 5);
+        assert_eq!(back.evicted(), 4);
     }
 }

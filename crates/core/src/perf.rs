@@ -223,7 +223,7 @@ mod tests {
             .conv(32, 3, (1, 1), (1, 1))
             .relu();
         b.flatten().dense(10).softmax();
-        (b.finish(), KnobRegistry::new())
+        (b.finish().unwrap(), KnobRegistry::new())
     }
 
     fn fp16_sampling_config(g: &Graph, r: &KnobRegistry) -> Config {

@@ -191,7 +191,7 @@ mod tests {
             .conv(4, 3, (1, 1), (1, 1))
             .relu();
         b.max_pool(2, 2).flatten().dense(5).softmax();
-        let g = b.finish();
+        let g = b.finish().unwrap();
         let mut rng2 = StdRng::seed_from_u64(4);
         let inputs: Vec<Tensor> = (0..2)
             .map(|_| Tensor::uniform(Shape::nchw(16, 2, 8, 8), -1.0, 1.0, &mut rng2))

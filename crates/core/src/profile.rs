@@ -34,7 +34,10 @@ pub fn run_config(
         config: choices,
         promise_seed,
     };
-    inputs.iter().map(|b| execute(graph, b, &opts)).collect()
+    inputs
+        .iter()
+        .map(|b| execute(graph, b, &opts).map_err(TensorError::from))
+        .collect()
 }
 
 /// Executes a configuration and measures its QoS.
@@ -227,7 +230,7 @@ mod tests {
             .flatten()
             .dense(5)
             .softmax();
-        let g = b.finish();
+        let g = b.finish().unwrap();
         let mut rng2 = StdRng::seed_from_u64(2);
         let inputs: Vec<Tensor> = (0..3)
             .map(|_| Tensor::uniform(Shape::nchw(8, 2, 8, 8), -1.0, 1.0, &mut rng2))

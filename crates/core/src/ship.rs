@@ -304,7 +304,7 @@ mod tests {
             .flatten()
             .dense(5)
             .softmax();
-        b.finish()
+        b.finish().unwrap()
     }
 
     fn curve() -> TradeoffCurve {
@@ -348,7 +348,7 @@ mod tests {
             .flatten()
             .dense(5)
             .softmax();
-        let g2 = b.finish();
+        let g2 = b.finish().unwrap();
         let art = ShippedArtifact::new(&g1, QosMetric::Accuracy, 88.0, Some(curve()), None);
         let err = ShippedArtifact::load(&art.to_json(), &g2, true).unwrap_err();
         assert!(matches!(err, ShipError::WrongProgram { .. }));

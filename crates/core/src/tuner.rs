@@ -111,6 +111,7 @@ pub(crate) fn run_supervised<E: AttemptEvaluator>(
         batch_size: params.batch_size,
         checkpoint: params.robustness.checkpoint.clone(),
         halt_after_rounds: params.robustness.halt_after_rounds,
+        telemetry_limit: None,
     };
     let resume = params.robustness.resume_from.as_ref();
     if let Some(cp) = resume {
@@ -352,7 +353,7 @@ mod tests {
             .conv(4, 3, (1, 1), (1, 1))
             .relu();
         b.max_pool(2, 2).flatten().dense(5).softmax();
-        let g = b.finish();
+        let g = b.finish().unwrap();
         let mut rng2 = StdRng::seed_from_u64(6);
         let inputs: Vec<Tensor> = (0..2)
             .map(|_| Tensor::uniform(Shape::nchw(16, 2, 8, 8), -1.0, 1.0, &mut rng2))

@@ -20,7 +20,7 @@ fn graph(seed: u64) -> Graph {
         .flatten()
         .dense(5)
         .softmax();
-    b.finish()
+    b.finish().unwrap()
 }
 
 /// A 3-point curve with unique, exactly-representable sentinel values so
@@ -119,7 +119,7 @@ fn wrong_fingerprint_is_refused() {
         .flatten()
         .dense(5)
         .softmax();
-    let g2 = b.finish();
+    let g2 = b.finish().unwrap();
     assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g2));
     let err = load_no_panic(&good_json(&g1), &g2, "wrong-program").unwrap_err();
     assert!(matches!(err, ShipError::WrongProgram { .. }));

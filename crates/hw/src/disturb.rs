@@ -140,6 +140,49 @@ impl Scenario {
         self
     }
 
+    /// Adds several disturbances at once (builder style).
+    pub fn with_all(mut self, ds: impl IntoIterator<Item = Disturbance>) -> Scenario {
+        self.disturbances.extend(ds);
+        self
+    }
+
+    /// Re-sizes the scripted horizon (builder style). Serving workloads
+    /// derive their invocation count from an arrival trace, not the other
+    /// way round, so the horizon is adjusted after composition.
+    pub fn with_invocations(mut self, invocations: usize) -> Scenario {
+        self.invocations = invocations;
+        self
+    }
+
+    /// A brownout storm: a power-rail brownout over `at .. at + len` with a
+    /// sensor dropout across the same window (the rail dip takes the I2C
+    /// profiler with it) plus mild timing jitter. The canonical "hardware
+    /// degrades exactly when traffic spikes" composition for overload
+    /// experiments.
+    pub fn brownout_storm(
+        invocations: usize,
+        at: usize,
+        len: usize,
+        frequency_factor: f64,
+        seed: u64,
+    ) -> Scenario {
+        Scenario::new(
+            "brownout-storm",
+            FrequencyLadder::tx2_gpu(),
+            invocations,
+            seed,
+        )
+        .with_all([
+            Disturbance::Brownout {
+                at,
+                len,
+                frequency_factor,
+            },
+            Disturbance::SensorDropout { at, len },
+            Disturbance::TimingJitter { amplitude: 0.02 },
+        ])
+    }
+
     /// The paper's §6.4 experiment: the governor walks the full ladder from
     /// the highest to the lowest step, dwelling `dwell` invocations on each.
     pub fn tx2_dvfs_sweep(dwell: usize) -> Scenario {
@@ -448,6 +491,23 @@ mod tests {
         assert!((t - 1300.5 / 318.75).abs() < 1e-9);
         let adapted = d.invocation_time(&bottom, 1.0, 1300.5 / 318.75);
         assert!((adapted - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brownout_storm_composes_rail_and_sensor_failures() {
+        let s = Scenario::brownout_storm(100, 20, 10, 0.5, 7).with_invocations(200);
+        assert_eq!(s.invocations(), 200);
+        let before = s.state_at(19);
+        assert!(before.sensors_ok);
+        assert_eq!(before.freq_mhz, 1300.5);
+        let during = s.state_at(25);
+        assert!(!during.sensors_ok, "dropout must cover the brownout");
+        assert!((during.freq_mhz - 650.25).abs() < 1e-9);
+        let after = s.state_at(30);
+        assert!(after.sensors_ok);
+        assert_eq!(after.freq_mhz, 1300.5);
+        // Jitter present but bounded.
+        assert!((s.state_at(3).load_factor - 1.0).abs() <= 0.02 + 1e-12);
     }
 
     #[test]

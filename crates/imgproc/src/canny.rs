@@ -8,11 +8,17 @@
 //! stages applied when computing the PSNR QoS.
 
 use at_ir::{Graph, GraphBuilder};
-use at_tensor::{Shape, Tensor};
+use at_tensor::{Shape, Tensor, TensorError};
 
 /// A normalised 2-D Gaussian kernel as a `[1, 1, k, k]` weight tensor.
-pub fn gaussian_kernel(k: usize, sigma: f32) -> Tensor {
-    assert!(k % 2 == 1, "kernel size must be odd");
+/// Fails (rather than panics) on an even kernel size.
+pub fn gaussian_kernel(k: usize, sigma: f32) -> Result<Tensor, TensorError> {
+    if k % 2 != 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "gaussian_kernel",
+            detail: format!("kernel size {k} must be odd"),
+        });
+    }
     let c = (k / 2) as f32;
     let mut data = Vec::with_capacity(k * k);
     let mut sum = 0.0f32;
@@ -28,18 +34,18 @@ pub fn gaussian_kernel(k: usize, sigma: f32) -> Tensor {
     for v in &mut data {
         *v /= sum;
     }
-    Tensor::from_vec(Shape::nchw(1, 1, k, k), data).expect("sizes agree")
+    Tensor::from_vec(Shape::nchw(1, 1, k, k), data)
 }
 
 /// The Sobel x/y operators as a single `[2, 1, 3, 3]` weight tensor
 /// (channel 0 = Gx, channel 1 = Gy).
-pub fn sobel_kernels() -> Tensor {
+pub fn sobel_kernels() -> Result<Tensor, TensorError> {
     let gx = [-1.0f32, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
     let gy = [-1.0f32, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0];
     let mut data = Vec::with_capacity(18);
     data.extend_from_slice(&gx);
     data.extend_from_slice(&gy);
-    Tensor::from_vec(Shape::nchw(2, 1, 3, 3), data).expect("sizes agree")
+    Tensor::from_vec(Shape::nchw(2, 1, 3, 3), data)
 }
 
 /// Builds the tunable part of the Canny pipeline as a dataflow graph over
@@ -50,29 +56,34 @@ pub fn sobel_kernels() -> Tensor {
 ///
 /// The reduce is a genuine *reduction* op, so reduction sampling applies,
 /// and both convolutions accept the full convolution knob set.
-pub fn build_canny_graph(h: usize, w: usize) -> Graph {
+pub fn build_canny_graph(h: usize, w: usize) -> Result<Graph, TensorError> {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0); // unused: fixed weights
     let input = Shape::nchw(1, 1, h, w);
     let mut b = GraphBuilder::new("canny", input, &mut rng);
-    b.conv_fixed(gaussian_kernel(5, 1.4), (2, 2), (1, 1));
-    b.conv_fixed(sobel_kernels(), (1, 1), (1, 1));
+    b.conv_fixed(gaussian_kernel(5, 1.4)?, (2, 2), (1, 1));
+    b.conv_fixed(sobel_kernels()?, (1, 1), (1, 1));
     b.abs();
     // Sum |Gx| + |Gy| over the channel axis (axis 1 of NCHW).
     b.reduce(1, at_tensor::ops::ReduceKind::Sum);
-    b.finish()
+    b.finish().map_err(TensorError::from)
 }
 
 /// Non-maximum suppression on an `[N, H, W]` (or `[N,1,H,W]`) gradient
 /// magnitude tensor: keeps a pixel only when it is a local maximum among
 /// its 8-neighbourhood (a simplification of direction-aware NMS that keeps
 /// the pipeline tensor-only).
-pub fn non_max_suppression(mag: &Tensor) -> Tensor {
+pub fn non_max_suppression(mag: &Tensor) -> Result<Tensor, TensorError> {
     let dims = mag.shape().dims().to_vec();
     let (n, h, w) = match dims.len() {
         3 => (dims[0], dims[1], dims[2]),
         4 => (dims[0] * dims[1], dims[2], dims[3]),
-        _ => panic!("NMS expects [N,H,W] or [N,1,H,W], got {:?}", dims),
+        _ => {
+            return Err(TensorError::ShapeMismatch {
+                op: "non_max_suppression",
+                detail: format!("expected [N,H,W] or [N,1,H,W], got {dims:?}"),
+            })
+        }
     };
     let src = mag.data();
     let mut out = vec![0.0f32; src.len()];
@@ -104,18 +115,23 @@ pub fn non_max_suppression(mag: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(mag.shape(), out).expect("shape preserved")
+    Tensor::from_vec(mag.shape(), out)
 }
 
 /// Double-threshold hysteresis: strong pixels (≥ `hi`) are edges; weak
 /// pixels (≥ `lo`) become edges when 8-connected to an edge (iterated to a
 /// fixed point). Output is a binary {0, 1} edge map.
-pub fn hysteresis(mag: &Tensor, lo: f32, hi: f32) -> Tensor {
+pub fn hysteresis(mag: &Tensor, lo: f32, hi: f32) -> Result<Tensor, TensorError> {
     let dims = mag.shape().dims().to_vec();
     let (n, h, w) = match dims.len() {
         3 => (dims[0], dims[1], dims[2]),
         4 => (dims[0] * dims[1], dims[2], dims[3]),
-        _ => panic!("hysteresis expects [N,H,W] or [N,1,H,W], got {:?}", dims),
+        _ => {
+            return Err(TensorError::ShapeMismatch {
+                op: "hysteresis",
+                detail: format!("expected [N,H,W] or [N,1,H,W], got {dims:?}"),
+            })
+        }
     };
     let src = mag.data();
     // 0 = off, 1 = weak, 2 = strong.
@@ -167,7 +183,7 @@ pub fn hysteresis(mag: &Tensor, lo: f32, hi: f32) -> Tensor {
         .iter()
         .map(|&s| if s == 2 { 1.0 } else { 0.0 })
         .collect();
-    Tensor::from_vec(mag.shape(), out).expect("shape preserved")
+    Tensor::from_vec(mag.shape(), out)
 }
 
 /// The complete reference pipeline: executes the (possibly approximated)
@@ -180,8 +196,8 @@ pub fn canny_reference(
     hi: f32,
 ) -> Result<Tensor, at_tensor::TensorError> {
     let mag = at_ir::execute(graph, batch, opts)?;
-    let nms = non_max_suppression(&mag);
-    Ok(hysteresis(&nms, lo, hi))
+    let nms = non_max_suppression(&mag)?;
+    hysteresis(&nms, lo, hi)
 }
 
 #[cfg(test)]
@@ -193,7 +209,7 @@ mod tests {
 
     #[test]
     fn gaussian_kernel_normalised_and_peaked() {
-        let k = gaussian_kernel(5, 1.4);
+        let k = gaussian_kernel(5, 1.4).unwrap();
         let sum: f32 = k.data().iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);
         // Centre is the max.
@@ -213,7 +229,7 @@ mod tests {
                 *img.at4_mut(0, 0, y, x) = 1.0;
             }
         }
-        let g = build_canny_graph(h, w);
+        let g = build_canny_graph(h, w).unwrap();
         let mag = at_ir::execute(&g, &img, &ExecOptions::baseline()).unwrap();
         // Magnitude highest near the boundary (x = 3..=4), low far away.
         let dims = mag.shape().dims().to_vec();
@@ -230,7 +246,7 @@ mod tests {
         t.data_mut()[2 * 5 + 2] = 2.0; // sharp peak
         t.data_mut()[2 * 5 + 1] = 1.0;
         t.data_mut()[2 * 5 + 3] = 1.0;
-        let out = non_max_suppression(&t);
+        let out = non_max_suppression(&t).unwrap();
         assert_eq!(out.data()[2 * 5 + 2], 2.0);
         assert_eq!(out.data()[2 * 5 + 1], 0.0);
         assert_eq!(out.data()[2 * 5 + 3], 0.0);
@@ -244,7 +260,7 @@ mod tests {
         t.data_mut()[6] = 0.5; // weak
         t.data_mut()[7] = 0.5; // weak
         t.data_mut()[9] = 0.5; // weak but disconnected (gap at index 8)
-        let out = hysteresis(&t, 0.3, 0.8);
+        let out = hysteresis(&t, 0.3, 0.8).unwrap();
         assert_eq!(out.data()[5], 1.0);
         assert_eq!(out.data()[6], 1.0, "weak connected to strong");
         assert_eq!(out.data()[7], 1.0, "weak connected transitively");
@@ -255,7 +271,7 @@ mod tests {
     fn full_pipeline_binary_output() {
         let mut rng = StdRng::seed_from_u64(1);
         let img = Tensor::uniform(Shape::nchw(2, 1, 16, 16), 0.0, 1.0, &mut rng);
-        let g = build_canny_graph(16, 16);
+        let g = build_canny_graph(16, 16).unwrap();
         let edges = canny_reference(&g, &img, &ExecOptions::baseline(), 0.4, 1.2).unwrap();
         assert!(edges.data().iter().all(|&v| v == 0.0 || v == 1.0));
     }
@@ -264,7 +280,7 @@ mod tests {
     fn approximated_pipeline_differs_but_overlaps() {
         let mut rng = StdRng::seed_from_u64(2);
         let img = Tensor::uniform(Shape::nchw(1, 1, 24, 24), 0.0, 1.0, &mut rng);
-        let g = build_canny_graph(24, 24);
+        let g = build_canny_graph(24, 24).unwrap();
         let exact = canny_reference(&g, &img, &ExecOptions::baseline(), 0.4, 1.2).unwrap();
         let mut config = vec![at_ir::ApproxChoice::BASELINE; g.len()];
         // Perforate the Gaussian blur (node 1).

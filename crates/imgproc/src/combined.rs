@@ -41,9 +41,9 @@ pub struct CombinedGolden {
     pub edge_maps: Vec<Tensor>,
 }
 
-fn predictions(out: &Tensor) -> Vec<usize> {
-    let (rows, classes) = out.shape().as_mat().expect("CNN output is [B, classes]");
-    (0..rows)
+fn predictions(out: &Tensor) -> Result<Vec<usize>, TensorError> {
+    let (rows, classes) = out.shape().as_mat()?;
+    Ok((0..rows)
         .map(|r| {
             let row = &out.data()[r * classes..(r + 1) * classes];
             let mut best = 0;
@@ -54,21 +54,23 @@ fn predictions(out: &Tensor) -> Vec<usize> {
             }
             best
         })
-        .collect()
+        .collect())
 }
 
 impl CombinedApp {
-    /// Builds the combined application at the given model scale.
-    pub fn new(scale: ModelScale) -> CombinedApp {
+    /// Builds the combined application at the given model scale. Fails with
+    /// a typed error when the CNN input is not NCHW or the Canny graph
+    /// cannot be constructed.
+    pub fn new(scale: ModelScale) -> Result<CombinedApp, TensorError> {
         let cnn = build(BenchmarkId::AlexNet2, scale);
-        let (_, _, h, w) = cnn.input_shape.as_nchw().expect("CNN input is NCHW");
-        CombinedApp {
+        let (_, _, h, w) = cnn.input_shape.as_nchw()?;
+        Ok(CombinedApp {
             cnn,
-            canny: build_canny_graph(h, w),
+            canny: build_canny_graph(h, w)?,
             registry: KnobRegistry::new(),
             edge_classes: vec![0, 1, 2, 3, 4],
             image_hw: (h, w),
-        }
+        })
     }
 
     /// Total nodes across both graphs — the dimension of a combined
@@ -84,21 +86,42 @@ impl CombinedApp {
         nk
     }
 
-    /// Splits a combined configuration into (CNN, Canny) halves.
-    pub fn split_config(&self, config: &Config) -> (Vec<ApproxChoice>, Vec<ApproxChoice>) {
+    /// Splits a combined configuration into (CNN, Canny) halves. Fails when
+    /// the configuration does not cover both graphs (instead of panicking
+    /// on the slice).
+    pub fn split_config(
+        &self,
+        config: &Config,
+    ) -> Result<(Vec<ApproxChoice>, Vec<ApproxChoice>), TensorError> {
         let n = self.cnn.graph.len();
+        let total = self.total_nodes();
+        if config.knobs().len() < total {
+            return Err(TensorError::ShapeMismatch {
+                op: "split_config",
+                detail: format!(
+                    "combined config has {} knobs, application has {total} nodes",
+                    config.knobs().len()
+                ),
+            });
+        }
         let cnn_cfg = Config::from_knobs(config.knobs()[..n].to_vec());
         let canny_cfg = Config::from_knobs(config.knobs()[n..].to_vec());
-        (
+        Ok((
             cnn_cfg.decode(&self.registry, &self.cnn.graph),
             canny_cfg.decode(&self.registry, &self.canny),
-        )
+        ))
     }
 
     /// Extracts image `row` of an NCHW batch as a grayscale `[1,1,H,W]`
     /// tensor (channel mean).
-    fn grayscale(&self, batch: &Tensor, row: usize) -> Tensor {
-        let (_, c, h, w) = batch.shape().as_nchw().expect("batch is NCHW");
+    fn grayscale(&self, batch: &Tensor, row: usize) -> Result<Tensor, TensorError> {
+        let (rows, c, h, w) = batch.shape().as_nchw()?;
+        if row >= rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "grayscale",
+                detail: format!("row {row} out of range for batch of {rows}"),
+            });
+        }
         let mut data = vec![0.0f32; h * w];
         for ch in 0..c {
             let plane = &batch.data()[(row * c + ch) * h * w..(row * c + ch + 1) * h * w];
@@ -109,7 +132,7 @@ impl CombinedApp {
         for v in &mut data {
             *v /= c as f32;
         }
-        Tensor::from_vec(Shape::nchw(1, 1, h, w), data).expect("sizes agree")
+        Tensor::from_vec(Shape::nchw(1, 1, h, w), data)
     }
 
     /// Chooses the five forwarded classes as the most frequently predicted
@@ -121,8 +144,10 @@ impl CombinedApp {
         let mut freq = vec![0usize; self.cnn.classes];
         for batch in batches {
             let out = execute(&self.cnn.graph, batch, &ExecOptions::baseline())?;
-            for p in predictions(&out) {
-                freq[p] += 1;
+            for p in predictions(&out)? {
+                if let Some(slot) = freq.get_mut(p) {
+                    *slot += 1;
+                }
             }
         }
         let mut order: Vec<usize> = (0..self.cnn.classes).collect();
@@ -139,10 +164,10 @@ impl CombinedApp {
         let mut edge_maps = Vec::new();
         for (bi, batch) in batches.iter().enumerate() {
             let out = execute(&self.cnn.graph, batch, &ExecOptions::baseline())?;
-            let preds = predictions(&out);
+            let preds = predictions(&out)?;
             for (row, &p) in preds.iter().enumerate() {
                 if self.edge_classes.contains(&p) {
-                    let gray = self.grayscale(batch, row);
+                    let gray = self.grayscale(batch, row)?;
                     let edges = canny_reference(
                         &self.canny,
                         &gray,
@@ -179,7 +204,7 @@ impl CombinedApp {
         golden: &CombinedGolden,
         promise_seed: u64,
     ) -> Result<(f64, f64), TensorError> {
-        let (cnn_choices, canny_choices) = self.split_config(config);
+        let (cnn_choices, canny_choices) = self.split_config(config)?;
         let cnn_opts = ExecOptions {
             config: cnn_choices,
             promise_seed,
@@ -197,14 +222,17 @@ impl CombinedApp {
         let acc = qos::accuracy(&outs, labels);
 
         // Image half: edge maps for the golden forwarded set.
-        let preds: Vec<Vec<usize>> = outs.iter().map(predictions).collect();
+        let preds: Vec<Vec<usize>> = outs
+            .iter()
+            .map(predictions)
+            .collect::<Result<Vec<_>, _>>()?;
         let mut mse_sum = 0.0f64;
         let mut count = 0usize;
         for (gi, &(bi, row)) in golden.forwarded.iter().enumerate() {
             let golden_map = &golden.edge_maps[gi];
             let still_forwarded = self.edge_classes.contains(&preds[bi][row]);
             let m = if still_forwarded {
-                let gray = self.grayscale(&batches[bi], row);
+                let gray = self.grayscale(&batches[bi], row)?;
                 let edges = canny_reference(&self.canny, &gray, &canny_opts, HYST_LO, HYST_HI)?;
                 edges.mse(golden_map)?
             } else {
@@ -237,7 +265,7 @@ mod tests {
     use at_models::data::build_dataset;
 
     fn app_and_data() -> (CombinedApp, Vec<Tensor>, Vec<Vec<usize>>) {
-        let mut app = CombinedApp::new(ModelScale::Tiny);
+        let mut app = CombinedApp::new(ModelScale::Tiny).unwrap();
         let ds = build_dataset(&app.cnn, 24, 12, 3);
         app.calibrate_routing(&ds.batches).unwrap();
         (app, ds.batches, ds.labels)

@@ -13,7 +13,7 @@ proptest! {
 
     #[test]
     fn gaussian_kernel_always_normalised(k in prop::sample::select(vec![3usize, 5, 7]), sigma in 0.5f32..3.0) {
-        let g = gaussian_kernel(k, sigma);
+        let g = gaussian_kernel(k, sigma).unwrap();
         let sum: f32 = g.data().iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
         prop_assert!(g.data().iter().all(|&v| v >= 0.0));
@@ -23,7 +23,7 @@ proptest! {
     fn nms_is_sparsifying_and_bounded(seed in 0u64..500) {
         let mut rng = StdRng::seed_from_u64(seed);
         let t = Tensor::uniform(Shape::new(&[1, 12, 12]), 0.0, 1.0, &mut rng);
-        let out = non_max_suppression(&t);
+        let out = non_max_suppression(&t).unwrap();
         // Every surviving value equals its input; suppressed values are 0.
         for (o, i) in out.data().iter().zip(t.data()) {
             prop_assert!(*o == 0.0 || (o - i).abs() < 1e-9);
@@ -41,7 +41,7 @@ proptest! {
         let hi = lo + gap;
         let mut rng = StdRng::seed_from_u64(seed);
         let t = Tensor::uniform(Shape::new(&[1, 10, 10]), 0.0, 1.5, &mut rng);
-        let e = hysteresis(&t, lo, hi);
+        let e = hysteresis(&t, lo, hi).unwrap();
         prop_assert!(e.data().iter().all(|&v| v == 0.0 || v == 1.0));
         // All strong pixels are edges; all sub-lo pixels are not.
         for (v, &m) in e.data().iter().zip(t.data()) {
@@ -49,7 +49,7 @@ proptest! {
             if m < lo { prop_assert_eq!(*v, 0.0); }
         }
         // Raising the high threshold can only remove edges.
-        let stricter = hysteresis(&t, lo, hi + 0.2);
+        let stricter = hysteresis(&t, lo, hi + 0.2).unwrap();
         for (a, b) in stricter.data().iter().zip(e.data()) {
             prop_assert!(a <= b);
         }
@@ -59,7 +59,7 @@ proptest! {
     fn pipeline_edge_count_reasonable(seed in 0u64..100) {
         let mut rng = StdRng::seed_from_u64(seed);
         let img = Tensor::uniform(Shape::nchw(1, 1, 16, 16), 0.0, 1.0, &mut rng);
-        let g = build_canny_graph(16, 16);
+        let g = build_canny_graph(16, 16).unwrap();
         let edges = canny_reference(&g, &img, &ExecOptions::baseline(), 0.4, 1.2).unwrap();
         let frac = edges.data().iter().sum::<f32>() / edges.len() as f32;
         // Noise images: some edges, but never everything.

@@ -3,7 +3,18 @@
 //!
 //! Weights are initialised with He-normal statistics from a caller-provided
 //! RNG, so the synthetic models have realistic activation magnitudes.
+//!
+//! The builder never panics on misuse. The first failing step (e.g. a dense
+//! layer on an un-flattened activation, or a grouped convolution whose
+//! channel count is not divisible by `groups`) *poisons* the builder: the
+//! error is recorded, every later step becomes a no-op, and [`finish`]
+//! reports it as a typed [`GraphError`]. This keeps fluent chains readable
+//! while making malformed model definitions a recoverable condition for
+//! the serving runtime.
+//!
+//! [`finish`]: GraphBuilder::finish
 
+use crate::error::GraphError;
 use crate::graph::{Graph, NodeId, OpKind};
 use crate::shapes::infer_shapes;
 use at_tensor::ops::ReduceKind;
@@ -18,6 +29,7 @@ pub struct GraphBuilder<'r, R: Rng> {
     current: NodeId,
     shape: Shape,
     input_shape: Shape,
+    err: Option<GraphError>,
 }
 
 impl<'r, R: Rng> GraphBuilder<'r, R> {
@@ -31,6 +43,7 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
             current,
             shape: input,
             input_shape: input,
+            err: None,
         }
     }
 
@@ -44,13 +57,46 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         self.shape
     }
 
+    /// The first error recorded by a failed step, if any.
+    pub fn error(&self) -> Option<&GraphError> {
+        self.err.as_ref()
+    }
+
+    /// Runs a fallible step unless the builder is already poisoned; on
+    /// failure records the error tagged with the step name.
+    fn try_step(
+        &mut self,
+        op: &'static str,
+        f: impl FnOnce(&mut Self) -> Result<(), GraphError>,
+    ) -> &mut Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = f(self) {
+            self.err = Some(GraphError::Builder {
+                op,
+                detail: e.to_string(),
+            });
+        }
+        self
+    }
+
+    /// Re-infers the current shape after appending `node`.
+    fn refresh_shape(&mut self, node: NodeId) -> Result<(), GraphError> {
+        let shapes = infer_shapes(&self.graph, self.input_shape)?;
+        self.shape = *shapes
+            .get(node.0 as usize)
+            .ok_or_else(|| GraphError::Internal {
+                detail: format!("no inferred shape for node {}", node.0),
+            })?;
+        self.current = node;
+        Ok(())
+    }
+
     /// Rewinds the builder's "current" pointer to an earlier node (for
     /// residual branches).
     pub fn rewind(&mut self, to: NodeId) -> &mut Self {
-        self.current = to;
-        self.shape = infer_shapes(&self.graph, self.input_shape)
-            .expect("builder keeps graph valid")[to.0 as usize];
-        self
+        self.try_step("rewind", |b| b.refresh_shape(to))
     }
 
     fn he_tensor(&mut self, shape: Shape, fan_in: usize) -> Tensor {
@@ -68,35 +114,35 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         stride: (usize, usize),
         groups: usize,
     ) -> &mut Self {
-        let (_, c, _, _) = self.shape.as_nchw().expect("conv input must be NCHW");
-        assert!(
-            c.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
-            "bad groups"
-        );
-        let cpg = c / groups;
-        let fan_in = cpg * kernel * kernel;
-        let w = self.he_tensor(Shape::nchw(out_channels, cpg, kernel, kernel), fan_in);
-        let weight = self.graph.add_param(w);
-        let bias = Some(
-            self.graph
-                .add_param(Tensor::zeros(Shape::vec(out_channels))),
-        );
-        let label = format!("conv{}", self.graph.len());
-        let node = self.graph.add_node(
-            OpKind::Conv2d {
-                weight,
-                bias,
-                pad,
-                stride,
-                groups,
-            },
-            vec![self.current],
-            label,
-        );
-        self.current = node;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("conv shapes valid")
-            [node.0 as usize];
-        self
+        self.try_step("conv", |b| {
+            let (_, c, _, _) = b.shape.as_nchw()?;
+            if groups == 0 || !c.is_multiple_of(groups) || !out_channels.is_multiple_of(groups) {
+                return Err(GraphError::Builder {
+                    op: "conv",
+                    detail: format!(
+                        "groups {groups} does not divide channels {c} and filters {out_channels}"
+                    ),
+                });
+            }
+            let cpg = c / groups;
+            let fan_in = cpg * kernel * kernel;
+            let w = b.he_tensor(Shape::nchw(out_channels, cpg, kernel, kernel), fan_in);
+            let weight = b.graph.add_param(w);
+            let bias = Some(b.graph.add_param(Tensor::zeros(Shape::vec(out_channels))));
+            let label = format!("conv{}", b.graph.len());
+            let node = b.graph.add_node(
+                OpKind::Conv2d {
+                    weight,
+                    bias,
+                    pad,
+                    stride,
+                    groups,
+                },
+                vec![b.current],
+                label,
+            );
+            b.refresh_shape(node)
+        })
     }
 
     /// Dense convolution (groups = 1).
@@ -117,46 +163,55 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         pad: (usize, usize),
         stride: (usize, usize),
     ) -> &mut Self {
-        let (_, c, _, _) = self.shape.as_nchw().expect("depthwise input must be NCHW");
+        let c = match self.shape.as_nchw() {
+            Ok((_, c, _, _)) => c,
+            Err(e) => {
+                if self.err.is_none() {
+                    self.err = Some(GraphError::Builder {
+                        op: "depthwise",
+                        detail: e.to_string(),
+                    });
+                }
+                return self;
+            }
+        };
         self.conv_grouped(c, kernel, pad, stride, c)
     }
 
     /// Inference batch normalisation with identity-calibrated statistics
     /// (slightly perturbed so the op is not a no-op).
     pub fn batchnorm(&mut self) -> &mut Self {
-        let (_, c, _, _) = self.shape.as_nchw().expect("batchnorm input must be NCHW");
-        let gamma = Tensor::from_vec(
-            Shape::vec(c),
-            (0..c)
-                .map(|_| 1.0 + self.rng.gen_range(-0.05..0.05))
-                .collect(),
-        )
-        .expect("shape matches");
-        let beta = Tensor::from_vec(
-            Shape::vec(c),
-            (0..c).map(|_| self.rng.gen_range(-0.02..0.02f32)).collect(),
-        )
-        .expect("shape matches");
-        let mean = Tensor::zeros(Shape::vec(c));
-        let var = Tensor::full(Shape::vec(c), 1.0);
-        let g = self.graph.add_param(gamma);
-        let b = self.graph.add_param(beta);
-        let m = self.graph.add_param(mean);
-        let v = self.graph.add_param(var);
-        let label = format!("bn{}", self.graph.len());
-        let node = self.graph.add_node(
-            OpKind::BatchNorm {
-                gamma: g,
-                beta: b,
-                mean: m,
-                var: v,
-                eps: 1e-5,
-            },
-            vec![self.current],
-            label,
-        );
-        self.current = node;
-        self
+        self.try_step("batchnorm", |b| {
+            let (_, c, _, _) = b.shape.as_nchw()?;
+            let gamma = Tensor::from_vec(
+                Shape::vec(c),
+                (0..c).map(|_| 1.0 + b.rng.gen_range(-0.05..0.05)).collect(),
+            )?;
+            let beta = Tensor::from_vec(
+                Shape::vec(c),
+                (0..c).map(|_| b.rng.gen_range(-0.02..0.02f32)).collect(),
+            )?;
+            let mean = Tensor::zeros(Shape::vec(c));
+            let var = Tensor::full(Shape::vec(c), 1.0);
+            let g = b.graph.add_param(gamma);
+            let bb = b.graph.add_param(beta);
+            let m = b.graph.add_param(mean);
+            let v = b.graph.add_param(var);
+            let label = format!("bn{}", b.graph.len());
+            let node = b.graph.add_node(
+                OpKind::BatchNorm {
+                    gamma: g,
+                    beta: bb,
+                    mean: m,
+                    var: v,
+                    eps: 1e-5,
+                },
+                vec![b.current],
+                label,
+            );
+            b.current = node;
+            Ok(())
+        })
     }
 
     /// ReLU.
@@ -187,26 +242,28 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         pad: (usize, usize),
         stride: (usize, usize),
     ) -> &mut Self {
-        let weight = self.graph.add_param(weight);
-        let label = format!("conv{}", self.graph.len());
-        let node = self.graph.add_node(
-            OpKind::Conv2d {
-                weight,
-                bias: None,
-                pad,
-                stride,
-                groups: 1,
-            },
-            vec![self.current],
-            label,
-        );
-        self.current = node;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("conv shapes valid")
-            [node.0 as usize];
-        self
+        self.try_step("conv_fixed", |b| {
+            let weight = b.graph.add_param(weight);
+            let label = format!("conv{}", b.graph.len());
+            let node = b.graph.add_node(
+                OpKind::Conv2d {
+                    weight,
+                    bias: None,
+                    pad,
+                    stride,
+                    groups: 1,
+                },
+                vec![b.current],
+                label,
+            );
+            b.refresh_shape(node)
+        })
     }
 
     fn unary(&mut self, op: OpKind, name: &str) -> &mut Self {
+        if self.err.is_some() {
+            return self;
+        }
         let label = format!("{name}{}", self.graph.len());
         let node = self.graph.add_node(op, vec![self.current], label);
         self.current = node;
@@ -215,68 +272,70 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
 
     /// Max pooling with square window and stride.
     pub fn max_pool(&mut self, window: usize, stride: usize) -> &mut Self {
-        let label = format!("maxpool{}", self.graph.len());
-        let node = self.graph.add_node(
-            OpKind::MaxPool2d {
-                window: (window, window),
-                pad: (0, 0),
-                stride: (stride, stride),
-            },
-            vec![self.current],
-            label,
-        );
-        self.current = node;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("pool shapes valid")
-            [node.0 as usize];
-        self
+        self.try_step("max_pool", |b| {
+            let label = format!("maxpool{}", b.graph.len());
+            let node = b.graph.add_node(
+                OpKind::MaxPool2d {
+                    window: (window, window),
+                    pad: (0, 0),
+                    stride: (stride, stride),
+                },
+                vec![b.current],
+                label,
+            );
+            b.refresh_shape(node)
+        })
     }
 
     /// Average pooling with square window and stride (a reduction op).
     pub fn avg_pool(&mut self, window: usize, stride: usize) -> &mut Self {
-        let label = format!("avgpool{}", self.graph.len());
-        let node = self.graph.add_node(
-            OpKind::AvgPool2d {
-                window: (window, window),
-                pad: (0, 0),
-                stride: (stride, stride),
-            },
-            vec![self.current],
-            label,
-        );
-        self.current = node;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("pool shapes valid")
-            [node.0 as usize];
-        self
+        self.try_step("avg_pool", |b| {
+            let label = format!("avgpool{}", b.graph.len());
+            let node = b.graph.add_node(
+                OpKind::AvgPool2d {
+                    window: (window, window),
+                    pad: (0, 0),
+                    stride: (stride, stride),
+                },
+                vec![b.current],
+                label,
+            );
+            b.refresh_shape(node)
+        })
     }
 
     /// Flatten NCHW to `[N, C·H·W]`.
     pub fn flatten(&mut self) -> &mut Self {
-        let node = self
-            .graph
-            .add_node(OpKind::Flatten, vec![self.current], "flatten");
-        self.current = node;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("flatten shapes valid")
-            [node.0 as usize];
-        self
+        self.try_step("flatten", |b| {
+            let node = b
+                .graph
+                .add_node(OpKind::Flatten, vec![b.current], "flatten");
+            b.refresh_shape(node)
+        })
     }
 
     /// Fully-connected layer with bias.
     pub fn dense(&mut self, out: usize) -> &mut Self {
-        let (_, k) = self.shape.as_mat().expect("dense input must be flattened");
-        let w = self.he_tensor(Shape::mat(k, out), k);
-        let weight = self.graph.add_param(w);
-        let bias = Some(self.graph.add_param(Tensor::zeros(Shape::vec(out))));
-        let label = format!("fc{}", self.graph.len());
-        let node = self
-            .graph
-            .add_node(OpKind::Dense { weight, bias }, vec![self.current], label);
-        self.current = node;
-        self.shape = Shape::mat(self.shape.as_mat().unwrap().0, out);
-        self
+        self.try_step("dense", |b| {
+            let (m, k) = b.shape.as_mat()?;
+            let w = b.he_tensor(Shape::mat(k, out), k);
+            let weight = b.graph.add_param(w);
+            let bias = Some(b.graph.add_param(Tensor::zeros(Shape::vec(out))));
+            let label = format!("fc{}", b.graph.len());
+            let node = b
+                .graph
+                .add_node(OpKind::Dense { weight, bias }, vec![b.current], label);
+            b.current = node;
+            b.shape = Shape::mat(m, out);
+            Ok(())
+        })
     }
 
     /// Residual addition of the current node and `other`.
     pub fn add_from(&mut self, other: NodeId) -> &mut Self {
+        if self.err.is_some() {
+            return self;
+        }
         let label = format!("add{}", self.graph.len());
         let node = self
             .graph
@@ -287,14 +346,13 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
 
     /// Reduction along an axis.
     pub fn reduce(&mut self, axis: usize, kind: ReduceKind) -> &mut Self {
-        let label = format!("reduce{}", self.graph.len());
-        let node = self
-            .graph
-            .add_node(OpKind::Reduce { axis, kind }, vec![self.current], label);
-        self.current = node;
-        self.shape = infer_shapes(&self.graph, self.input_shape).expect("reduce shapes valid")
-            [node.0 as usize];
-        self
+        self.try_step("reduce", |b| {
+            let label = format!("reduce{}", b.graph.len());
+            let node = b
+                .graph
+                .add_node(OpKind::Reduce { axis, kind }, vec![b.current], label);
+            b.refresh_shape(node)
+        })
     }
 
     /// Terminal softmax.
@@ -302,12 +360,15 @@ impl<'r, R: Rng> GraphBuilder<'r, R> {
         self.unary(OpKind::Softmax, "softmax")
     }
 
-    /// Finalises and validates the graph.
-    pub fn finish(self) -> Graph {
-        self.graph
-            .validate()
-            .expect("builder produces valid graphs");
-        self.graph
+    /// Finalises and validates the graph. Returns the first error recorded
+    /// by a failed step, or a validation error for a structurally invalid
+    /// result.
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
     }
 }
 
@@ -328,7 +389,7 @@ mod tests {
             .conv(4, 3, (1, 1), (1, 1));
         b.add_from(skip).relu();
         b.flatten().dense(10).softmax();
-        let g = b.finish();
+        let g = b.finish().unwrap();
         assert!(g.validate().is_ok());
         assert!(g.len() > 9);
     }
@@ -341,7 +402,7 @@ mod tests {
             .batchnorm()
             .relu6()
             .conv(16, 1, (0, 0), (1, 1));
-        let g = b.finish();
+        let g = b.finish().unwrap();
         assert!(g.validate().is_ok());
     }
 
@@ -355,5 +416,39 @@ mod tests {
         assert_eq!(b.shape(), Shape::nchw(1, 8, 8, 8));
         b.flatten();
         assert_eq!(b.shape(), Shape::mat(1, 8 * 64));
+    }
+
+    #[test]
+    fn bad_groups_poisons_builder() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = GraphBuilder::new("bad", Shape::nchw(1, 3, 8, 8), &mut rng);
+        b.conv_grouped(8, 3, (1, 1), (1, 1), 2); // 3 channels, 2 groups
+        assert!(b.error().is_some());
+        match b.finish() {
+            Err(GraphError::Builder { op, .. }) => assert_eq!(op, "conv"),
+            other => panic!("expected builder error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_without_flatten_poisons_builder() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = GraphBuilder::new("bad", Shape::nchw(1, 3, 8, 8), &mut rng);
+        // Dense on an NCHW activation is a shape misuse, and the poisoned
+        // builder must ignore every later step instead of panicking.
+        b.dense(10).relu().softmax();
+        assert!(matches!(b.finish(), Err(GraphError::Builder { .. })));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut b = GraphBuilder::new("bad", Shape::nchw(1, 3, 8, 8), &mut rng);
+        b.dense(10); // first failure: dense on NCHW
+        b.conv_grouped(8, 3, (1, 1), (1, 1), 2); // would fail too
+        match b.finish() {
+            Err(GraphError::Builder { op, .. }) => assert_eq!(op, "dense"),
+            other => panic!("expected dense failure, got {other:?}"),
+        }
     }
 }

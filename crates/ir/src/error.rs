@@ -1,0 +1,144 @@
+//! Typed graph-level errors for the `at-ir` execution path.
+//!
+//! Historically the builder, validator and executor panicked on malformed
+//! graphs (`assert!`, `expect`). A serving runtime cannot afford that: a
+//! single corrupt artifact would abort the whole process instead of being
+//! contained by the circuit breaker. Every shape/validity check on the
+//! execution path now produces a [`GraphError`] that propagates to the
+//! caller.
+//!
+//! `GraphError` converts losslessly from [`TensorError`] (kernel-level
+//! failures wrap into [`GraphError::Tensor`]) and back (graph-level
+//! variants render into `TensorError::Graph`), so existing `at-core` code
+//! that works in terms of `TensorError` keeps composing with `?`.
+
+use at_tensor::TensorError;
+use std::fmt;
+
+/// Errors raised while building, validating or executing a dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A kernel-level tensor failure surfaced during graph execution.
+    Tensor(TensorError),
+    /// The graph wiring is invalid: dangling node ids, non-topological
+    /// inputs, wrong arity, out-of-range parameter references.
+    InvalidStructure {
+        /// Where the check failed (pass or op name).
+        op: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An operation that needs at least one node was given an empty graph.
+    EmptyGraph,
+    /// The builder was driven into an invalid state; the first failure is
+    /// recorded and every later call is a no-op until `finish()` reports it.
+    Builder {
+        /// The method that first failed.
+        op: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A cached-output vector handed to suffix re-execution does not cover
+    /// the graph.
+    CacheMismatch {
+        /// Node count of the graph.
+        expected: usize,
+        /// Length of the supplied cache.
+        got: usize,
+    },
+    /// A parameter tensor contains NaN or infinite values — executing it
+    /// would silently poison every downstream activation.
+    NonFiniteParam {
+        /// Name of the owning node, if known.
+        node: String,
+        /// How many elements were non-finite.
+        count: usize,
+    },
+    /// An internal executor invariant was violated (e.g. a node's input was
+    /// not computed despite topological order). Indicates a bug or a graph
+    /// that bypassed validation.
+    Internal {
+        /// Description for logs.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Tensor(e) => write!(f, "{e}"),
+            GraphError::InvalidStructure { op, detail } => {
+                write!(f, "invalid graph structure in {op}: {detail}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::Builder { op, detail } => {
+                write!(f, "graph builder failed in {op}: {detail}")
+            }
+            GraphError::CacheMismatch { expected, got } => {
+                write!(f, "node cache covers {got} nodes, graph has {expected}")
+            }
+            GraphError::NonFiniteParam { node, count } => {
+                write!(f, "{count} non-finite parameter values in node {node}")
+            }
+            GraphError::Internal { detail } => write!(f, "internal executor error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> GraphError {
+        GraphError::Tensor(e)
+    }
+}
+
+/// Lossy-but-faithful conversion for callers that work in `TensorError`
+/// terms: wrapped tensor errors unwrap to the original (so transient-fault
+/// classification in the supervisor keeps working); graph-level variants
+/// render into [`TensorError::Graph`].
+impl From<GraphError> for TensorError {
+    fn from(e: GraphError) -> TensorError {
+        match e {
+            GraphError::Tensor(inner) => inner,
+            GraphError::EmptyGraph => TensorError::EmptyGraph,
+            other => TensorError::Graph {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_roundtrip_preserves_variant() {
+        let t = TensorError::Transient {
+            detail: "flaky".into(),
+        };
+        let g = GraphError::from(t.clone());
+        assert_eq!(TensorError::from(g), t);
+    }
+
+    #[test]
+    fn graph_variants_render_into_tensor_graph() {
+        let g = GraphError::NonFiniteParam {
+            node: "conv1".into(),
+            count: 3,
+        };
+        match TensorError::from(g) {
+            TensorError::Graph { detail } => assert!(detail.contains("conv1")),
+            other => panic!("expected Graph variant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph_maps_to_empty_graph() {
+        assert_eq!(
+            TensorError::from(GraphError::EmptyGraph),
+            TensorError::EmptyGraph
+        );
+    }
+}

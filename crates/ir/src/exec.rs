@@ -10,12 +10,13 @@
 //! profile collection dramatically cheaper without changing its result.
 
 use crate::approx::ApproxChoice;
+use crate::error::GraphError;
 use crate::graph::{Graph, Node, NodeId, OpClass, OpKind};
 use crate::shapes::infer_shapes;
 use at_promise::{promise_conv2d, promise_matmul};
 use at_tensor::cost::{self, OpCounts};
 use at_tensor::ops::{self, conv::Conv2dParams};
-use at_tensor::{Precision, ReduceApprox, Shape, Tensor, TensorError};
+use at_tensor::{Precision, ReduceApprox, Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,11 +51,11 @@ impl ExecOptions {
 fn eval_node<'a>(
     graph: &Graph,
     node: &Node,
-    arg: impl Fn(usize) -> &'a Tensor,
+    arg: impl Fn(usize) -> Result<&'a Tensor, GraphError>,
     choice: ApproxChoice,
     promise_seed: u64,
     program_input: &Tensor,
-) -> Result<Tensor, TensorError> {
+) -> Result<Tensor, GraphError> {
     let (conv_approx, reduce_approx, precision) = match choice {
         ApproxChoice::Digital {
             conv,
@@ -83,10 +84,10 @@ fn eval_node<'a>(
                 // back to the digital exact kernel).
                 if *groups == 1 {
                     let mut rng = StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
-                    promise_conv2d(arg(0), w, b, *pad, *stride, level, &mut rng)?
+                    promise_conv2d(arg(0)?, w, b, *pad, *stride, level, &mut rng)?
                 } else {
                     ops::conv2d(
-                        arg(0),
+                        arg(0)?,
                         w,
                         b,
                         Conv2dParams {
@@ -99,7 +100,7 @@ fn eval_node<'a>(
                 }
             } else {
                 ops::conv2d(
-                    arg(0),
+                    arg(0)?,
                     w,
                     b,
                     Conv2dParams {
@@ -116,29 +117,29 @@ fn eval_node<'a>(
             let w = graph.param(*weight);
             let out = if let ApproxChoice::Promise(level) = choice {
                 let mut rng = StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
-                promise_matmul(arg(0), w, level, &mut rng)?
+                promise_matmul(arg(0)?, w, level, &mut rng)?
             } else {
-                ops::matmul(arg(0), w, precision)?
+                ops::matmul(arg(0)?, w, precision)?
             };
             match bias {
                 Some(b) => ops::bias_add_rows(&out, graph.param(*b), precision)?,
                 None => out,
             }
         }
-        OpKind::Relu => ops::relu(arg(0), precision)?,
-        OpKind::ClippedRelu { lo, hi } => ops::clipped_relu(arg(0), *lo, *hi, precision)?,
-        OpKind::Tanh => ops::tanh_op(arg(0), precision)?,
-        OpKind::Abs => ops::map_unary(arg(0), at_tensor::ops::UnaryOp::Abs, precision)?,
+        OpKind::Relu => ops::relu(arg(0)?, precision)?,
+        OpKind::ClippedRelu { lo, hi } => ops::clipped_relu(arg(0)?, *lo, *hi, precision)?,
+        OpKind::Tanh => ops::tanh_op(arg(0)?, precision)?,
+        OpKind::Abs => ops::map_unary(arg(0)?, at_tensor::ops::UnaryOp::Abs, precision)?,
         OpKind::MaxPool2d {
             window,
             pad,
             stride,
-        } => ops::max_pool2d(arg(0), *window, *pad, *stride, precision)?,
+        } => ops::max_pool2d(arg(0)?, *window, *pad, *stride, precision)?,
         OpKind::AvgPool2d {
             window,
             pad,
             stride,
-        } => ops::avg_pool2d(arg(0), *window, *pad, *stride, reduce_approx, precision)?,
+        } => ops::avg_pool2d(arg(0)?, *window, *pad, *stride, reduce_approx, precision)?,
         OpKind::BatchNorm {
             gamma,
             beta,
@@ -146,7 +147,7 @@ fn eval_node<'a>(
             var,
             eps,
         } => ops::batchnorm2d(
-            arg(0),
+            arg(0)?,
             graph.param(*gamma),
             graph.param(*beta),
             graph.param(*mean),
@@ -154,9 +155,9 @@ fn eval_node<'a>(
             *eps,
             precision,
         )?,
-        OpKind::Softmax => ops::softmax_rows(arg(0), precision)?,
+        OpKind::Softmax => ops::softmax_rows(arg(0)?, precision)?,
         OpKind::Add => {
-            let sum = arg(0).add(arg(1))?;
+            let sum = arg(0)?.add(arg(1)?)?;
             if precision == Precision::Fp16 {
                 sum.to_f16()
             } else {
@@ -164,21 +165,40 @@ fn eval_node<'a>(
             }
         }
         OpKind::Flatten => {
-            let t = arg(0);
+            let t = arg(0)?;
             let dims = t.shape();
             let d = dims.dims();
             t.reshape(Shape::mat(d[0], d[1..].iter().product()))?
         }
         OpKind::Reduce { axis, kind } => {
-            ops::reduce(arg(0), *axis, *kind, reduce_approx, precision)?
+            ops::reduce(arg(0)?, *axis, *kind, reduce_approx, precision)?
         }
     };
     Ok(out)
 }
 
+/// Looks up input `i` of `node` in the per-node output cache, as a typed
+/// error rather than a panic when the invariant "topological order
+/// guarantees inputs are computed" is violated by a corrupt graph.
+fn fetch<'a>(
+    outputs: &'a [Option<Tensor>],
+    node: &Node,
+    i: usize,
+) -> Result<&'a Tensor, GraphError> {
+    let id = node.inputs.get(i).ok_or_else(|| GraphError::Internal {
+        detail: format!("node {} has no input #{i}", node.id.0),
+    })?;
+    outputs
+        .get(id.0 as usize)
+        .and_then(|o| o.as_ref())
+        .ok_or_else(|| GraphError::Internal {
+            detail: format!("input {} of node {} not computed", id.0, node.id.0),
+        })
+}
+
 /// Executes the graph on `input`, returning the output tensor of the final
 /// node.
-pub fn execute(graph: &Graph, input: &Tensor, opts: &ExecOptions) -> Result<Tensor, TensorError> {
+pub fn execute(graph: &Graph, input: &Tensor, opts: &ExecOptions) -> Result<Tensor, GraphError> {
     let (out, _) = execute_with_trace(graph, input, opts)?;
     Ok(out)
 }
@@ -190,7 +210,7 @@ pub fn execute_with_trace(
     graph: &Graph,
     input: &Tensor,
     opts: &ExecOptions,
-) -> Result<(Tensor, Vec<f64>), TensorError> {
+) -> Result<(Tensor, Vec<f64>), GraphError> {
     graph.validate()?;
     let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
     let mut times = vec![0.0f64; graph.len()];
@@ -199,11 +219,7 @@ pub fn execute_with_trace(
         let out = eval_node(
             graph,
             node,
-            |i| {
-                outputs[node.inputs[i].0 as usize]
-                    .as_ref()
-                    .expect("topological order guarantees inputs are computed")
-            },
+            |i| fetch(&outputs, node, i),
             opts.choice(node.id),
             opts.promise_seed,
             input,
@@ -211,10 +227,12 @@ pub fn execute_with_trace(
         times[node.id.0 as usize] = started.elapsed().as_secs_f64();
         outputs[node.id.0 as usize] = Some(out);
     }
-    let out_id = graph.output().expect("validated graph is non-empty");
+    let out_id = graph.output().ok_or(GraphError::EmptyGraph)?;
     let out = outputs[out_id.0 as usize]
         .take()
-        .expect("output node was computed");
+        .ok_or_else(|| GraphError::Internal {
+            detail: "output node was not computed".into(),
+        })?;
     Ok((out, times))
 }
 
@@ -224,25 +242,29 @@ pub fn execute_all(
     graph: &Graph,
     input: &Tensor,
     opts: &ExecOptions,
-) -> Result<Vec<Tensor>, TensorError> {
+) -> Result<Vec<Tensor>, GraphError> {
     graph.validate()?;
     let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
     for node in graph.nodes() {
         let out = eval_node(
             graph,
             node,
-            |i| {
-                outputs[node.inputs[i].0 as usize]
-                    .as_ref()
-                    .expect("topological order guarantees inputs are computed")
-            },
+            |i| fetch(&outputs, node, i),
             opts.choice(node.id),
             opts.promise_seed,
             input,
         )?;
         outputs[node.id.0 as usize] = Some(out);
     }
-    Ok(outputs.into_iter().map(|o| o.expect("computed")).collect())
+    outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| {
+            o.ok_or_else(|| GraphError::Internal {
+                detail: format!("node {i} was not computed"),
+            })
+        })
+        .collect()
 }
 
 /// Recomputes only the nodes at positions `from..` of the graph, reading
@@ -257,8 +279,14 @@ pub fn execute_suffix(
     cache: &[Tensor],
     from: NodeId,
     opts: &ExecOptions,
-) -> Result<Tensor, TensorError> {
-    assert_eq!(cache.len(), graph.len(), "cache must cover the whole graph");
+) -> Result<Tensor, GraphError> {
+    graph.validate()?;
+    if cache.len() != graph.len() {
+        return Err(GraphError::CacheMismatch {
+            expected: graph.len(),
+            got: cache.len(),
+        });
+    }
     let start = from.0 as usize;
     let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
     for node in &graph.nodes()[start..] {
@@ -266,11 +294,16 @@ pub fn execute_suffix(
             graph,
             node,
             |i| {
-                let idx = node.inputs[i].0 as usize;
+                let id = node.inputs.get(i).ok_or_else(|| GraphError::Internal {
+                    detail: format!("node {} has no input #{i}", node.id.0),
+                })?;
+                let idx = id.0 as usize;
                 if idx < start {
-                    &cache[idx]
+                    Ok(&cache[idx])
                 } else {
-                    outputs[idx].as_ref().expect("suffix computed in order")
+                    outputs[idx].as_ref().ok_or_else(|| GraphError::Internal {
+                        detail: format!("suffix input {idx} not computed in order"),
+                    })
                 }
             },
             opts.choice(node.id),
@@ -279,18 +312,20 @@ pub fn execute_suffix(
         )?;
         outputs[node.id.0 as usize] = Some(out);
     }
-    let out_id = graph.output().expect("non-empty graph");
+    let out_id = graph.output().ok_or(GraphError::EmptyGraph)?;
     let idx = out_id.0 as usize;
     Ok(if idx < start {
         cache[idx].clone()
     } else {
-        outputs[idx].take().expect("output computed")
+        outputs[idx].take().ok_or_else(|| GraphError::Internal {
+            detail: "suffix output was not computed".into(),
+        })?
     })
 }
 
 /// Baseline analytical cost of every node (paper §3.4), given the program
 /// input shape. Indexed by node id; the `Input` node costs zero.
-pub fn node_costs(graph: &Graph, input: Shape) -> Result<Vec<OpCounts>, TensorError> {
+pub fn node_costs(graph: &Graph, input: Shape) -> Result<Vec<OpCounts>, GraphError> {
     let shapes = infer_shapes(graph, input)?;
     let mut counts = Vec::with_capacity(graph.len());
     for node in graph.nodes() {
@@ -341,7 +376,7 @@ pub fn node_costs(graph: &Graph, input: Shape) -> Result<Vec<OpCounts>, TensorEr
 }
 
 /// Total baseline cost of the program (sum over nodes).
-pub fn total_cost(graph: &Graph, input: Shape) -> Result<OpCounts, TensorError> {
+pub fn total_cost(graph: &Graph, input: Shape) -> Result<OpCounts, GraphError> {
     Ok(node_costs(graph, input)?
         .into_iter()
         .fold(OpCounts::ZERO, OpCounts::plus))
@@ -378,7 +413,7 @@ mod tests {
             .flatten()
             .dense(10)
             .softmax();
-        let g = b.finish();
+        let g = b.finish().unwrap();
         let mut rng2 = StdRng::seed_from_u64(9);
         let x = Tensor::uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, &mut rng2);
         (g, x)

@@ -1,7 +1,8 @@
 //! The dataflow-graph program representation.
 
+use crate::error::GraphError;
 use at_tensor::ops::ReduceKind;
-use at_tensor::{Tensor, TensorError};
+use at_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node within a [`Graph`].
@@ -273,13 +274,13 @@ impl Graph {
     /// * node inputs reference earlier nodes only (topological order);
     /// * arity matches the op (Add takes 2 inputs, others 1, Input 0);
     /// * parameter ids are in range.
-    pub fn validate(&self) -> Result<(), TensorError> {
-        let fail = |detail: String| TensorError::ShapeMismatch {
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let fail = |detail: String| GraphError::InvalidStructure {
             op: "graph::validate",
             detail,
         };
         if self.nodes.is_empty() {
-            return Err(fail("empty graph".into()));
+            return Err(GraphError::EmptyGraph);
         }
         if self.nodes[0].op != OpKind::Input {
             return Err(fail("node 0 must be the Input placeholder".into()));
@@ -312,7 +313,7 @@ impl Graph {
                     )));
                 }
             }
-            let check_param = |p: ParamId| -> Result<(), TensorError> {
+            let check_param = |p: ParamId| -> Result<(), GraphError> {
                 if (p.0 as usize) < self.params.len() {
                     Ok(())
                 } else {
@@ -349,6 +350,53 @@ impl Graph {
         self.params.iter().map(|t| t.len()).sum()
     }
 
+    /// Checks every parameter tensor referenced by a node for NaN/infinite
+    /// values. A corrupt artifact (truncated download, bit-flipped weights)
+    /// would otherwise poison activations silently; the serving runtime
+    /// runs this once at registration rather than per request.
+    pub fn validate_params_finite(&self) -> Result<(), GraphError> {
+        let check = |node: &Node, p: ParamId| -> Result<(), GraphError> {
+            let count = self
+                .param(p)
+                .data()
+                .iter()
+                .filter(|x| !x.is_finite())
+                .count();
+            if count == 0 {
+                Ok(())
+            } else {
+                Err(GraphError::NonFiniteParam {
+                    node: node.label.clone(),
+                    count,
+                })
+            }
+        };
+        for n in &self.nodes {
+            match n.op {
+                OpKind::Conv2d { weight, bias, .. } | OpKind::Dense { weight, bias } => {
+                    check(n, weight)?;
+                    if let Some(b) = bias {
+                        check(n, b)?;
+                    }
+                }
+                OpKind::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                    ..
+                } => {
+                    check(n, gamma)?;
+                    check(n, beta)?;
+                    check(n, mean)?;
+                    check(n, var)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Mutable access to the node list (for transformation passes).
     pub(crate) fn nodes_mut(&mut self) -> &mut [Node] {
         &mut self.nodes
@@ -356,18 +404,25 @@ impl Graph {
 
     /// Keeps nodes for which `f` returns a new id, renumbering nodes and
     /// remapping inputs accordingly. `f` must be monotone on kept nodes
-    /// (passes compute it that way), preserving topological order.
-    pub(crate) fn retain_and_remap(&mut self, f: impl Fn(NodeId) -> Option<NodeId>) {
+    /// (passes compute it that way), preserving topological order. Fails if
+    /// a kept node would be left with a dangling input.
+    pub(crate) fn retain_and_remap(
+        &mut self,
+        f: impl Fn(NodeId) -> Option<NodeId>,
+    ) -> Result<(), GraphError> {
         let old = std::mem::take(&mut self.nodes);
         for mut n in old {
             if let Some(new_id) = f(n.id) {
                 n.id = new_id;
                 for i in &mut n.inputs {
-                    *i = f(*i).expect("passes never keep dangling inputs");
+                    *i = f(*i).ok_or_else(|| GraphError::Internal {
+                        detail: format!("pass kept node {:?} with a dangling input {:?}", n.id, *i),
+                    })?;
                 }
                 self.nodes.push(n);
             }
         }
+        Ok(())
     }
 }
 

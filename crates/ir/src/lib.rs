@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # at-ir — HPVM-style dataflow-graph IR for tensor programs
 //!
@@ -24,6 +26,7 @@
 
 pub mod approx;
 pub mod builder;
+pub mod error;
 pub mod exec;
 pub mod graph;
 pub mod passes;
@@ -32,6 +35,7 @@ pub mod shapes;
 
 pub use approx::ApproxChoice;
 pub use builder::GraphBuilder;
+pub use error::GraphError;
 pub use exec::{execute, execute_all, execute_suffix, execute_with_trace, ExecOptions};
 pub use graph::{Graph, NodeId, OpClass, OpKind};
 pub use passes::{dead_node_elimination, fold_batchnorm, validate_choices};

@@ -14,6 +14,7 @@
 //!   against each node's op class (the lowering-time legality check).
 
 use crate::approx::ApproxChoice;
+use crate::error::GraphError;
 use crate::exec::choice_is_valid;
 use crate::graph::{Graph, Node, NodeId, OpKind};
 use at_tensor::TensorError;
@@ -33,7 +34,7 @@ pub struct PassReport {
 /// The BatchNorm node is replaced by an identity-like pass-through (an
 /// `Abs`-free ReLU cannot express identity, so the node is rewired away and
 /// cleaned by [`dead_node_elimination`]).
-pub fn fold_batchnorm(graph: &mut Graph) -> Result<PassReport, TensorError> {
+pub fn fold_batchnorm(graph: &mut Graph) -> Result<PassReport, GraphError> {
     graph.validate()?;
     let mut report = PassReport::default();
 
@@ -62,23 +63,25 @@ pub fn fold_batchnorm(graph: &mut Graph) -> Result<PassReport, TensorError> {
         .collect();
 
     for (conv_id, bn_id) in candidates {
-        let (weight, bias, gamma, beta, mean, var, eps) = {
-            let conv = graph.node(conv_id);
-            let bn = graph.node(bn_id);
-            let (weight, bias) = match conv.op {
-                OpKind::Conv2d { weight, bias, .. } => (weight, bias.expect("checked")),
-                _ => unreachable!(),
-            };
-            match bn.op {
-                OpKind::BatchNorm {
-                    gamma,
-                    beta,
-                    mean,
-                    var,
-                    eps,
-                } => (weight, bias, gamma, beta, mean, var, eps),
-                _ => unreachable!(),
-            }
+        // Candidate selection guarantees these patterns match; a defensive
+        // `continue` (rather than a panic) keeps a malformed pairing inert.
+        let (weight, bias) = match graph.node(conv_id).op {
+            OpKind::Conv2d {
+                weight,
+                bias: Some(bias),
+                ..
+            } => (weight, bias),
+            _ => continue,
+        };
+        let (gamma, beta, mean, var, eps) = match graph.node(bn_id).op {
+            OpKind::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                eps,
+            } => (gamma, beta, mean, var, eps),
+            _ => continue,
         };
         // Per-channel affine coefficients.
         let k = graph.param(gamma).len();
@@ -119,7 +122,7 @@ pub fn fold_batchnorm(graph: &mut Graph) -> Result<PassReport, TensorError> {
 
 /// Removes nodes that are not the program output and have no consumers.
 /// Iterates to a fixed point and compacts node ids.
-pub fn dead_node_elimination(graph: &mut Graph) -> Result<PassReport, TensorError> {
+pub fn dead_node_elimination(graph: &mut Graph) -> Result<PassReport, GraphError> {
     let mut report = PassReport::default();
     loop {
         let out = match graph.output() {
@@ -150,14 +153,14 @@ pub fn dead_node_elimination(graph: &mut Graph) -> Result<PassReport, TensorErro
 }
 
 /// Checks a per-node approximation assignment for class legality.
-pub fn validate_choices(graph: &Graph, choices: &[ApproxChoice]) -> Result<(), TensorError> {
+pub fn validate_choices(graph: &Graph, choices: &[ApproxChoice]) -> Result<(), GraphError> {
     for node in graph.nodes() {
         let choice = choices
             .get(node.id.0 as usize)
             .copied()
             .unwrap_or(ApproxChoice::BASELINE);
         if !choice_is_valid(graph, node.id, choice) {
-            return Err(TensorError::InvalidKnob {
+            return Err(GraphError::Tensor(TensorError::InvalidKnob {
                 op: "validate_choices",
                 detail: format!(
                     "node {} ({}) cannot take {:?}",
@@ -165,7 +168,7 @@ pub fn validate_choices(graph: &Graph, choices: &[ApproxChoice]) -> Result<(), T
                     node.op.name(),
                     choice
                 ),
-            });
+            }));
         }
     }
     Ok(())
@@ -186,7 +189,7 @@ impl Graph {
 
     /// Removes the given nodes and compacts ids (inputs are remapped).
     /// Fails if a surviving node references a removed one.
-    pub fn remove_nodes(&mut self, dead: &[NodeId]) -> Result<(), TensorError> {
+    pub fn remove_nodes(&mut self, dead: &[NodeId]) -> Result<(), GraphError> {
         let len = self.len();
         let mut remap: Vec<Option<u32>> = vec![None; len];
         let mut next = 0u32;
@@ -203,15 +206,14 @@ impl Graph {
             }
             for &inp in &n.inputs {
                 if remap[inp.0 as usize].is_none() {
-                    return Err(TensorError::ShapeMismatch {
+                    return Err(GraphError::InvalidStructure {
                         op: "remove_nodes",
                         detail: format!("live node {} references removed node {}", n.id.0, inp.0),
                     });
                 }
             }
         }
-        self.retain_and_remap(|id| remap[id.0 as usize].map(NodeId));
-        Ok(())
+        self.retain_and_remap(|id| remap[id.0 as usize].map(NodeId))
     }
 }
 
@@ -235,7 +237,7 @@ mod tests {
         b.conv(4, 3, (1, 1), (1, 1)).batchnorm().relu();
         b.conv(4, 3, (1, 1), (1, 1)).batchnorm().relu();
         b.flatten().dense(5).softmax();
-        b.finish()
+        b.finish().unwrap()
     }
 
     #[test]

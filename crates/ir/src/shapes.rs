@@ -2,6 +2,7 @@
 //! graph, producing per-node output shapes used by the analytical cost
 //! model and by graph validation.
 
+use crate::error::GraphError;
 use crate::graph::{Graph, OpKind};
 use at_tensor::shape::conv_out_dim;
 use at_tensor::{Shape, TensorError};
@@ -9,7 +10,7 @@ use at_tensor::{Shape, TensorError};
 /// Infers the output shape of every node given the program input shape.
 ///
 /// Returns a vector indexed by node id.
-pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, TensorError> {
+pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, GraphError> {
     graph.validate()?;
     let mut shapes: Vec<Shape> = Vec::with_capacity(graph.len());
     for node in graph.nodes() {
@@ -26,13 +27,13 @@ pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, TensorErr
                 let (k, cpg, r, s) = graph.param(*weight).shape().as_nchw()?;
                 let g = (*groups).max(1);
                 if cpg != c / g {
-                    return Err(TensorError::ShapeMismatch {
+                    return Err(GraphError::Tensor(TensorError::ShapeMismatch {
                         op: "infer_shapes",
                         detail: format!(
                             "node {} ({}): weight channels {cpg} != input {c}/groups {g}",
                             node.id.0, node.label
                         ),
-                    });
+                    }));
                 }
                 Shape::nchw(
                     n,
@@ -45,13 +46,13 @@ pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, TensorErr
                 let (m, k_in) = shapes[node.inputs[0].0 as usize].as_mat()?;
                 let (w_in, w_out) = graph.param(*weight).shape().as_mat()?;
                 if k_in != w_in {
-                    return Err(TensorError::ShapeMismatch {
+                    return Err(GraphError::Tensor(TensorError::ShapeMismatch {
                         op: "infer_shapes",
                         detail: format!(
                             "node {} ({}): dense input {k_in} != weight rows {w_in}",
                             node.id.0, node.label
                         ),
-                    });
+                    }));
                 }
                 Shape::mat(m, w_out)
             }
@@ -82,23 +83,23 @@ pub fn infer_shapes(graph: &Graph, input: Shape) -> Result<Vec<Shape>, TensorErr
                 let a = shapes[node.inputs[0].0 as usize];
                 let b = shapes[node.inputs[1].0 as usize];
                 if a != b {
-                    return Err(TensorError::ShapeMismatch {
+                    return Err(GraphError::Tensor(TensorError::ShapeMismatch {
                         op: "infer_shapes",
                         detail: format!(
                             "node {} ({}): add operands {a} vs {b}",
                             node.id.0, node.label
                         ),
-                    });
+                    }));
                 }
                 a
             }
             OpKind::Reduce { axis, .. } => {
                 let s = shapes[node.inputs[0].0 as usize];
                 if *axis >= s.rank() {
-                    return Err(TensorError::AxisOutOfRange {
+                    return Err(GraphError::Tensor(TensorError::AxisOutOfRange {
                         axis: *axis,
                         rank: s.rank(),
-                    });
+                    }));
                 }
                 let dims: Vec<usize> = s
                     .dims()

@@ -218,7 +218,7 @@ fn lenet(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
     b.conv(s.mul(8), 5, (2, 2), (1, 1)).tanh().max_pool(2, 2);
     b.conv(s.mul(16), 5, (2, 2), (1, 1)).tanh().max_pool(2, 2);
     b.flatten().dense(s.mul(84)).tanh().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn alexnet_cifar(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
@@ -231,7 +231,7 @@ fn alexnet_cifar(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Sha
     b.conv(s.mul(32), 3, (1, 1), (1, 1)).tanh();
     b.conv(s.mul(32), 3, (1, 1), (1, 1)).tanh().max_pool(2, 2);
     b.flatten().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn alexnet2(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
@@ -245,7 +245,7 @@ fn alexnet2(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
     b.conv(s.mul(48), 3, (1, 1), (1, 1)).tanh();
     b.conv(s.mul(48), 3, (1, 1), (1, 1)).tanh().max_pool(2, 2);
     b.flatten().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn alexnet_imagenet(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
@@ -259,7 +259,7 @@ fn alexnet_imagenet(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, 
     b.conv(s.mul(32), 3, (1, 1), (1, 1)).relu();
     b.flatten().dense(s.mul(128)).relu().dense(s.mul(64)).relu();
     b.dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn vgg16(rng: &mut StdRng, s: ModelScale, classes: usize, name: &str) -> (Graph, Shape) {
@@ -275,7 +275,7 @@ fn vgg16(rng: &mut StdRng, s: ModelScale, classes: usize, name: &str) -> (Graph,
         }
     }
     b.flatten().dense(s.mul(64)).relu().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn resnet18(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
@@ -307,7 +307,7 @@ fn resnet18(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
         }
     }
     b.avg_pool(8, 8).flatten().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn resnet50(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
@@ -346,7 +346,7 @@ fn resnet50(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
         }
     }
     b.avg_pool(4, 4).flatten().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 fn mobilenet(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) {
@@ -376,7 +376,7 @@ fn mobilenet(rng: &mut StdRng, s: ModelScale, classes: usize) -> (Graph, Shape) 
         b.conv(out, 1, (0, 0), (1, 1)).batchnorm().relu6();
     }
     b.avg_pool(2, 2).flatten().dense(classes).softmax();
-    (b.finish(), input)
+    (b.finish().expect("zoo model definitions are valid"), input)
 }
 
 #[cfg(test)]

@@ -42,6 +42,13 @@ pub enum TensorError {
         /// What failed, for logs.
         detail: String,
     },
+    /// A structural graph-level failure (invalid wiring, poisoned builder,
+    /// non-finite parameters) bubbled up from `at-ir`'s `GraphError` into
+    /// code that works in terms of `TensorError`.
+    Graph {
+        /// Rendered description of the graph-level failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -64,6 +71,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             TensorError::Transient { detail } => write!(f, "transient failure: {detail}"),
+            TensorError::Graph { detail } => write!(f, "graph error: {detail}"),
         }
     }
 }

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut app = CombinedApp::new(ModelScale::Tiny);
+    let mut app = CombinedApp::new(ModelScale::Tiny).expect("combined app builds");
     let ds = build_dataset(&app.cnn, 24, 12, 11);
     app.calibrate_routing(&ds.batches).expect("routing");
     let golden = app.golden(&ds.batches).expect("golden");

@@ -31,7 +31,7 @@ fn main() {
         .flatten()
         .dense(10)
         .softmax();
-    let graph = b.finish();
+    let graph = b.finish().expect("quickstart graph is valid");
     println!("program: {} tensor ops", graph.len());
 
     // 2. Calibration inputs + labels (here: the baseline's own predictions,

@@ -184,6 +184,72 @@ fn sensor_dropout_with_undersized_curve_degrades_gracefully() {
 }
 
 #[test]
+fn brownout_load_spike_and_sensor_dropout_combo_degrades_gracefully() {
+    // The worst compound disturbance the scenario model can script: a rail
+    // brownout (clock forced down), a concurrent load spike (times
+    // stretched further), and sensors dark across both — against a curve
+    // that cannot cover the stacked slowdown. The loop must clamp to the
+    // fastest point, record the QoS-floor breach, and never panic.
+    let s = Scenario::new("combo", FrequencyLadder::tx2_gpu(), 160, 13)
+        .with(Disturbance::Brownout {
+            at: 30,
+            len: 80,
+            frequency_factor: 0.45,
+        })
+        .with(Disturbance::LoadSpike {
+            at: 50,
+            len: 40,
+            time_factor: 1.8,
+        })
+        .with(Disturbance::SensorDropout { at: 25, len: 90 });
+    let short = curve(&[1.3, 2.0]);
+    for policy in [Policy::EnforceEachInvocation, Policy::AverageOverTime] {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_closed_loop(
+                &short,
+                1.0,
+                &DisturbedDevice::tx2(s.clone()),
+                &ClosedLoopParams {
+                    policy,
+                    window: 4,
+                    ..ClosedLoopParams::default()
+                },
+            )
+        }))
+        .unwrap_or_else(|_| panic!("{policy:?}: closed loop panicked under the combo storm"));
+
+        // The stacked ~4x slowdown exceeds the curve's 2x: the floor is
+        // breached, visibly and countably — not panicked over.
+        assert!(r.breaches >= 1, "{policy:?}: breach not recorded");
+        assert!(
+            r.log
+                .events()
+                .iter()
+                .any(|e| e.kind == EventKind::QosFloorBreach),
+            "{policy:?}: QosFloorBreach event missing"
+        );
+        // Degradation clamps inside the curve; the trace stays physical.
+        for t in &r.trace {
+            assert!(t.time_s.is_finite() && t.time_s > 0.0, "bad time {t:?}");
+            assert!(t.norm_time.is_finite() && t.norm_time > 0.0);
+            assert!(t.selected.is_none_or(|i| i < 2));
+        }
+        // In the thick of the combined window the fastest point is held.
+        let mid: Vec<_> = r
+            .trace
+            .iter()
+            .filter(|t| t.invocation >= 60 && t.invocation < 90)
+            .collect();
+        assert!(
+            mid.iter().all(|t| t.selected == Some(1)),
+            "{policy:?}: not clamped to the fastest point mid-storm"
+        );
+        // Sensor rows are masked while dropped out.
+        assert!(r.trace[40].freq_mhz.is_none() && r.trace[40].power_w.is_none());
+    }
+}
+
+#[test]
 fn empty_and_one_point_curves_never_panic() {
     for policy in [Policy::EnforceEachInvocation, Policy::AverageOverTime] {
         let params = ClosedLoopParams {
@@ -276,6 +342,50 @@ mod props {
                     prop_assert!((a - b).abs() < 1e-12);
                 }
             }
+        }
+
+        #[test]
+        fn runtime_tuner_stats_stay_nan_free_for_arbitrary_finite_streams(
+            times in proptest::collection::vec(1e-6f64..1e3, 1..60),
+            perfs in proptest::collection::vec(1.05f64..6.0, 0..6),
+            window in 1usize..8,
+            avg in proptest::bool::ANY,
+        ) {
+            use approxtuner::core::runtime::RuntimeTuner;
+            let mut perfs = perfs;
+            perfs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            perfs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            let c = curve(&perfs);
+            let policy = if avg {
+                Policy::AverageOverTime
+            } else {
+                Policy::EnforceEachInvocation
+            };
+            let mut t = RuntimeTuner::new(c.clone(), policy, window, 0.5, 11);
+            for (i, &time) in times.iter().enumerate() {
+                t.record_invocation(time);
+                // Every derived statistic stays finite and physical after
+                // every sample, whatever the stream throws at the window.
+                prop_assert!(t.current_speedup().is_finite() && t.current_speedup() >= 1.0);
+                prop_assert!(t.max_speedup().is_finite() && t.max_speedup() >= 1.0);
+                prop_assert!(t.target_time_s().is_finite() && t.target_time_s() > 0.0);
+                prop_assert!(
+                    t.current_index().is_none_or(|j| j < c.points().len()),
+                    "index out of curve at sample {i}"
+                );
+                if let Some(p) = t.current_point() {
+                    prop_assert!(p.perf.is_finite() && p.qos.is_finite());
+                }
+                // Feed-forward entry point is equally total.
+                if i % 7 == 0 {
+                    t.adapt_to(time / 0.5);
+                    prop_assert!(t.current_speedup().is_finite());
+                }
+            }
+            // A mid-stream window reset never corrupts the statistics.
+            t.reset_window();
+            t.record_invocation(times[0]);
+            prop_assert!(t.current_speedup().is_finite());
         }
 
         #[test]
