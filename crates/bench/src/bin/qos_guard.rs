@@ -1,0 +1,6 @@
+//! Trust-but-verify QoS guard under curve miscalibration; see
+//! `at_bench::qos_guard` for the experiment body.
+
+fn main() {
+    at_bench::qos_guard::run();
+}

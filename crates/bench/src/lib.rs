@@ -7,6 +7,7 @@
 //! result formatting in [`report`].
 
 pub mod harness;
+pub mod qos_guard;
 pub mod report;
 pub mod runtime_adapt;
 pub mod serve_storm;

@@ -3,6 +3,11 @@
 
 use std::fmt::Write as _;
 
+/// Schema version stamped into every `results/*.json` artifact, so
+/// downstream tooling can detect layout changes instead of guessing from
+/// field shapes. Bump when an artifact's structure changes incompatibly.
+pub const RESULTS_SCHEMA_VERSION: u32 = 1;
+
 /// A simple fixed-width table printer.
 pub struct Table {
     header: Vec<String>,

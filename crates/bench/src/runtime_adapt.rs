@@ -41,6 +41,7 @@ struct SweepStepRow {
 /// The whole artifact written to `results/runtime_adapt.json`.
 #[derive(serde::Serialize)]
 struct Artifact {
+    schema_version: u32,
     benchmark: String,
     baseline_time_s: f64,
     baseline_qos: f64,
@@ -242,6 +243,7 @@ pub fn run() {
     crate::report::write_json_compact(
         "runtime_adapt",
         &Artifact {
+            schema_version: crate::report::RESULTS_SCHEMA_VERSION,
             benchmark: id.name().to_string(),
             baseline_time_s: base_time,
             baseline_qos,

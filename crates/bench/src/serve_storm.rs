@@ -30,6 +30,7 @@ use at_models::BenchmarkId;
 /// The whole artifact written to `results/serve_storm.json`.
 #[derive(serde::Serialize)]
 struct Artifact {
+    schema_version: u32,
     benchmark: String,
     baseline_time_s: f64,
     baseline_qos: f64,
@@ -225,6 +226,7 @@ pub fn run() {
     crate::report::write_json_compact(
         "serve_storm",
         &Artifact {
+            schema_version: crate::report::RESULTS_SCHEMA_VERSION,
             benchmark: id.name().to_string(),
             baseline_time_s: base_time,
             baseline_qos,

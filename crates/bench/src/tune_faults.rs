@@ -49,6 +49,7 @@ struct ResumeDemo {
 /// The whole artifact written to `results/fault_tolerance.json`.
 #[derive(serde::Serialize)]
 struct Artifact {
+    schema_version: u32,
     benchmark: String,
     qos_min: f64,
     fault_seed: u64,
@@ -189,6 +190,7 @@ pub fn run() {
     );
 
     let artifact = Artifact {
+        schema_version: crate::report::RESULTS_SCHEMA_VERSION,
         benchmark: id.name().to_string(),
         qos_min: base_params.qos_min,
         fault_seed,

@@ -53,6 +53,7 @@ pub mod config;
 pub mod empirical;
 pub mod evaluate;
 pub mod fault;
+pub mod guard;
 pub mod install;
 pub mod knobs;
 pub mod monitor;
@@ -73,13 +74,17 @@ pub use closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport, Trace
 pub use config::Config;
 pub use evaluate::{AttemptEvaluator, CacheStats, Evaluation, Evaluator};
 pub use fault::{FaultKind, FaultMix, FaultPlan, FaultyEvaluator};
+pub use guard::{
+    CanarySampler, GuardEvent, GuardEventKind, GuardParams, GuardReport, GuardVerdict,
+    MiscalibratedExecutor, PointTrust, QosGuard, ResidualWindow,
+};
 pub use knobs::{Knob, KnobId, KnobRegistry, KnobSet};
 pub use pareto::{pareto_set, pareto_set_eps, TradeoffCurve, TradeoffPoint};
 pub use qos::QosMetric;
 pub use serve::{
-    generate_arrivals, serve, ArrivalTrace, BreakerState, GraphExecutor, NoFaultExecutor,
-    RequestExecutor, ScriptedFaultExecutor, ServeEvent, ServeEventKind, ServeParams, ServeReport,
-    ShedReason, TrafficPattern,
+    generate_arrivals, serve, serve_guarded, ArrivalTrace, BreakerState, GraphExecutor,
+    GuardedServeReport, NoFaultExecutor, RequestExecutor, RequestOutcome, ScriptedFaultExecutor,
+    ServeEvent, ServeEventKind, ServeParams, ServeReport, ShedReason, TrafficPattern,
 };
 pub use ship::ShippedArtifact;
 pub use supervise::{EvalError, FaultStats, SupervisedEvaluator, SupervisionPolicy};

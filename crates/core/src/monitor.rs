@@ -11,6 +11,9 @@
 //! and [`AdaptationLog`] records every control decision for offline
 //! inspection (the data behind Figure 6's curves).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::pareto::TradeoffPoint;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -212,8 +215,13 @@ impl AdaptationLog {
     }
 
     /// Serialises the log (an artifact the fig6 harness can persist).
+    /// Serialisation failure degrades to a JSON error object rather than a
+    /// panic — a logging path must never take the process down.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("log serialises")
+        match serde_json::to_string_pretty(self) {
+            Ok(s) => s,
+            Err(e) => format!("{{\"error\":\"log serialisation failed: {e}\"}}"),
+        }
     }
 }
 

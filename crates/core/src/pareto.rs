@@ -195,6 +195,24 @@ impl TradeoffCurve {
         }
     }
 
+    /// Repairs one point's QoS promise in place to an observed estimate
+    /// (the run-time guard's "online curve repair", [`crate::guard`]).
+    /// Performance ordering is untouched, so the curve invariant holds by
+    /// construction. Rejects non-finite estimates and out-of-range indices
+    /// (returns `false`) instead of poisoning the curve.
+    pub fn repair_qos(&mut self, index: usize, observed_qos: f64) -> bool {
+        if !observed_qos.is_finite() {
+            return false;
+        }
+        match self.points.get_mut(index) {
+            Some(p) => {
+                p.qos = observed_qos;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Serialises the curve to JSON (the artifact "shipped with the
     /// application binary").
     pub fn to_json(&self) -> String {

@@ -55,6 +55,10 @@ pub struct RuntimeTuner {
     rng: StdRng,
     /// Index of the currently selected curve point (None = baseline).
     current: Option<usize>,
+    /// Per-point quarantine mask ([`RuntimeTuner::quarantine`]): masked
+    /// points are skipped by selection, as if removed from the curve, while
+    /// indices stay stable for event logs and reports.
+    quarantined: Vec<bool>,
     /// Count of configuration switches (for overhead accounting).
     pub switches: usize,
 }
@@ -73,6 +77,7 @@ impl RuntimeTuner {
         seed: u64,
     ) -> RuntimeTuner {
         assert!(window_size > 0, "window must hold at least one invocation");
+        let n = curve.len();
         RuntimeTuner {
             curve,
             policy,
@@ -82,6 +87,7 @@ impl RuntimeTuner {
             baseline_time_s,
             rng: StdRng::seed_from_u64(seed),
             current: None,
+            quarantined: vec![false; n],
             switches: 0,
         }
     }
@@ -116,6 +122,54 @@ impl RuntimeTuner {
     /// invalidates samples measured under the old clock.
     pub fn reset_window(&mut self) {
         self.window.clear();
+    }
+
+    /// Removes a curve point from the selectable range (the QoS guard's
+    /// curve quarantine, [`crate::guard`]). Indices stay stable — the point
+    /// remains visible through [`RuntimeTuner::curve`] — but selection
+    /// skips it. If the quarantined point is currently selected, the tuner
+    /// immediately falls back to the exact baseline (the safe direction)
+    /// until the next selection decision. Returns `false` for out-of-range
+    /// or already-quarantined indices.
+    pub fn quarantine(&mut self, index: usize) -> bool {
+        match self.quarantined.get_mut(index) {
+            Some(q) if !*q => {
+                *q = true;
+                if self.current == Some(index) {
+                    self.current = None;
+                    self.switches += 1;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether a point has been quarantined.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.get(index).copied().unwrap_or(false)
+    }
+
+    /// Indices of the points still in the selectable range, in curve
+    /// (increasing-performance) order.
+    pub fn active_indices(&self) -> Vec<usize> {
+        (0..self.curve.len())
+            .filter(|&i| !self.quarantined[i])
+            .collect()
+    }
+
+    /// Number of points still selectable.
+    pub fn active_len(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Repairs a curve point's QoS promise in place to an observed
+    /// estimate, so every later consumer of [`RuntimeTuner::curve`] (the
+    /// degradation ladder, the closed loop, reports, the shipped-artifact
+    /// round-trip) plans against honest numbers. Rejects non-finite
+    /// estimates (returns `false`).
+    pub fn repair_qos(&mut self, index: usize, observed_qos: f64) -> bool {
+        self.curve.repair_qos(index, observed_qos)
     }
 
     /// Feed-forward entry point: re-selects a configuration for an
@@ -163,6 +217,9 @@ impl RuntimeTuner {
     }
 
     /// Picks a configuration achieving `required` speedup under the policy.
+    /// Selection runs over the non-quarantined points only; with every
+    /// point quarantined it clamps to the exact baseline (the guard's
+    /// exact-fallback safety net) instead of picking a distrusted config.
     fn select_for_speedup(&mut self, required: f64) -> Option<&TradeoffPoint> {
         if required <= 1.0 {
             // Environment recovered: fall back to the exact baseline.
@@ -173,38 +230,39 @@ impl RuntimeTuner {
             }
             return None;
         }
-        let idx = match self.policy {
-            Policy::EnforceEachInvocation => {
-                let pts = self.curve.points();
-                if pts.is_empty() {
-                    return None;
-                }
-                let i = pts.partition_point(|p| p.perf < required);
-                Some(i.min(pts.len() - 1))
+        let pts = self.curve.points();
+        let active: Vec<usize> = (0..pts.len()).filter(|&i| !self.quarantined[i]).collect();
+        if active.is_empty() {
+            // Empty (or fully quarantined) curve: clamp to exact.
+            if self.current.is_some() {
+                self.current = None;
+                self.switches += 1;
             }
+            return None;
+        }
+        // Position of the first active point meeting the target (active is
+        // sorted by performance because the curve is).
+        let i = active.partition_point(|&j| pts[j].perf < required);
+        let idx = match self.policy {
+            Policy::EnforceEachInvocation => Some(active[i.min(active.len() - 1)]),
             Policy::AverageOverTime => {
-                let pts = self.curve.points();
-                if pts.is_empty() {
-                    return None;
-                }
-                let i = pts.partition_point(|p| p.perf < required);
                 if i == 0 {
-                    Some(0)
-                } else if i >= pts.len() {
-                    Some(pts.len() - 1)
+                    Some(active[0])
+                } else if i >= active.len() {
+                    Some(active[active.len() - 1])
                 } else {
                     // Mix the bracketing points: p1·perf1 + p2·perf2 =
                     // required with p1 + p2 = 1.
-                    let (lo, hi) = (&pts[i - 1], &pts[i]);
+                    let (lo, hi) = (&pts[active[i - 1]], &pts[active[i]]);
                     let p1 = if (hi.perf - lo.perf).abs() < 1e-12 {
                         1.0
                     } else {
                         (hi.perf - required) / (hi.perf - lo.perf)
                     };
                     if self.rng.gen_bool(p1.clamp(0.0, 1.0)) {
-                        Some(i - 1)
+                        Some(active[i - 1])
                     } else {
-                        Some(i)
+                        Some(active[i])
                     }
                 }
             }
@@ -327,5 +385,67 @@ mod tests {
         // Same conditions → same pick → no extra switch.
         t.record_invocation(1.6 / 1.8);
         assert_eq!(t.switches, after_first);
+    }
+
+    #[test]
+    fn quarantine_masks_selection_and_skips_to_next_point() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 1, 1.0, 1);
+        // Required 1.6 normally selects the 1.8x point (index 2).
+        t.adapt_to(1.6);
+        assert_eq!(t.current_index(), Some(2));
+        // Quarantine it: selection for the same target skips to 2.2x.
+        assert!(t.quarantine(2));
+        assert_eq!(t.current_index(), None, "quarantine clears the selection");
+        t.adapt_to(1.6);
+        assert_eq!(t.current_index(), Some(3));
+        assert!((t.current_speedup() - 2.2).abs() < 1e-9);
+        // Idempotent and bounds-safe.
+        assert!(!t.quarantine(2), "double quarantine is a no-op");
+        assert!(!t.quarantine(99), "out of range is a no-op");
+        assert!(t.is_quarantined(2));
+        assert!(!t.is_quarantined(3));
+        assert_eq!(t.active_indices(), vec![0, 1, 3]);
+        assert_eq!(t.active_len(), 3);
+    }
+
+    #[test]
+    fn fully_quarantined_curve_clamps_to_exact() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 1, 1.0, 1);
+        for i in 0..4 {
+            assert!(t.quarantine(i));
+        }
+        assert_eq!(t.active_len(), 0);
+        t.adapt_to(2.0);
+        assert_eq!(t.current_index(), None, "exact fallback, never a panic");
+        assert!((t.current_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy2_mixes_over_surviving_points_only() {
+        // With index 1 (1.5x) quarantined, a 1.3 target brackets between
+        // 1.2x and 1.8x; the tuner must never pick the quarantined point.
+        for seed in 0..100 {
+            let mut t = RuntimeTuner::new(curve(), Policy::AverageOverTime, 1, 1.0, seed);
+            assert!(t.quarantine(1));
+            t.record_invocation(1.3);
+            assert_ne!(t.current_index(), Some(1), "seed {seed} picked quarantined");
+            let s = t.current_speedup();
+            assert!(
+                (s - 1.2).abs() < 1e-9 || (s - 1.8).abs() < 1e-9,
+                "seed {seed}: unexpected speedup {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_updates_curve_promise_in_place() {
+        let mut t = RuntimeTuner::new(curve(), Policy::EnforceEachInvocation, 1, 1.0, 1);
+        assert!(t.repair_qos(1, 83.25));
+        assert!((t.curve().points()[1].qos - 83.25).abs() < 1e-12);
+        // Perf ordering untouched; non-finite and out-of-range rejected.
+        assert!((t.curve().points()[1].perf - 1.5).abs() < 1e-12);
+        assert!(!t.repair_qos(1, f64::NAN));
+        assert!(!t.repair_qos(99, 80.0));
+        assert!((t.curve().points()[1].qos - 83.25).abs() < 1e-12);
     }
 }

@@ -170,6 +170,21 @@ impl TuningResult {
     pub fn tuning_time_s(&self) -> f64 {
         self.search_time_s + self.validation_time_s
     }
+
+    /// Packages the tuned curve as the artifact that ships with the binary
+    /// (§2.2) — the entry point of the ship → serve → guard-repair →
+    /// re-ship round-trip. The curve lands in the FP32-only slot: the
+    /// predictive tuner runs one knob set per call, and FP16-specific
+    /// variants are added by a second tuning round
+    /// ([`crate::ship::ShippedArtifact::new`] directly).
+    pub fn to_artifact(
+        &self,
+        graph: &at_ir::Graph,
+        metric: crate::qos::QosMetric,
+        qos_min: f64,
+    ) -> crate::ship::ShippedArtifact {
+        crate::ship::ShippedArtifact::new(graph, metric, qos_min, None, Some(self.curve.clone()))
+    }
 }
 
 /// The development-time predictive tuner (Algorithm 1).

@@ -38,6 +38,18 @@ impl ExecOptions {
         ExecOptions::default()
     }
 
+    /// The exact (knob-free) counterpart of these options: the same PROMISE
+    /// seed with every approximation choice cleared. This is the shadow
+    /// re-execution path of the runtime QoS guard — a canaried request runs
+    /// once approximated and once through this variant, and the difference
+    /// is the true per-request QoS loss.
+    pub fn exact_variant(&self) -> ExecOptions {
+        ExecOptions {
+            config: Vec::new(),
+            promise_seed: self.promise_seed,
+        }
+    }
+
     /// The choice for a given node.
     pub fn choice(&self, id: NodeId) -> ApproxChoice {
         self.config

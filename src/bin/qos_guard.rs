@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `qos_guard` experiment, so
+//! `cargo run --release --bin qos_guard` works without `-p at-bench`;
+//! see `at_bench::qos_guard` for the experiment body.
+
+fn main() {
+    at_bench::qos_guard::run();
+}

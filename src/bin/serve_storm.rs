@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `serve_storm` experiment, so
+//! `cargo run --release --bin serve_storm` works without `-p at-bench`;
+//! see `at_bench::serve_storm` for the experiment body.
+
+fn main() {
+    at_bench::serve_storm::run();
+}

@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `tune_faults` experiment, so
+//! `cargo run --release --bin tune_faults` works without `-p at-bench`;
+//! see `at_bench::tune_faults` for the experiment body.
+
+fn main() {
+    at_bench::tune_faults::run();
+}
