@@ -1,0 +1,6 @@
+//! Fleet-scale multi-tenant load test writing `BENCH_serve.json`; see
+//! `at_bench::serve_fleet` for the experiment body.
+
+fn main() {
+    at_bench::serve_fleet::run();
+}

@@ -10,5 +10,6 @@ pub mod harness;
 pub mod qos_guard;
 pub mod report;
 pub mod runtime_adapt;
+pub mod serve_fleet;
 pub mod serve_storm;
 pub mod tune_faults;

@@ -1,12 +1,85 @@
 //! Result formatting: fixed-width console tables plus JSON artifacts under
-//! `results/`.
+//! `results/` and `BENCH_*.json` perf reports at the repo root.
+//!
+//! Every artifact that leaves this module is validated *before* encoding:
+//! the top level must be an object carrying an integer `schema_version`
+//! (writers emitting bare arrays or unversioned objects are wrapped in a
+//! `{"schema_version": N, "data": ...}` envelope), and every float in the
+//! tree must be finite — JSON renders NaN/inf as `null`, which silently
+//! corrupts downstream parsing, so the check runs on the [`Value`] tree
+//! where non-finite floats are still observable. Invalid artifacts are
+//! reported and *not* written.
 
+use serde::Value;
 use std::fmt::Write as _;
 
 /// Schema version stamped into every `results/*.json` artifact, so
 /// downstream tooling can detect layout changes instead of guessing from
 /// field shapes. Bump when an artifact's structure changes incompatibly.
 pub const RESULTS_SCHEMA_VERSION: u32 = 1;
+
+/// Checks a decoded artifact against the report schema: the top level is
+/// an object whose `schema_version` is an integer ≥ 1, and every numeric
+/// field in the tree is finite. Runs on the pre-encoding [`Value`] tree,
+/// where NaN/inf have not yet been flattened to `null`.
+pub fn validate_artifact(value: &Value) -> Result<(), String> {
+    let Some(pairs) = value.as_object() else {
+        return Err("top level must be a JSON object".to_string());
+    };
+    let version = pairs.iter().find(|(k, _)| k == "schema_version");
+    match version {
+        None => return Err("missing schema_version".to_string()),
+        Some((_, v)) => match v {
+            Value::I64(i) if *i >= 1 => {}
+            Value::U64(_) => {}
+            other => {
+                return Err(format!(
+                    "schema_version must be a positive integer, got {other:?}"
+                ))
+            }
+        },
+    }
+    check_finite(value, "$")
+}
+
+fn check_finite(value: &Value, path: &str) -> Result<(), String> {
+    match value {
+        Value::F64(f) if !f.is_finite() => Err(format!("non-finite number at {path}: {f}")),
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_finite(item, &format!("{path}[{i}]"))?;
+            }
+            Ok(())
+        }
+        Value::Object(pairs) => {
+            for (k, v) in pairs {
+                check_finite(v, &format!("{path}.{k}"))?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Wraps a payload in the versioned envelope unless it already is a
+/// schema-versioned object: bare arrays and unversioned objects become
+/// `{"schema_version": RESULTS_SCHEMA_VERSION, "data": ...}`.
+pub fn envelope(value: Value) -> Value {
+    let versioned = value
+        .as_object()
+        .is_some_and(|pairs| pairs.iter().any(|(k, _)| k == "schema_version"));
+    if versioned {
+        value
+    } else {
+        Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                Value::U64(u64::from(RESULTS_SCHEMA_VERSION)),
+            ),
+            ("data".to_string(), value),
+        ])
+    }
+}
 
 /// A simple fixed-width table printer.
 pub struct Table {
@@ -64,27 +137,57 @@ impl Table {
 
 /// Writes a pretty-printed JSON artifact under `results/`.
 pub fn write_json(name: &str, value: &impl serde::Serialize) {
-    write_artifact(name, serde_json::to_string_pretty(value));
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    write_artifact(&dir.join(format!("{name}.json")), value, true);
 }
 
 /// Writes a compact (single-line) JSON artifact under `results/` — for
 /// artifacts carrying per-invocation traces, where pretty-printing
 /// multiplies the size several-fold.
 pub fn write_json_compact(name: &str, value: &impl serde::Serialize) {
-    write_artifact(name, serde_json::to_string(value));
-}
-
-fn write_artifact(name: &str, encoded: Result<String, serde_json::Error>) {
     let dir = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(dir);
-    let path = dir.join(format!("{name}.json"));
+    write_artifact(&dir.join(format!("{name}.json")), value, false);
+}
+
+/// Writes a perf report as `BENCH_<name>.json` at the repository root
+/// (the bench bins' working directory) — the measurable-perf-trajectory
+/// artifacts CI uploads alongside `results/`. Returns whether the file
+/// was written.
+pub fn write_bench_json(name: &str, value: &impl serde::Serialize) -> bool {
+    write_artifact(
+        std::path::Path::new(&format!("BENCH_{name}.json")),
+        value,
+        true,
+    )
+}
+
+fn write_artifact(path: &std::path::Path, value: &impl serde::Serialize, pretty: bool) -> bool {
+    let tree = envelope(serde_json::to_value(value));
+    if let Err(e) = validate_artifact(&tree) {
+        eprintln!("[results] refusing to write {}: {e}", path.display());
+        return false;
+    }
+    let encoded = if pretty {
+        serde_json::to_string_pretty(&tree)
+    } else {
+        serde_json::to_string(&tree)
+    };
     match encoded {
         Ok(s) => {
-            if std::fs::write(&path, s).is_ok() {
+            if std::fs::write(path, s).is_ok() {
                 eprintln!("[results] wrote {}", path.display());
+                true
+            } else {
+                eprintln!("[results] failed to write {}", path.display());
+                false
             }
         }
-        Err(e) => eprintln!("[results] failed to serialise {name}: {e}"),
+        Err(e) => {
+            eprintln!("[results] failed to serialise {}: {e}", path.display());
+            false
+        }
     }
 }
 
@@ -124,5 +227,74 @@ mod tests {
     fn formatters() {
         assert_eq!(fx(2.138), "2.14x");
         assert_eq!(pct(89.411), "89.41%");
+    }
+
+    #[test]
+    fn envelope_wraps_bare_payloads_and_keeps_versioned_objects() {
+        let bare = serde_json::to_value(&vec![1.0f64, 2.0]);
+        let wrapped = envelope(bare);
+        let pairs = wrapped.as_object().unwrap();
+        assert_eq!(pairs[0].0, "schema_version");
+        assert_eq!(pairs[1].0, "data");
+        assert!(validate_artifact(&wrapped).is_ok());
+
+        let versioned = Value::Object(vec![
+            ("schema_version".to_string(), Value::I64(1)),
+            ("x".to_string(), Value::F64(0.5)),
+        ]);
+        let same = envelope(versioned.clone());
+        assert_eq!(
+            serde_json::to_string(&same).unwrap(),
+            serde_json::to_string(&versioned).unwrap(),
+            "already-versioned objects pass through untouched"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_missing_version_and_non_finite_numbers() {
+        let unversioned = Value::Object(vec![("x".to_string(), Value::F64(1.0))]);
+        assert!(validate_artifact(&unversioned)
+            .unwrap_err()
+            .contains("schema_version"));
+
+        let bad_version = Value::Object(vec![(
+            "schema_version".to_string(),
+            Value::String("1".to_string()),
+        )]);
+        assert!(validate_artifact(&bad_version).is_err());
+
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = Value::Object(vec![
+                ("schema_version".to_string(), Value::I64(1)),
+                (
+                    "rows".to_string(),
+                    Value::Array(vec![Value::Object(vec![(
+                        "speedup".to_string(),
+                        Value::F64(poison),
+                    )])]),
+                ),
+            ]);
+            let err = validate_artifact(&v).unwrap_err();
+            assert!(
+                err.contains("$.rows[0].speedup"),
+                "error must name the offending path: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn writers_refuse_non_finite_artifacts() {
+        #[derive(serde::Serialize)]
+        struct Bad {
+            schema_version: u32,
+            value: f64,
+        }
+        // The writers validate this exact tree before encoding; a failing
+        // validation means the file is refused, not silently nulled.
+        let tree = envelope(serde_json::to_value(&Bad {
+            schema_version: RESULTS_SCHEMA_VERSION,
+            value: f64::NAN,
+        }));
+        assert!(validate_artifact(&tree).is_err());
     }
 }

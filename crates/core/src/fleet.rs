@@ -1,0 +1,1618 @@
+//! Fleet-scale multi-tenant serving (§5 at the millions-of-users regime).
+//!
+//! [`crate::serve`] holds one server's QoS promises under overload; this
+//! module generalises it into a simulated *fleet*: N server replicas × M
+//! tenant models, each tenant carrying its own shipped [`TradeoffCurve`],
+//! QoS floor, baseline cost and traffic profile (the same
+//! Steady/Bursty/Diurnal/Spike arrival generators). On top of the
+//! per-replica machinery the fleet adds the three distribution concerns the
+//! single-server loop cannot express:
+//!
+//! * **Front-door routing** — a pluggable, pure [`route`] function
+//!   implementing round-robin, join-shortest-queue and QoS-aware
+//!   power-of-two-choices ([`RouterPolicy`]). Routing never selects a
+//!   replica whose circuit breaker is open while any closed replica
+//!   exists; with every breaker open the request is shed at the door.
+//! * **Per-replica guard + breaker state** — every replica runs its own
+//!   [`BreakerState`] machine (trip on consecutive failures, cooldown,
+//!   half-open probing), and every (replica, tenant) pair runs its own
+//!   [`QosGuard`] + [`RuntimeTuner`], so one tenant's lying curve is
+//!   convicted and exact-clamped *per replica* without touching any other
+//!   tenant's accounting.
+//! * **Work stealing** — when a replica's queue drains it steals the back
+//!   half of the longest peer queue, and when a breaker trips its queued
+//!   requests migrate to the least-loaded closed replicas instead of being
+//!   shed (overflow still sheds, with a typed reason).
+//!
+//! The whole simulation is a single-threaded pure function of its inputs:
+//! one seed produces a bit-identical [`FleetReport`] on any machine and
+//! under any rayon thread count, which is what makes fleet behaviour
+//! testable — and what lets the `serve_fleet` bench bin push millions of
+//! simulated requests per run and publish the harness's own sustained
+//! simulated-requests/sec in `BENCH_serve.json`.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::guard::{fails_floor, splitmix64, GuardParams, GuardVerdict, QosGuard};
+use crate::pareto::TradeoffCurve;
+use crate::runtime::{Policy, RuntimeTuner};
+use crate::serve::{
+    generate_arrivals, BreakerState, NoFaultExecutor, RequestExecutor, ServeParams, TrafficPattern,
+};
+use at_hw::DisturbedDevice;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------------
+// Tenants and fleet parameters
+// ---------------------------------------------------------------------------
+
+/// One tenant model served by the fleet: its shipped curve, cost anchor,
+/// QoS contract and traffic profile.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (model zoo benchmark name in the bench harness).
+    pub name: String,
+    /// The tenant's shipped tradeoff curve.
+    pub curve: TradeoffCurve,
+    /// Nominal-condition exact service time of one request, seconds.
+    pub baseline_time_s: f64,
+    /// QoS attributed to the exact baseline configuration.
+    pub baseline_qos: f64,
+    /// The tenant's traffic profile.
+    pub pattern: TrafficPattern,
+    /// Seed of the tenant's arrival trace.
+    pub arrival_seed: u64,
+    /// The tenant's guard contract (canary fraction, tolerance, QoS floor).
+    pub guard: GuardParams,
+}
+
+/// Front-door load-balancing policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Cycle through the replicas, skipping open breakers.
+    RoundRobin,
+    /// Route to the closed replica with the shortest queue.
+    JoinShortestQueue,
+    /// Sample two closed replicas with a stateless hash and pick the one
+    /// with the lower QoS-aware load score (queue depth plus current
+    /// degradation rung) — the classic power-of-two-choices balancer made
+    /// approximation-aware.
+    PowerOfTwoChoices,
+}
+
+impl RouterPolicy {
+    /// All policies, in report order.
+    pub const ALL: [RouterPolicy; 3] = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::PowerOfTwoChoices,
+    ];
+
+    /// Stable display name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::PowerOfTwoChoices => "qos-power-of-two",
+        }
+    }
+}
+
+/// Fleet-level parameters. Per-replica control behaviour (deadline, queue
+/// cap, ladder hysteresis, breaker thresholds, stall watchdog, event cap)
+/// reuses [`ServeParams`] unchanged.
+#[derive(Clone, Debug)]
+pub struct FleetParams {
+    /// Number of server replicas (≥ 1).
+    pub replicas: usize,
+    /// Front-door routing policy.
+    pub policy: RouterPolicy,
+    /// Per-replica serving parameters (shared by all replicas).
+    pub serve: ServeParams,
+    /// Simulated horizon, seconds: every tenant's arrival trace covers
+    /// `[0, horizon_s)`.
+    pub horizon_s: f64,
+    /// Enables work stealing (queue-drain steals and breaker-trip
+    /// migration). With stealing off, a tripped replica's queue is shed,
+    /// exactly like the single-server loop.
+    pub steal: bool,
+    /// Seed of the power-of-two sampling hash.
+    pub route_seed: u64,
+}
+
+impl Default for FleetParams {
+    fn default() -> FleetParams {
+        FleetParams {
+            replicas: 4,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams::default(),
+            horizon_s: 60.0,
+            steal: true,
+            route_seed: 0xF1EE7,
+        }
+    }
+}
+
+/// Builds the fleet's merged arrival stream: every tenant's seeded trace
+/// over `[0, horizon_s)`, merged into one `(time, tenant)` sequence sorted
+/// by time with ties broken by tenant index. Pure in its inputs.
+pub fn fleet_arrivals(tenants: &[TenantSpec], horizon_s: f64) -> Vec<(f64, usize)> {
+    let mut all: Vec<(f64, usize)> = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        let trace = generate_arrivals(&spec.pattern, horizon_s, spec.arrival_seed);
+        all.extend(trace.times.into_iter().map(|ts| (ts, t)));
+    }
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all
+}
+
+// ---------------------------------------------------------------------------
+// The router
+// ---------------------------------------------------------------------------
+
+/// What the router may observe about one replica.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaView {
+    /// Waiting requests (the in-service request does not count).
+    pub queue_len: usize,
+    /// Whether a request is in service.
+    pub busy: bool,
+    /// Whether the replica is closed to new work (breaker open, or
+    /// half-open with its probe budget spent).
+    pub breaker_open: bool,
+    /// Current degradation rung depth (0 = exact baseline) — the
+    /// QoS-awareness input of power-of-two-choices.
+    pub degradation: usize,
+}
+
+/// One routing decision: the chosen replica plus the replicas the policy
+/// actually examined (meaningful for power-of-two-choices, where only the
+/// sampled pair may be chosen).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The selected replica, `None` when every breaker is open.
+    pub chosen: Option<usize>,
+    /// The replicas the policy considered, in increasing index order.
+    pub sampled: Vec<usize>,
+}
+
+/// Routes one arrival. A pure function of `(policy, views, cursor, key)`:
+/// `cursor` is the round-robin position (advanced in place), `key` the
+/// per-arrival hash input of power-of-two sampling. No policy ever selects
+/// a replica with an open breaker while a closed one exists; with every
+/// breaker open the decision is `chosen: None`.
+pub fn route(
+    policy: RouterPolicy,
+    views: &[ReplicaView],
+    cursor: &mut usize,
+    key: u64,
+) -> RouteDecision {
+    let closed: Vec<usize> = views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.breaker_open)
+        .map(|(i, _)| i)
+        .collect();
+    if closed.is_empty() {
+        return RouteDecision {
+            chosen: None,
+            sampled: Vec::new(),
+        };
+    }
+    match policy {
+        RouterPolicy::RoundRobin => {
+            let n = views.len();
+            for off in 0..n {
+                let i = (*cursor + off) % n;
+                if !views[i].breaker_open {
+                    *cursor = (i + 1) % n;
+                    return RouteDecision {
+                        chosen: Some(i),
+                        sampled: closed,
+                    };
+                }
+            }
+            // Unreachable: `closed` is non-empty.
+            RouteDecision {
+                chosen: None,
+                sampled: closed,
+            }
+        }
+        RouterPolicy::JoinShortestQueue => {
+            let chosen = closed
+                .iter()
+                .copied()
+                .min_by_key(|&i| (views[i].queue_len, usize::from(views[i].busy), i));
+            RouteDecision {
+                chosen,
+                sampled: closed,
+            }
+        }
+        RouterPolicy::PowerOfTwoChoices => {
+            let n = closed.len() as u64;
+            let a = closed[(splitmix64(key) % n) as usize];
+            let b = closed[(splitmix64(key ^ 0x9E37_79B9_7F4A_7C15) % n) as usize];
+            let sampled = if a == b {
+                vec![a]
+            } else {
+                vec![a.min(b), a.max(b)]
+            };
+            let chosen = sampled.iter().copied().min_by_key(|&i| {
+                (
+                    views[i].queue_len + views[i].degradation,
+                    usize::from(views[i].busy),
+                    i,
+                )
+            });
+            RouteDecision { chosen, sampled }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed fleet events
+// ---------------------------------------------------------------------------
+
+/// A logged fleet control-plane transition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FleetEventKind {
+    /// A replica's breaker tripped open; its queue was migrated to closed
+    /// peers (work stealing on) or shed.
+    BreakerTripped {
+        /// The tripped replica.
+        replica: usize,
+        /// Consecutive failures that caused the trip.
+        failures: usize,
+        /// Queued requests migrated to closed replicas.
+        migrated: usize,
+        /// Queued requests shed (no closed replica had room).
+        shed: usize,
+    },
+    /// A replica's breaker moved from `Open` to `HalfOpen`.
+    BreakerHalfOpen {
+        /// The recovering replica.
+        replica: usize,
+    },
+    /// A replica's half-open probes all succeeded; the breaker closed.
+    BreakerClosed {
+        /// The recovered replica.
+        replica: usize,
+    },
+    /// An idle replica stole the back half of the longest peer queue.
+    Steal {
+        /// The stealing (drained) replica.
+        thief: usize,
+        /// The replica stolen from.
+        victim: usize,
+        /// Requests moved.
+        moved: usize,
+    },
+    /// A tenant's curve point was convicted on a replica and its promise
+    /// repaired in place.
+    Quarantined {
+        /// The convicting replica.
+        replica: usize,
+        /// The lying tenant.
+        tenant: usize,
+        /// Curve index of the convicted point.
+        rung: usize,
+        /// The honest estimate written into the curve.
+        repaired_qos: f64,
+    },
+    /// Quarantine exhausted a tenant's curve on a replica: requests for
+    /// that (replica, tenant) pair now run the exact configuration.
+    ExactFallback {
+        /// The clamping replica.
+        replica: usize,
+        /// The exhausted tenant.
+        tenant: usize,
+    },
+}
+
+/// One typed, timestamped fleet event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// Simulated time of the transition, seconds.
+    pub time_s: f64,
+    /// Fleet-wide completions when it happened.
+    pub completed: usize,
+    /// The transition.
+    pub kind: FleetEventKind,
+}
+
+impl FleetEvent {
+    /// Compact, deterministic one-line rendering (golden-test unit).
+    pub fn compact(&self) -> String {
+        let body = match &self.kind {
+            FleetEventKind::BreakerTripped {
+                replica,
+                failures,
+                migrated,
+                shed,
+            } => format!(
+                "r{replica} breaker->open failures={failures} migrated={migrated} shed={shed}"
+            ),
+            FleetEventKind::BreakerHalfOpen { replica } => {
+                format!("r{replica} breaker->half-open")
+            }
+            FleetEventKind::BreakerClosed { replica } => format!("r{replica} breaker->closed"),
+            FleetEventKind::Steal {
+                thief,
+                victim,
+                moved,
+            } => format!("steal r{victim}->r{thief} moved={moved}"),
+            FleetEventKind::Quarantined {
+                replica,
+                tenant,
+                rung,
+                repaired_qos,
+            } => format!(
+                "r{replica} quarantine tenant={tenant} rung={rung} repaired={repaired_qos:.3}"
+            ),
+            FleetEventKind::ExactFallback { replica, tenant } => {
+                format!("r{replica} exact-fallback tenant={tenant}")
+            }
+        };
+        format!("t={:.4} n={} {}", self.time_s, self.completed, body)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Per-tenant accounting over the whole fleet. Counters are exact and
+/// isolated: one tenant's quarantines, fallbacks and floor breaches never
+/// appear in another tenant's row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant display name.
+    pub name: String,
+    /// Arrivals in the tenant's trace.
+    pub arrivals: usize,
+    /// Requests that executed to completion.
+    pub admitted: usize,
+    /// Completed within deadline.
+    pub served_on_time: usize,
+    /// Completed after deadline.
+    pub served_late: usize,
+    /// Executor returned a typed error.
+    pub faulted: usize,
+    /// Cut off by the executor watchdog.
+    pub stalled: usize,
+    /// Shed: chosen replica's queue at capacity.
+    pub shed_queue_full: usize,
+    /// Shed: deadline infeasible at admission.
+    pub shed_deadline: usize,
+    /// Shed: every breaker open at the door, or a breaker-trip flush found
+    /// no closed replica with room.
+    pub shed_breaker: usize,
+    /// Canary observations across all replicas.
+    pub canaries: usize,
+    /// Canary misses (observed below promise − tolerance).
+    pub canary_misses: usize,
+    /// Canaried requests observed below the tenant's QoS floor.
+    pub observed_floor_breaches: usize,
+    /// Requests *planned* below the floor (selection-level breaches; zero
+    /// whenever premasking + quarantine work).
+    pub planned_floor_breaches: usize,
+    /// Curve points quarantined for this tenant, summed over replicas.
+    pub quarantined_points: usize,
+    /// Replicas on which quarantine exhausted this tenant's curve.
+    pub exact_fallback_replicas: usize,
+    /// Mean latency of served (on-time + late) requests, seconds.
+    pub mean_latency_s: f64,
+    /// Mean planned QoS over served requests.
+    pub mean_qos: f64,
+}
+
+impl TenantReport {
+    /// Fraction of executed requests that met their deadline.
+    pub fn on_time_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            1.0
+        } else {
+            self.served_on_time as f64 / self.admitted as f64
+        }
+    }
+
+    /// Fraction of arrivals shed (any reason).
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            (self.shed_queue_full + self.shed_deadline + self.shed_breaker) as f64
+                / self.arrivals as f64
+        }
+    }
+}
+
+/// Per-replica accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Requests this replica executed.
+    pub executions: usize,
+    /// Times its breaker tripped open.
+    pub breaker_trips: usize,
+    /// Requests stolen *into* this replica (queue-drain steals).
+    pub steals_in: usize,
+    /// Requests stolen *from* this replica's queue.
+    pub steals_out: usize,
+    /// Requests migrated into this replica by peers' breaker trips.
+    pub migrations_in: usize,
+    /// Ladder escalations (more approximation).
+    pub escalations: usize,
+    /// Ladder de-escalations.
+    pub deescalations: usize,
+    /// Deepest queue observed.
+    pub max_queue_depth: usize,
+    /// Breaker state at end of run.
+    pub final_breaker: BreakerState,
+}
+
+/// Everything one fleet run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Routing-policy name.
+    pub policy: String,
+    /// Replica count.
+    pub replicas: usize,
+    /// Disturbance-scenario name.
+    pub scenario: String,
+    /// Total arrivals across all tenants.
+    pub arrivals: usize,
+    /// Requests that executed to completion.
+    pub admitted: usize,
+    /// Completed within deadline.
+    pub served_on_time: usize,
+    /// Completed after deadline.
+    pub served_late: usize,
+    /// Executor faults.
+    pub faulted: usize,
+    /// Watchdog cutoffs.
+    pub stalled: usize,
+    /// Total shed (all reasons, all tenants).
+    pub shed: usize,
+    /// Queue-drain steal events.
+    pub steal_events: usize,
+    /// Breaker trips across all replicas.
+    pub breaker_trips: usize,
+    /// Mean latency of served requests, seconds.
+    pub mean_latency_s: f64,
+    /// 99th-percentile latency of served requests, seconds.
+    pub p99_latency_s: f64,
+    /// Per-tenant accounts, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-replica accounts, in replica order.
+    pub replica_reports: Vec<ReplicaReport>,
+    /// Retained fleet events (most recent `event_limit`).
+    pub events: Vec<FleetEvent>,
+    /// Events dropped by the ring cap.
+    pub events_evicted: usize,
+}
+
+impl FleetReport {
+    /// Fraction of executed requests that met their deadline.
+    pub fn on_time_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            1.0
+        } else {
+            self.served_on_time as f64 / self.admitted as f64
+        }
+    }
+
+    /// Fraction of arrivals shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Compact rendering of the whole event sequence (golden-test unit).
+    pub fn event_log(&self) -> Vec<String> {
+        self.events.iter().map(FleetEvent::compact).collect()
+    }
+
+    /// Serialises the report.
+    pub fn to_json(&self) -> String {
+        match serde_json::to_string(self) {
+            Ok(s) => s,
+            Err(e) => format!("{{\"error\":\"report serialisation failed: {e}\"}}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fleet simulation
+// ---------------------------------------------------------------------------
+
+struct QueuedReq {
+    tenant: usize,
+    arrival_s: f64,
+    deadline_s: f64,
+}
+
+struct InFlight {
+    tenant: usize,
+    arrival_s: f64,
+    deadline_s: f64,
+    finish_s: f64,
+    qos: f64,
+    fault: bool,
+    stalled: bool,
+    rung: Option<usize>,
+    canary: Option<f64>,
+    /// Per-(replica, tenant) execution index the request ran as.
+    tk: usize,
+}
+
+struct Replica {
+    queue: VecDeque<QueuedReq>,
+    busy: Option<InFlight>,
+    breaker: BreakerState,
+    consecutive_failures: usize,
+    open_until: f64,
+    probes_admitted: usize,
+    probe_successes: usize,
+    executions: usize,
+    /// EWMA of the device slowdown this replica observes (1.0 = nominal).
+    slow_ewma: f64,
+    applied_required: f64,
+    trips: usize,
+    steals_in: usize,
+    steals_out: usize,
+    migrations_in: usize,
+    escalations: usize,
+    deescalations: usize,
+    max_queue_depth: usize,
+}
+
+impl Replica {
+    fn new() -> Replica {
+        Replica {
+            queue: VecDeque::new(),
+            busy: None,
+            breaker: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: 0.0,
+            probes_admitted: 0,
+            probe_successes: 0,
+            executions: 0,
+            slow_ewma: 1.0,
+            applied_required: 1.0,
+            trips: 0,
+            steals_in: 0,
+            steals_out: 0,
+            migrations_in: 0,
+            escalations: 0,
+            deescalations: 0,
+            max_queue_depth: 0,
+        }
+    }
+
+    /// Whether the replica accepts new front-door work right now.
+    fn open_to_arrivals(&self, probes_needed: usize) -> bool {
+        match self.breaker {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => self.probes_admitted < probes_needed,
+            BreakerState::Open => false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct TenantAccum {
+    arrivals: usize,
+    served_on_time: usize,
+    served_late: usize,
+    faulted: usize,
+    stalled: usize,
+    shed_queue_full: usize,
+    shed_deadline: usize,
+    shed_breaker: usize,
+    planned_floor_breaches: usize,
+    latency_sum: f64,
+    qos_sum: f64,
+    served: usize,
+}
+
+struct EventLog {
+    events: Vec<FleetEvent>,
+    limit: usize,
+    evicted: usize,
+}
+
+impl EventLog {
+    fn push(&mut self, time_s: f64, completed: usize, kind: FleetEventKind) {
+        self.events.push(FleetEvent {
+            time_s,
+            completed,
+            kind,
+        });
+        while self.events.len() > self.limit {
+            self.events.remove(0);
+            self.evicted += 1;
+        }
+    }
+}
+
+/// A fault-free, canary-less executor used when the caller supplies fewer
+/// executors than tenants.
+static FALLBACK_EXECUTOR: NoFaultExecutor = NoFaultExecutor;
+
+/// Runs the fleet simulation.
+///
+/// `executors[t]` decides per-request success and measures canary QoS for
+/// tenant `t` (missing entries behave as fault-free, canary-less tenants);
+/// `device` is the shared disturbance timeline, indexed by each replica's
+/// own execution count. Never panics, whatever the specs, traces or
+/// executors. The result is a pure function of the inputs — bit-identical
+/// on any machine and thread count.
+pub fn run_fleet(
+    tenants: &[TenantSpec],
+    executors: &[&dyn RequestExecutor],
+    device: &DisturbedDevice,
+    params: &FleetParams,
+) -> FleetReport {
+    let n = params.replicas.max(1);
+    let m = tenants.len();
+    let sp = &params.serve;
+    let deadline = sp.deadline_s.max(1e-9);
+    let dead_band = sp.dead_band.clamp(0.0, 10.0);
+    let drain_budget = deadline * sp.drain_fraction.clamp(0.05, 1.0);
+    let trip_at = sp.breaker_threshold.max(1);
+    let probes_needed = sp.half_open_probes.max(1);
+    let stall_bound = sp.stall_bound_s.max(1e-9);
+
+    let mut replicas: Vec<Replica> = (0..n).map(|_| Replica::new()).collect();
+    // Per-(replica, tenant) state: the shipped-curve tuner, the guard, and
+    // the execution counter keying canary sampling and executor calls.
+    let mut tuners: Vec<Vec<RuntimeTuner>> = Vec::with_capacity(n);
+    let mut guards: Vec<Vec<QosGuard>> = Vec::with_capacity(n);
+    let mut texec: Vec<Vec<usize>> = vec![vec![0usize; m]; n];
+    let mut log = EventLog {
+        events: Vec::new(),
+        limit: sp.event_limit,
+        evicted: 0,
+    };
+    let mut completed_total = 0usize;
+
+    for _ in 0..n {
+        let mut row_t = Vec::with_capacity(m);
+        let mut row_g = Vec::with_capacity(m);
+        for spec in tenants {
+            let mut tuner = RuntimeTuner::new(
+                spec.curve.clone(),
+                Policy::EnforceEachInvocation,
+                1,
+                spec.baseline_time_s.max(1e-12),
+                sp.seed,
+            );
+            let mut guard = QosGuard::new(&spec.guard, &spec.curve);
+            // Premask points whose shipped promise already fails the
+            // tenant's floor — corrupt curves are quarantined at the door.
+            for (i, p) in spec.curve.points().iter().enumerate() {
+                if fails_floor(p.qos, spec.guard.qos_floor) {
+                    tuner.quarantine(i);
+                    guard.note_premask(i);
+                }
+            }
+            if !spec.curve.points().is_empty() && tuner.active_len() == 0 {
+                guard.note_unrecoverable(0.0, 0);
+            }
+            row_t.push(tuner);
+            row_g.push(guard);
+        }
+        tuners.push(row_t);
+        guards.push(row_g);
+    }
+
+    let arrivals = fleet_arrivals(tenants, params.horizon_s);
+    let mut tenant_acc: Vec<TenantAccum> = (0..m).map(|_| TenantAccum::default()).collect();
+    for &(_, t) in &arrivals {
+        tenant_acc[t].arrivals += 1;
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut steal_events = 0usize;
+    let mut rr_cursor = 0usize;
+
+    // Starts the head-of-queue request on replica `r` if it is idle. The
+    // ladder re-selects the serving tenant's configuration for the
+    // replica's applied pressure first, so escalation happens before the
+    // service time is drawn.
+    #[allow(clippy::too_many_arguments)]
+    fn start_next(
+        r: usize,
+        now: f64,
+        replicas: &mut [Replica],
+        tuners: &mut [Vec<RuntimeTuner>],
+        guards: &mut [Vec<QosGuard>],
+        texec: &mut [Vec<usize>],
+        tenants: &[TenantSpec],
+        executors: &[&dyn RequestExecutor],
+        tenant_acc: &mut [TenantAccum],
+        device: &DisturbedDevice,
+        dead_band: f64,
+        drain_budget: f64,
+        stall_bound: f64,
+    ) {
+        while replicas[r].busy.is_none() {
+            let Some(req) = replicas[r].queue.pop_front() else {
+                return;
+            };
+            let t = req.tenant;
+            let spec = &tenants[t];
+            let rep = &mut replicas[r];
+            let k = rep.executions;
+            rep.executions += 1;
+            let tk = texec[r][t];
+            texec[r][t] += 1;
+
+            // Ladder: required total speedup to drain the backlog within
+            // the ladder's share of the deadline, from the replica's
+            // observed slowdown and the serving tenant's baseline cost.
+            let backlog = rep.queue.len() + 1;
+            let required = (rep.slow_ewma * spec.baseline_time_s.max(1e-12) * backlog as f64
+                / drain_budget)
+                .max(1e-6);
+            let up = required > rep.applied_required * (1.0 + dead_band);
+            let down = required < rep.applied_required * (1.0 - dead_band);
+            if up || down {
+                rep.applied_required = required;
+            }
+            let tuner = &mut tuners[r][t];
+            let from = tuner.current_index();
+            tuner.adapt_to(rep.applied_required);
+            let to = tuner.current_index();
+            if to != from {
+                let escalated = match (from, to) {
+                    (None, Some(_)) => true,
+                    (Some(_), None) => false,
+                    (Some(a), Some(b)) => b > a,
+                    (None, None) => false,
+                };
+                if escalated {
+                    rep.escalations += 1;
+                } else {
+                    rep.deescalations += 1;
+                }
+            }
+
+            let state = device.state_at(k);
+            let speedup = tuner.current_speedup();
+            let raw_svc = device.invocation_time(&state, spec.baseline_time_s.max(1e-12), speedup);
+            let (svc, stalled) = if raw_svc > stall_bound {
+                (stall_bound, true)
+            } else {
+                (raw_svc, false)
+            };
+            rep.slow_ewma =
+                0.7 * rep.slow_ewma + 0.3 * (svc * speedup / spec.baseline_time_s.max(1e-12));
+            let executor = executors.get(t).copied().unwrap_or(&FALLBACK_EXECUTOR);
+            let fault = executor.execute(tk).is_err();
+            let rung = tuner.current_index();
+            let qos = tuner.current_point().map_or(spec.baseline_qos, |p| p.qos);
+            if rung.is_some() && fails_floor(qos, spec.guard.qos_floor) {
+                tenant_acc[t].planned_floor_breaches += 1;
+            }
+            let canary = match rung {
+                Some(rg) if !stalled && !fault && guards[r][t].is_canary(tk) => tuner
+                    .current_point()
+                    .and_then(|p| executor.canary_qos(tk, rg, p)),
+                _ => None,
+            };
+            rep.busy = Some(InFlight {
+                tenant: t,
+                arrival_s: req.arrival_s,
+                deadline_s: req.deadline_s,
+                finish_s: now + svc,
+                qos,
+                fault,
+                stalled,
+                rung,
+                canary,
+                tk,
+            });
+        }
+    }
+
+    // Migrates (or sheds) replica `r`'s queue after its breaker tripped.
+    // Each request goes to the least-loaded closed replica with room; with
+    // stealing off, or no such replica, it is shed as a breaker casualty.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_queue(
+        r: usize,
+        now: f64,
+        steal: bool,
+        queue_cap: usize,
+        probes_needed: usize,
+        replicas: &mut [Replica],
+        tenant_acc: &mut [TenantAccum],
+    ) -> (usize, usize) {
+        let drained: Vec<QueuedReq> = replicas[r].queue.drain(..).collect();
+        let mut migrated = 0usize;
+        let mut shed = 0usize;
+        let _ = now;
+        for q in drained {
+            let target = if steal {
+                (0..replicas.len())
+                    .filter(|&j| {
+                        j != r
+                            && replicas[j].open_to_arrivals(probes_needed)
+                            && replicas[j].queue.len() < queue_cap
+                    })
+                    .min_by_key(|&j| (replicas[j].queue.len(), j))
+            } else {
+                None
+            };
+            match target {
+                Some(j) => {
+                    replicas[j].queue.push_back(q);
+                    replicas[j].max_queue_depth =
+                        replicas[j].max_queue_depth.max(replicas[j].queue.len());
+                    replicas[j].migrations_in += 1;
+                    migrated += 1;
+                }
+                None => {
+                    tenant_acc[q.tenant].shed_breaker += 1;
+                    shed += 1;
+                }
+            }
+        }
+        (migrated, shed)
+    }
+
+    let mut i = 0usize; // next arrival index
+    loop {
+        // Earliest completion across replicas (ties: lowest replica index).
+        let mut next_c: Option<(f64, usize)> = None;
+        for (r, rep) in replicas.iter().enumerate() {
+            if let Some(b) = &rep.busy {
+                let better = match next_c {
+                    None => true,
+                    Some((t0, _)) => b.finish_s < t0,
+                };
+                if better {
+                    next_c = Some((b.finish_s, r));
+                }
+            }
+        }
+        let next_a = arrivals.get(i).copied();
+        let (is_completion, now, r_done) = match (next_c, next_a) {
+            (Some((c, r)), Some((a, _))) => {
+                if c <= a {
+                    (true, c, r)
+                } else {
+                    (false, a, usize::MAX)
+                }
+            }
+            (Some((c, r)), None) => (true, c, r),
+            (None, Some((a, _))) => (false, a, usize::MAX),
+            (None, None) => break,
+        };
+
+        if is_completion {
+            // --- Completion on replica r_done ------------------------------
+            let r = r_done;
+            let Some(b) = replicas[r].busy.take() else {
+                break;
+            };
+            completed_total += 1;
+            let t = b.tenant;
+            let latency = b.finish_s - b.arrival_s;
+            let failure = if b.stalled {
+                tenant_acc[t].stalled += 1;
+                true
+            } else if b.fault {
+                tenant_acc[t].faulted += 1;
+                true
+            } else if b.finish_s > b.deadline_s + 1e-12 {
+                tenant_acc[t].served_late += 1;
+                tenant_acc[t].latency_sum += latency;
+                tenant_acc[t].qos_sum += b.qos;
+                tenant_acc[t].served += 1;
+                latencies.push(latency);
+                true
+            } else {
+                tenant_acc[t].served_on_time += 1;
+                tenant_acc[t].latency_sum += latency;
+                tenant_acc[t].qos_sum += b.qos;
+                tenant_acc[t].served += 1;
+                latencies.push(latency);
+                false
+            };
+
+            // Per-replica breaker bookkeeping; a trip migrates the queue.
+            match replicas[r].breaker {
+                BreakerState::Closed => {
+                    if failure {
+                        replicas[r].consecutive_failures += 1;
+                        if replicas[r].consecutive_failures >= trip_at {
+                            replicas[r].breaker = BreakerState::Open;
+                            replicas[r].open_until = now + sp.cooldown_s.max(0.0);
+                            replicas[r].trips += 1;
+                            let failures = replicas[r].consecutive_failures;
+                            let (migrated, shed) = flush_queue(
+                                r,
+                                now,
+                                params.steal,
+                                sp.queue_cap,
+                                probes_needed,
+                                &mut replicas,
+                                &mut tenant_acc,
+                            );
+                            log.push(
+                                now,
+                                completed_total,
+                                FleetEventKind::BreakerTripped {
+                                    replica: r,
+                                    failures,
+                                    migrated,
+                                    shed,
+                                },
+                            );
+                        }
+                    } else {
+                        replicas[r].consecutive_failures = 0;
+                    }
+                }
+                BreakerState::HalfOpen => {
+                    if failure {
+                        replicas[r].breaker = BreakerState::Open;
+                        replicas[r].open_until = now + sp.cooldown_s.max(0.0);
+                        replicas[r].trips += 1;
+                        replicas[r].consecutive_failures = 1;
+                        let (migrated, shed) = flush_queue(
+                            r,
+                            now,
+                            params.steal,
+                            sp.queue_cap,
+                            probes_needed,
+                            &mut replicas,
+                            &mut tenant_acc,
+                        );
+                        log.push(
+                            now,
+                            completed_total,
+                            FleetEventKind::BreakerTripped {
+                                replica: r,
+                                failures: 1,
+                                migrated,
+                                shed,
+                            },
+                        );
+                    } else {
+                        replicas[r].probe_successes += 1;
+                        if replicas[r].probe_successes >= probes_needed {
+                            replicas[r].breaker = BreakerState::Closed;
+                            replicas[r].consecutive_failures = 0;
+                            log.push(
+                                now,
+                                completed_total,
+                                FleetEventKind::BreakerClosed { replica: r },
+                            );
+                        }
+                    }
+                }
+                BreakerState::Open => {}
+            }
+
+            // Guard: verify the canaried promise before anything re-selects.
+            if !b.stalled && !b.fault {
+                if let (Some(rg), Some(obs)) = (b.rung, b.canary) {
+                    let verdict = guards[r][t].observe(now, completed_total, rg, b.qos, obs);
+                    if let GuardVerdict::Quarantine { rung, repaired_qos } = verdict {
+                        tuners[r][t].repair_qos(rung, repaired_qos);
+                        tuners[r][t].quarantine(rung);
+                        log.push(
+                            now,
+                            completed_total,
+                            FleetEventKind::Quarantined {
+                                replica: r,
+                                tenant: t,
+                                rung,
+                                repaired_qos,
+                            },
+                        );
+                        if tuners[r][t].active_len() == 0 {
+                            guards[r][t].note_unrecoverable(now, completed_total);
+                            log.push(
+                                now,
+                                completed_total,
+                                FleetEventKind::ExactFallback {
+                                    replica: r,
+                                    tenant: t,
+                                },
+                            );
+                        } else {
+                            let applied = replicas[r].applied_required;
+                            tuners[r][t].adapt_to(applied);
+                        }
+                    }
+                    let _ = b.tk;
+                }
+            }
+
+            // Queue drained: steal the back half of the longest peer queue.
+            if replicas[r].queue.is_empty()
+                && params.steal
+                && replicas[r].breaker == BreakerState::Closed
+            {
+                let victim = (0..n)
+                    .filter(|&j| j != r && replicas[j].queue.len() >= 2)
+                    .max_by_key(|&j| (replicas[j].queue.len(), usize::MAX - j));
+                if let Some(v) = victim {
+                    let vlen = replicas[v].queue.len();
+                    let moved = vlen / 2;
+                    let mut taken: VecDeque<QueuedReq> = replicas[v].queue.split_off(vlen - moved);
+                    replicas[r].steals_in += moved;
+                    replicas[v].steals_out += moved;
+                    replicas[r].queue.append(&mut taken);
+                    replicas[r].max_queue_depth =
+                        replicas[r].max_queue_depth.max(replicas[r].queue.len());
+                    steal_events += 1;
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::Steal {
+                            thief: r,
+                            victim: v,
+                            moved,
+                        },
+                    );
+                }
+            }
+
+            start_next(
+                r,
+                now,
+                &mut replicas,
+                &mut tuners,
+                &mut guards,
+                &mut texec,
+                tenants,
+                executors,
+                &mut tenant_acc,
+                device,
+                dead_band,
+                drain_budget,
+                stall_bound,
+            );
+            // A breaker trip may have migrated work onto idle replicas.
+            for j in 0..n {
+                if replicas[j].busy.is_none() && !replicas[j].queue.is_empty() {
+                    start_next(
+                        j,
+                        now,
+                        &mut replicas,
+                        &mut tuners,
+                        &mut guards,
+                        &mut texec,
+                        tenants,
+                        executors,
+                        &mut tenant_acc,
+                        device,
+                        dead_band,
+                        drain_budget,
+                        stall_bound,
+                    );
+                }
+            }
+        } else {
+            // --- Arrival event ---------------------------------------------
+            let Some((at, t)) = next_a else { break };
+            i += 1;
+
+            // Cooldowns elapse on arrival ticks, in replica order.
+            for (r, rep) in replicas.iter_mut().enumerate() {
+                if rep.breaker == BreakerState::Open && now >= rep.open_until {
+                    rep.breaker = BreakerState::HalfOpen;
+                    rep.probes_admitted = 0;
+                    rep.probe_successes = 0;
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::BreakerHalfOpen { replica: r },
+                    );
+                }
+            }
+
+            let views: Vec<ReplicaView> = replicas
+                .iter()
+                .enumerate()
+                .map(|(r, rep)| ReplicaView {
+                    queue_len: rep.queue.len(),
+                    busy: rep.busy.is_some(),
+                    breaker_open: !rep.open_to_arrivals(probes_needed),
+                    degradation: tuners[r][t].current_index().map_or(0, |ix| ix + 1),
+                })
+                .collect();
+            let key =
+                splitmix64(params.route_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let decision = route(params.policy, &views, &mut rr_cursor, key);
+
+            let Some(r) = decision.chosen else {
+                // Every breaker open: shed at the fleet door.
+                tenant_acc[t].shed_breaker += 1;
+                continue;
+            };
+
+            let req = QueuedReq {
+                tenant: t,
+                arrival_s: at,
+                deadline_s: at + deadline,
+            };
+            // Replica-level admission: bounded queue, then deadline
+            // feasibility under the replica's observed slowdown and the
+            // queued tenants' current configurations.
+            if replicas[r].queue.len() >= sp.queue_cap {
+                tenant_acc[t].shed_queue_full += 1;
+                continue;
+            }
+            let est = |tenant: usize, rep: &Replica| -> f64 {
+                rep.slow_ewma * tenants[tenant].baseline_time_s.max(1e-12)
+                    / tuners[r][tenant].current_speedup().max(1e-9)
+            };
+            let rep = &replicas[r];
+            let mut wait = rep
+                .busy
+                .as_ref()
+                .map(|b| (b.finish_s - now).max(0.0))
+                .unwrap_or(0.0);
+            for q in &rep.queue {
+                wait += est(q.tenant, rep);
+            }
+            if now + wait + est(t, rep) > req.deadline_s + 1e-12 {
+                tenant_acc[t].shed_deadline += 1;
+                continue;
+            }
+            if replicas[r].breaker == BreakerState::HalfOpen {
+                replicas[r].probes_admitted += 1;
+            }
+            replicas[r].queue.push_back(req);
+            replicas[r].max_queue_depth = replicas[r].max_queue_depth.max(replicas[r].queue.len());
+            start_next(
+                r,
+                now,
+                &mut replicas,
+                &mut tuners,
+                &mut guards,
+                &mut texec,
+                tenants,
+                executors,
+                &mut tenant_acc,
+                device,
+                dead_band,
+                drain_budget,
+                stall_bound,
+            );
+        }
+    }
+
+    // --- Finalise ----------------------------------------------------------
+    latencies.sort_by(f64::total_cmp);
+    let mean_latency_s = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let p99_latency_s = if latencies.is_empty() {
+        0.0
+    } else {
+        let idx = ((latencies.len() as f64 * 0.99).ceil() as usize)
+            .saturating_sub(1)
+            .min(latencies.len() - 1);
+        latencies[idx]
+    };
+
+    // Aggregate guard outcomes per tenant across replicas.
+    let mut tenant_reports: Vec<TenantReport> = tenants
+        .iter()
+        .zip(tenant_acc.iter())
+        .map(|(spec, acc)| TenantReport {
+            name: spec.name.clone(),
+            arrivals: acc.arrivals,
+            admitted: acc.served_on_time + acc.served_late + acc.faulted + acc.stalled,
+            served_on_time: acc.served_on_time,
+            served_late: acc.served_late,
+            faulted: acc.faulted,
+            stalled: acc.stalled,
+            shed_queue_full: acc.shed_queue_full,
+            shed_deadline: acc.shed_deadline,
+            shed_breaker: acc.shed_breaker,
+            canaries: 0,
+            canary_misses: 0,
+            observed_floor_breaches: 0,
+            planned_floor_breaches: acc.planned_floor_breaches,
+            quarantined_points: 0,
+            exact_fallback_replicas: 0,
+            mean_latency_s: if acc.served == 0 {
+                0.0
+            } else {
+                acc.latency_sum / acc.served as f64
+            },
+            mean_qos: if acc.served == 0 {
+                spec.baseline_qos
+            } else {
+                acc.qos_sum / acc.served as f64
+            },
+        })
+        .collect();
+    for (r, row) in guards.into_iter().enumerate() {
+        for (t, guard) in row.into_iter().enumerate() {
+            let fell_back = guard.exact_fallback();
+            let grep = guard.into_report(tuners[r][t].curve().clone());
+            let tr = &mut tenant_reports[t];
+            tr.canaries += grep.canaries;
+            tr.canary_misses += grep.misses;
+            tr.observed_floor_breaches += grep.floor_breaches;
+            tr.quarantined_points += grep.quarantined.len();
+            tr.exact_fallback_replicas += usize::from(fell_back);
+        }
+    }
+
+    let replica_reports: Vec<ReplicaReport> = replicas
+        .iter()
+        .map(|rep| ReplicaReport {
+            executions: rep.executions,
+            breaker_trips: rep.trips,
+            steals_in: rep.steals_in,
+            steals_out: rep.steals_out,
+            migrations_in: rep.migrations_in,
+            escalations: rep.escalations,
+            deescalations: rep.deescalations,
+            max_queue_depth: rep.max_queue_depth,
+            final_breaker: rep.breaker,
+        })
+        .collect();
+
+    let admitted: usize = tenant_reports.iter().map(|t| t.admitted).sum();
+    let served_on_time: usize = tenant_reports.iter().map(|t| t.served_on_time).sum();
+    let served_late: usize = tenant_reports.iter().map(|t| t.served_late).sum();
+    let faulted: usize = tenant_reports.iter().map(|t| t.faulted).sum();
+    let stalled: usize = tenant_reports.iter().map(|t| t.stalled).sum();
+    let shed: usize = tenant_reports
+        .iter()
+        .map(|t| t.shed_queue_full + t.shed_deadline + t.shed_breaker)
+        .sum();
+    FleetReport {
+        policy: params.policy.name().to_string(),
+        replicas: n,
+        scenario: device.scenario().name().to_string(),
+        arrivals: arrivals.len(),
+        admitted,
+        served_on_time,
+        served_late,
+        faulted,
+        stalled,
+        shed,
+        steal_events,
+        breaker_trips: replica_reports.iter().map(|r| r.breaker_trips).sum(),
+        mean_latency_s,
+        p99_latency_s,
+        tenants: tenant_reports,
+        replica_reports,
+        events: log.events,
+        events_evicted: log.evicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::pareto::TradeoffPoint;
+    use crate::serve::ScriptedFaultExecutor;
+    use at_hw::{FrequencyLadder, Scenario};
+
+    fn curve(perfs: &[f64]) -> TradeoffCurve {
+        TradeoffCurve::from_points(
+            perfs
+                .iter()
+                .enumerate()
+                .map(|(i, &perf)| TradeoffPoint {
+                    qos: 98.0 - 2.0 * i as f64,
+                    perf,
+                    config: Config::from_knobs(vec![]),
+                })
+                .collect(),
+        )
+    }
+
+    fn idle_device() -> DisturbedDevice {
+        DisturbedDevice::tx2(Scenario::new(
+            "idle",
+            FrequencyLadder::tx2_gpu(),
+            usize::MAX / 2,
+            0,
+        ))
+    }
+
+    fn tenant(name: &str, rate: f64, base: f64, seed: u64) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            curve: curve(&[1.4, 1.8, 2.2]),
+            baseline_time_s: base,
+            baseline_qos: 100.0,
+            pattern: TrafficPattern::Steady { rate_rps: rate },
+            arrival_seed: seed,
+            guard: GuardParams {
+                qos_floor: 80.0,
+                ..GuardParams::default()
+            },
+        }
+    }
+
+    #[test]
+    fn merged_arrivals_are_sorted_and_deterministic() {
+        let tenants = vec![tenant("a", 5.0, 0.02, 1), tenant("b", 3.0, 0.02, 2)];
+        let m1 = fleet_arrivals(&tenants, 20.0);
+        let m2 = fleet_arrivals(&tenants, 20.0);
+        assert_eq!(m1.len(), m2.len());
+        assert!(m1
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 <= w[1].1)));
+        assert!(m1.iter().any(|&(_, t)| t == 0) && m1.iter().any(|&(_, t)| t == 1));
+        assert!(m1
+            .iter()
+            .zip(m2.iter())
+            .all(|(a, b)| a.0 == b.0 && a.1 == b.1));
+    }
+
+    #[test]
+    fn light_load_serves_every_tenant_on_time() {
+        let tenants = vec![
+            tenant("a", 4.0, 0.02, 11),
+            tenant("b", 3.0, 0.03, 12),
+            tenant("c", 2.0, 0.04, 13),
+        ];
+        let execs: Vec<&dyn RequestExecutor> =
+            vec![&NoFaultExecutor, &NoFaultExecutor, &NoFaultExecutor];
+        let r = run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 3,
+                horizon_s: 30.0,
+                ..FleetParams::default()
+            },
+        );
+        assert!(r.arrivals > 100);
+        assert_eq!(r.served_on_time, r.admitted, "light load is all on-time");
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.breaker_trips, 0);
+        for t in &r.tenants {
+            assert_eq!(t.served_on_time, t.arrivals, "tenant {}", t.name);
+            assert_eq!(t.planned_floor_breaches, 0);
+            assert!((t.on_time_rate() - 1.0).abs() < 1e-12);
+        }
+        let execs_total: usize = r.replica_reports.iter().map(|x| x.executions).sum();
+        assert_eq!(execs_total, r.admitted);
+    }
+
+    #[test]
+    fn every_policy_is_deterministic_and_partitions_arrivals() {
+        let tenants = vec![tenant("a", 30.0, 0.05, 3), tenant("b", 20.0, 0.02, 4)];
+        for policy in RouterPolicy::ALL {
+            let run = || {
+                let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor, &NoFaultExecutor];
+                run_fleet(
+                    &tenants,
+                    &execs,
+                    &idle_device(),
+                    &FleetParams {
+                        replicas: 3,
+                        policy,
+                        horizon_s: 20.0,
+                        serve: ServeParams {
+                            deadline_s: 0.4,
+                            ..ServeParams::default()
+                        },
+                        ..FleetParams::default()
+                    },
+                )
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.to_json(), b.to_json(), "{policy:?} must be deterministic");
+            let shed_sum: usize = a
+                .tenants
+                .iter()
+                .map(|t| t.shed_queue_full + t.shed_deadline + t.shed_breaker)
+                .sum();
+            assert_eq!(
+                a.arrivals,
+                a.admitted + shed_sum,
+                "{policy:?}: arrivals must partition into outcomes"
+            );
+            assert_eq!(a.policy, policy.name());
+        }
+    }
+
+    #[test]
+    fn overload_escalates_and_sheds_rather_than_serving_late() {
+        // 2 replicas with combined capacity 40 rps at baseline, offered
+        // 200: even the deepest rung (2.2×) cannot absorb it all, so the
+        // ladder escalates and the overflow sheds at admission.
+        let tenants = vec![tenant("hot", 200.0, 0.05, 5)];
+        let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+        let r = run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 2,
+                horizon_s: 15.0,
+                serve: ServeParams {
+                    deadline_s: 0.6,
+                    queue_cap: 12,
+                    ..ServeParams::default()
+                },
+                ..FleetParams::default()
+            },
+        );
+        let esc: usize = r.replica_reports.iter().map(|x| x.escalations).sum();
+        assert!(esc >= 1, "overload must escalate the ladder");
+        assert!(r.shed > 0, "overload must shed");
+        assert!(
+            r.on_time_rate() > 0.8,
+            "admitted work stays mostly on-time: {}",
+            r.on_time_rate()
+        );
+    }
+
+    #[test]
+    fn breaker_trips_migrate_queued_work_instead_of_shedding() {
+        // One tenant, fault burst on per-(replica, tenant) execution
+        // indices: replicas trip around the same window. With stealing on,
+        // queued requests migrate instead of being shed.
+        let exec = ScriptedFaultExecutor {
+            windows: vec![(30, 4)],
+        };
+        let tenants = vec![tenant("a", 30.0, 0.05, 6)];
+        let execs: Vec<&dyn RequestExecutor> = vec![&exec];
+        let base = FleetParams {
+            replicas: 2,
+            horizon_s: 20.0,
+            serve: ServeParams {
+                deadline_s: 0.6,
+                cooldown_s: 0.5,
+                ..ServeParams::default()
+            },
+            ..FleetParams::default()
+        };
+        let r = run_fleet(&tenants, &execs, &idle_device(), &base);
+        assert!(r.breaker_trips >= 1, "fault burst must trip a breaker");
+        let migrations: usize = r.replica_reports.iter().map(|x| x.migrations_in).sum();
+        let trip_events: Vec<&FleetEvent> = r
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FleetEventKind::BreakerTripped { .. }))
+            .collect();
+        assert!(!trip_events.is_empty());
+        // Every replica recovers by the end of the quiet tail.
+        for rep in &r.replica_reports {
+            assert_eq!(rep.final_breaker, BreakerState::Closed);
+        }
+        // With stealing disabled the same scenario sheds what migration
+        // would have saved.
+        let r_nosteal = run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                steal: false,
+                ..base
+            },
+        );
+        let shed_b: usize = r_nosteal.tenants.iter().map(|t| t.shed_breaker).sum();
+        assert!(
+            migrations > 0 || shed_b > 0,
+            "a trip must either migrate or shed queued work"
+        );
+    }
+
+    #[test]
+    fn drained_replicas_steal_from_the_longest_queue() {
+        // Round-robin over one fast and one slow tenant skews queues; the
+        // fast replica drains and steals.
+        let tenants = vec![tenant("slow", 14.0, 0.12, 7), tenant("fast", 14.0, 0.01, 8)];
+        let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor, &NoFaultExecutor];
+        let r = run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 2,
+                policy: RouterPolicy::RoundRobin,
+                horizon_s: 30.0,
+                serve: ServeParams {
+                    deadline_s: 1.5,
+                    queue_cap: 16,
+                    ..ServeParams::default()
+                },
+                ..FleetParams::default()
+            },
+        );
+        assert!(r.steal_events >= 1, "skewed queues must trigger stealing");
+        let steals_in: usize = r.replica_reports.iter().map(|x| x.steals_in).sum();
+        let steals_out: usize = r.replica_reports.iter().map(|x| x.steals_out).sum();
+        assert_eq!(steals_in, steals_out, "stolen work is conserved");
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FleetEventKind::Steal { .. })));
+    }
+
+    #[test]
+    fn empty_fleet_and_missing_executors_never_panic() {
+        let r = run_fleet(
+            &[],
+            &[],
+            &idle_device(),
+            &FleetParams {
+                replicas: 0,
+                ..FleetParams::default()
+            },
+        );
+        assert_eq!(r.arrivals, 0);
+        assert_eq!(r.replicas, 1, "replica count clamps to 1");
+
+        // Fewer executors than tenants: the fallback executor serves them.
+        let tenants = vec![tenant("a", 5.0, 0.02, 9), tenant("b", 5.0, 0.02, 10)];
+        let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+        let r = run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 2,
+                horizon_s: 10.0,
+                ..FleetParams::default()
+            },
+        );
+        assert_eq!(r.faulted, 0);
+        assert!(r.admitted > 0);
+
+        // Empty curves: the fleet serves exact-only without panicking.
+        let mut bare = tenant("bare", 5.0, 0.02, 11);
+        bare.curve = TradeoffCurve::default();
+        let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+        let r = run_fleet(
+            &[bare],
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 2,
+                horizon_s: 10.0,
+                ..FleetParams::default()
+            },
+        );
+        assert_eq!(r.served_on_time, r.admitted);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let tenants = vec![tenant("a", 10.0, 0.03, 21)];
+        let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+        let r = run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 2,
+                horizon_s: 10.0,
+                ..FleetParams::default()
+            },
+        );
+        let json = r.to_json();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.to_json(), json, "lossless roundtrip");
+        assert_eq!(back.event_log(), r.event_log());
+    }
+}

@@ -25,7 +25,10 @@
 //!    lifts the same mechanism into an overload-resilient serving loop:
 //!    deadline-aware admission over a bounded queue, a degradation ladder
 //!    that sheds *accuracy* before it sheds requests, and a circuit
-//!    breaker around execution — all deterministic and seeded.
+//!    breaker around execution — all deterministic and seeded. [`fleet`]
+//!    scales that loop out to N replicas × M tenant models with pluggable
+//!    front-door routing, per-replica breaker + per-tenant guard state,
+//!    and work stealing across replica queues.
 //!
 //! [`knobs`] defines the integer knob registry (63 per convolution, 8 per
 //! reduction, 2 per other op — §2.3); [`config`] the per-program
@@ -53,6 +56,7 @@ pub mod config;
 pub mod empirical;
 pub mod evaluate;
 pub mod fault;
+pub mod fleet;
 pub mod guard;
 pub mod install;
 pub mod knobs;
@@ -74,6 +78,10 @@ pub use closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport, Trace
 pub use config::Config;
 pub use evaluate::{AttemptEvaluator, CacheStats, Evaluation, Evaluator};
 pub use fault::{FaultKind, FaultMix, FaultPlan, FaultyEvaluator};
+pub use fleet::{
+    fleet_arrivals, route, run_fleet, FleetEvent, FleetEventKind, FleetParams, FleetReport,
+    ReplicaReport, ReplicaView, RouteDecision, RouterPolicy, TenantReport, TenantSpec,
+};
 pub use guard::{
     CanarySampler, GuardEvent, GuardEventKind, GuardParams, GuardReport, GuardVerdict,
     MiscalibratedExecutor, PointTrust, QosGuard, ResidualWindow,

@@ -1,0 +1,347 @@
+//! Fleet acceptance tests: a pinned golden event sequence for a seeded
+//! 3-replica × 3-tenant spike storm, bit-identical reports across rayon
+//! thread counts, and tenant isolation — one tenant's all-lying curve is
+//! quarantined to exact fallback without touching any other tenant's
+//! accounting. Same pattern as `serve_storm.rs` / `qos_guard.rs`: the
+//! simulation is a pure function of its seed, so the golden log is pinned
+//! as data, not tolerance-checked.
+
+use at_core::config::Config;
+use at_core::fleet::{run_fleet, FleetParams, RouterPolicy, TenantSpec};
+use at_core::guard::{GuardParams, MiscalibratedExecutor};
+use at_core::pareto::{TradeoffCurve, TradeoffPoint};
+use at_core::serve::{
+    NoFaultExecutor, RequestExecutor, ScriptedFaultExecutor, ServeParams, TrafficPattern,
+};
+use at_hw::{DisturbedDevice, FrequencyLadder, Scenario};
+
+fn curve(qos_perf: &[(f64, f64)]) -> TradeoffCurve {
+    TradeoffCurve::from_points(
+        qos_perf
+            .iter()
+            .map(|&(qos, perf)| TradeoffPoint {
+                qos,
+                perf,
+                config: Config::from_knobs(vec![]),
+            })
+            .collect(),
+    )
+}
+
+fn idle_device() -> DisturbedDevice {
+    DisturbedDevice::tx2(Scenario::new(
+        "idle",
+        FrequencyLadder::tx2_gpu(),
+        usize::MAX / 2,
+        0,
+    ))
+}
+
+/// The pinned storm: 3 replicas, 3 tenants, a traffic spike plus a
+/// scripted fault burst on tenant 0 while tenants 1 and 2 keep their
+/// steady/bursty profiles.
+fn storm_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "spike".to_string(),
+            curve: curve(&[(96.0, 1.4), (94.0, 1.8), (91.0, 2.3)]),
+            baseline_time_s: 0.03,
+            baseline_qos: 98.0,
+            pattern: TrafficPattern::Spike {
+                base_rps: 10.0,
+                spike_rps: 120.0,
+                at_s: 5.0,
+                len_s: 3.0,
+            },
+            arrival_seed: 0xA11CE,
+            guard: GuardParams {
+                qos_floor: 85.0,
+                ..GuardParams::default()
+            },
+        },
+        TenantSpec {
+            name: "steady".to_string(),
+            curve: curve(&[(97.0, 1.3), (95.0, 1.7)]),
+            baseline_time_s: 0.02,
+            baseline_qos: 99.0,
+            pattern: TrafficPattern::Steady { rate_rps: 8.0 },
+            arrival_seed: 0xB0B,
+            guard: GuardParams {
+                qos_floor: 90.0,
+                ..GuardParams::default()
+            },
+        },
+        TenantSpec {
+            name: "bursty".to_string(),
+            curve: curve(&[(95.0, 1.5), (92.0, 2.0)]),
+            baseline_time_s: 0.09,
+            baseline_qos: 97.0,
+            pattern: TrafficPattern::Bursty {
+                base_rps: 4.0,
+                burst_rps: 25.0,
+                period_s: 6.0,
+                duty: 0.3,
+            },
+            arrival_seed: 0xCAFE,
+            guard: GuardParams {
+                qos_floor: 88.0,
+                ..GuardParams::default()
+            },
+        },
+    ]
+}
+
+fn storm_params() -> FleetParams {
+    FleetParams {
+        replicas: 3,
+        policy: RouterPolicy::RoundRobin,
+        serve: ServeParams {
+            deadline_s: 0.5,
+            queue_cap: 8,
+            cooldown_s: 1.0,
+            ..ServeParams::default()
+        },
+        horizon_s: 15.0,
+        steal: true,
+        route_seed: 0xF1EE7,
+    }
+}
+
+fn run_storm() -> at_core::fleet::FleetReport {
+    let tenants = storm_tenants();
+    let faulty = ScriptedFaultExecutor {
+        windows: vec![(25, 6)],
+    };
+    let execs: Vec<&dyn RequestExecutor> = vec![&faulty, &NoFaultExecutor, &NoFaultExecutor];
+    run_fleet(&tenants, &execs, &idle_device(), &storm_params())
+}
+
+/// The pinned control-plane history of the storm. Regenerate by printing
+/// `report.event_log()` after any *intentional* change to fleet
+/// scheduling, routing, stealing or breaker semantics — any unintentional
+/// diff here is a behaviour regression.
+const GOLDEN_EVENTS: &[&str] = &[
+    "t=0.8150 n=30 steal r1->r2 moved=1",
+    "t=1.5763 n=64 steal r2->r1 moved=1",
+    "t=1.6063 n=66 steal r0->r1 moved=1",
+    "t=5.2737 n=178 r0 breaker->open failures=3 migrated=5 shed=0",
+    "t=5.3977 n=187 r1 breaker->open failures=3 migrated=1 shed=7",
+    "t=5.4831 n=190 r2 breaker->open failures=3 migrated=0 shed=8",
+    "t=6.2740 n=190 r0 breaker->half-open",
+    "t=6.3040 n=191 r0 breaker->open failures=1 migrated=0 shed=2",
+    "t=6.4101 n=191 r1 breaker->half-open",
+    "t=6.4401 n=192 r1 breaker->open failures=1 migrated=0 shed=2",
+    "t=6.4974 n=192 r2 breaker->half-open",
+    "t=6.6174 n=194 r2 breaker->open failures=1 migrated=0 shed=1",
+    "t=7.3053 n=194 r0 breaker->half-open",
+    "t=7.3353 n=195 r0 breaker->open failures=1 migrated=0 shed=2",
+    "t=7.4497 n=195 r1 breaker->half-open",
+    "t=7.4797 n=196 r1 breaker->open failures=1 migrated=0 shed=2",
+    "t=7.6178 n=196 r2 breaker->half-open",
+    "t=7.6478 n=197 r2 breaker->open failures=1 migrated=0 shed=2",
+    "t=8.3366 n=197 r0 breaker->half-open",
+    "t=8.4946 n=199 r1 breaker->half-open",
+    "t=8.5246 n=200 r1 breaker->open failures=1 migrated=0 shed=0",
+    "t=8.5361 n=201 r0 breaker->closed",
+    "t=8.6599 n=203 r2 breaker->half-open",
+    "t=8.6899 n=204 r2 breaker->open failures=1 migrated=0 shed=0",
+    "t=9.5372 n=218 r1 breaker->half-open",
+    "t=9.7467 n=223 r2 breaker->half-open",
+    "t=9.7667 n=224 r1 breaker->closed",
+    "t=10.0844 n=231 r2 breaker->closed",
+    "t=13.1194 n=313 steal r2->r0 moved=1",
+];
+
+/// The storm produces the pinned event sequence, event for event, and
+/// sane topline accounting: the spike sheds, the fault burst trips every
+/// replica, and every breaker recovers by the quiet tail.
+#[test]
+fn spike_storm_matches_golden_event_sequence() {
+    let r = run_storm();
+    let log = r.event_log();
+    assert_eq!(
+        log.len(),
+        GOLDEN_EVENTS.len(),
+        "event count changed:\n{}",
+        log.join("\n")
+    );
+    for (i, (got, want)) in log.iter().zip(GOLDEN_EVENTS.iter()).enumerate() {
+        assert_eq!(got, want, "event {i} diverged");
+    }
+    assert_eq!(r.events_evicted, 0);
+    assert_eq!(r.arrivals, 737);
+    assert_eq!(r.admitted, 367);
+    assert_eq!(r.served_on_time, 349);
+    assert_eq!(r.shed, 370);
+    assert_eq!(r.breaker_trips, 11);
+    assert_eq!(r.steal_events, 4);
+    // Arrivals partition into outcomes, per tenant and in total.
+    let shed_sum: usize = r
+        .tenants
+        .iter()
+        .map(|t| t.shed_queue_full + t.shed_deadline + t.shed_breaker)
+        .sum();
+    assert_eq!(r.arrivals, r.admitted + shed_sum);
+    for t in &r.tenants {
+        assert_eq!(
+            t.arrivals,
+            t.admitted + t.shed_queue_full + t.shed_deadline + t.shed_breaker,
+            "tenant {} accounting must partition",
+            t.name
+        );
+    }
+    // Every replica recovers.
+    for (i, rep) in r.replica_reports.iter().enumerate() {
+        assert_eq!(
+            rep.final_breaker,
+            at_core::serve::BreakerState::Closed,
+            "replica {i} must recover by the quiet tail"
+        );
+    }
+}
+
+/// The full report — not just the event log — is bit-identical between a
+/// 1-thread and an 8-thread rayon environment.
+#[test]
+fn storm_report_is_bit_identical_across_thread_counts() {
+    let run_with = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(run_storm)
+    };
+    let one = run_with(1).to_json();
+    let eight = run_with(8).to_json();
+    assert_eq!(one, eight, "fleet report must not depend on thread count");
+}
+
+/// Tenant isolation: a tenant whose curve lies on every rung is convicted
+/// and clamped to exact fallback on every replica it touches, while the
+/// honest tenants keep a clean slate — no floor breaches, no shed
+/// inflation, no quarantines in *their* per-tenant counters.
+#[test]
+fn lying_tenant_is_quarantined_without_touching_neighbours() {
+    let liar_curve = curve(&[(96.0, 1.5), (94.0, 2.0)]);
+    let tenants = vec![
+        TenantSpec {
+            name: "honest-a".to_string(),
+            curve: curve(&[(97.0, 1.4), (95.0, 1.8)]),
+            baseline_time_s: 0.02,
+            baseline_qos: 99.0,
+            pattern: TrafficPattern::Steady { rate_rps: 6.0 },
+            arrival_seed: 1,
+            guard: GuardParams {
+                qos_floor: 90.0,
+                canary_fraction: 0.4,
+                ..GuardParams::default()
+            },
+        },
+        TenantSpec {
+            name: "liar".to_string(),
+            curve: liar_curve,
+            baseline_time_s: 0.02,
+            baseline_qos: 99.0,
+            pattern: TrafficPattern::Steady { rate_rps: 6.0 },
+            arrival_seed: 2,
+            guard: GuardParams {
+                qos_floor: 90.0,
+                canary_fraction: 0.4,
+                ..GuardParams::default()
+            },
+        },
+        TenantSpec {
+            name: "honest-b".to_string(),
+            curve: curve(&[(96.0, 1.5)]),
+            baseline_time_s: 0.03,
+            baseline_qos: 98.0,
+            pattern: TrafficPattern::Steady { rate_rps: 4.0 },
+            arrival_seed: 3,
+            guard: GuardParams {
+                qos_floor: 88.0,
+                canary_fraction: 0.4,
+                ..GuardParams::default()
+            },
+        },
+    ];
+    // The liar's true QoS sits far below every promise (and the floor);
+    // honest tenants deliver exactly what their curves promise.
+    let liar_exec = MiscalibratedExecutor {
+        honest_qos: vec![70.0, 65.0],
+        jitter: 0.2,
+        seed: 0xBAD,
+    };
+    let honest_a = MiscalibratedExecutor {
+        honest_qos: vec![97.0, 95.0],
+        jitter: 0.2,
+        seed: 0xAAA,
+    };
+    let honest_b = MiscalibratedExecutor {
+        honest_qos: vec![96.0],
+        jitter: 0.2,
+        seed: 0xBBB,
+    };
+    let execs: Vec<&dyn RequestExecutor> = vec![&honest_a, &liar_exec, &honest_b];
+    // Light, sustained load — pressure must stay high enough that the
+    // ladder actually selects approximate rungs, so canaries sample them.
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 2,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.25,
+                dead_band: 0.0,
+                // Tight drain budget: even backlog 1 demands ~1.6× speedup,
+                // so the ladder serves approximate rungs and canaries
+                // sample the lie.
+                drain_fraction: 0.05,
+                ..ServeParams::default()
+            },
+            horizon_s: 120.0,
+            steal: true,
+            route_seed: 0xF1EE7,
+        },
+    );
+    let liar = &r.tenants[1];
+    assert!(
+        liar.quarantined_points > 0,
+        "the lying curve must be convicted: {liar:?}"
+    );
+    assert!(
+        liar.exact_fallback_replicas > 0,
+        "an all-lying curve must exhaust to exact fallback somewhere: {liar:?}"
+    );
+    assert!(liar.canary_misses > 0);
+    for t in [&r.tenants[0], &r.tenants[2]] {
+        assert_eq!(
+            t.quarantined_points, 0,
+            "honest tenant {} must not inherit quarantines",
+            t.name
+        );
+        assert_eq!(t.exact_fallback_replicas, 0, "tenant {}", t.name);
+        assert_eq!(
+            t.observed_floor_breaches, 0,
+            "honest tenant {} must never breach its floor",
+            t.name
+        );
+        assert_eq!(t.planned_floor_breaches, 0, "tenant {}", t.name);
+        assert_eq!(
+            t.shed_queue_full + t.shed_deadline + t.shed_breaker,
+            0,
+            "the liar's conviction must not inflate {}'s shed rate",
+            t.name
+        );
+        assert_eq!(
+            t.served_on_time, t.arrivals,
+            "honest tenant {} stays fully on-time",
+            t.name
+        );
+    }
+    // Isolation is per (replica, tenant): the liar's own traffic keeps
+    // flowing, on the exact configuration.
+    assert!(liar.admitted > 0);
+    assert_eq!(liar.served_on_time + liar.served_late, liar.admitted);
+}

@@ -114,6 +114,16 @@ impl BenchmarkId {
         }
     }
 
+    /// Nominal exact-configuration service time of one inference request,
+    /// seconds, on the reference (undisturbed, full-frequency) device.
+    /// A fixed per-request overhead plus a per-layer cost, anchored to the
+    /// paper's layer counts (Table 1) — the fleet simulator's per-tenant
+    /// cost model, deliberately simple so fleet runs stay a pure function
+    /// of zoo metadata.
+    pub fn nominal_service_time_s(self) -> f64 {
+        0.004 + 0.0015 * self.paper_layers() as f64
+    }
+
     /// The paper's reported auto-tuning search-space size (Table 1).
     pub fn paper_search_space(self) -> f64 {
         match self {

@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `serve_fleet` load test, so
+//! `cargo run --release --bin serve_fleet` works without `-p at-bench`;
+//! see `at_bench::serve_fleet` for the experiment body.
+
+fn main() {
+    at_bench::serve_fleet::run();
+}
