@@ -1,0 +1,6 @@
+//! Kernel micro-benchmark binary: times the tiled/SIMD GEMM and im2col
+//! conv kernels per knob family and writes `BENCH_kernels.json`.
+
+fn main() {
+    at_bench::bench_kernels::run();
+}

@@ -6,6 +6,7 @@
 //! construction, with on-disk profile caching) lives in [`harness`];
 //! result formatting in [`report`].
 
+pub mod bench_kernels;
 pub mod harness;
 pub mod qos_guard;
 pub mod report;

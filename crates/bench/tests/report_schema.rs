@@ -93,3 +93,21 @@ fn fresh_serve_fleet_artifact_conforms() {
         "a versioned artifact must not get double-wrapped"
     );
 }
+
+/// Same writer-side guarantee for the kernel micro-benchmark: a freshly
+/// built (tiny) artifact validates and carries the headline speedup fields.
+#[test]
+fn fresh_bench_kernels_artifact_conforms() {
+    let artifact = at_bench::bench_kernels::build_artifact(16, 1);
+    let tree = envelope(at_bench::bench_kernels::artifact_value(&artifact));
+    validate_artifact(&tree).expect("fresh bench_kernels artifact must conform");
+    let pairs = tree.as_object().unwrap();
+    assert!(pairs.iter().any(
+        |(k, v)| k == "schema_version" && v.as_f64() == Some(f64::from(RESULTS_SCHEMA_VERSION))
+    ));
+    assert!(pairs.iter().any(|(k, _)| k == "headline_matmul_speedup"));
+    assert!(
+        !pairs.iter().any(|(k, _)| k == "data"),
+        "a versioned artifact must not get double-wrapped"
+    );
+}

@@ -230,8 +230,9 @@ mod tests {
         let g = graph();
         let r = KnobRegistry::new();
         let pairs = single_op_configs(&g, &r, KnobSet::HardwareIndependent);
-        // conv:55 + relu:1 + avgpool:7 + flatten:1 + dense:1 + softmax:1 = 66.
-        assert_eq!(pairs.len(), 55 + 1 + 7 + 1 + 1 + 1);
+        // conv:58 + relu:1 + avgpool:7 + flatten:1 + dense:4 + softmax:1 = 72
+        // (58 = 66 conv knobs − 7 PROMISE − baseline; dense = fp16 + 3 lutmul).
+        assert_eq!(pairs.len(), 58 + 1 + 7 + 1 + 4 + 1);
         assert!(pairs.iter().all(|&(_, k)| k != KnobId::BASELINE));
     }
 

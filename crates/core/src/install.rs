@@ -59,6 +59,83 @@ pub fn device_perf(
     }
 }
 
+/// Empirical wall-clock time of one program invocation under a
+/// configuration on the host CPU: the median over `reps` runs of the summed
+/// per-node kernel times from [`at_ir::exec::execute_with_trace`]. This is
+/// the empirical counterpart of the analytical device models — on a CPU
+/// target the install-time tuner can replace predicted performance with
+/// real measured kernel time (the fast tiled/SIMD kernels make the
+/// approximate configs genuinely faster, not just modelled faster).
+pub fn measured_cpu_time_s(
+    graph: &Graph,
+    registry: &KnobRegistry,
+    config: &Config,
+    input: &Tensor,
+    reps: usize,
+    promise_seed: u64,
+) -> Result<f64, TensorError> {
+    let opts = at_ir::ExecOptions {
+        config: config.decode(registry, graph),
+        promise_seed,
+    };
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let (_, times) = at_ir::exec::execute_with_trace(graph, input, &opts)?;
+        samples.push(times.iter().sum::<f64>());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("kernel times are finite"));
+    Ok(samples[samples.len() / 2])
+}
+
+/// Install-time refinement against the *host CPU itself* as the target
+/// device: each shipped configuration keeps its re-measured QoS, and its
+/// performance axis becomes the measured wall-clock speedup over the
+/// measured FP32 baseline (median of `reps` runs each).
+#[allow(clippy::too_many_arguments)]
+pub fn refine_measured_cpu(
+    graph: &Graph,
+    registry: &KnobRegistry,
+    shipped: &TradeoffCurve,
+    inputs: &[Tensor],
+    metric: QosMetric,
+    reference: &QosReference,
+    qos_min: f64,
+    reps: usize,
+    promise_seed: u64,
+) -> Result<TradeoffCurve, TensorError> {
+    assert!(!inputs.is_empty(), "need at least one calibration input");
+    let base = measured_cpu_time_s(
+        graph,
+        registry,
+        &Config::baseline(graph),
+        &inputs[0],
+        reps,
+        promise_seed,
+    )?;
+    let mut measured = Vec::new();
+    for p in shipped.points() {
+        let real_qos = measure_config(
+            graph,
+            registry,
+            &p.config,
+            inputs,
+            metric,
+            reference,
+            promise_seed,
+        )?;
+        if real_qos > qos_min {
+            let t =
+                measured_cpu_time_s(graph, registry, &p.config, &inputs[0], reps, promise_seed)?;
+            measured.push(TradeoffPoint {
+                qos: real_qos,
+                perf: if t > 0.0 { base / t } else { 1.0 },
+                config: p.config.clone(),
+            });
+        }
+    }
+    Ok(TradeoffCurve::from_points(measured))
+}
+
 /// Software-only install-time refinement: runs the shipped development-time
 /// curve's configurations on the device, replaces predicted performance
 /// with measured performance, re-filters by measured QoS and returns the
@@ -411,6 +488,60 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.active_devices, 4);
+    }
+
+    #[test]
+    fn measured_cpu_time_positive_and_stable() {
+        let (g, inputs, _) = setup();
+        let registry = KnobRegistry::new();
+        let base = Config::baseline(&g);
+        let t = measured_cpu_time_s(&g, &registry, &base, &inputs[0], 3, 0).unwrap();
+        assert!(t > 0.0 && t.is_finite(), "measured time {t}");
+    }
+
+    #[test]
+    fn measured_cpu_refinement_builds_pareto_curve() {
+        let (g, inputs, labels) = setup();
+        let registry = KnobRegistry::new();
+        let reference = QosReference::Labels(labels);
+        // A tiny hand-built "shipped curve": baseline plus one perforated
+        // conv config.
+        let perf_knob = registry
+            .table(at_ir::OpClass::Conv)
+            .iter()
+            .find(|k| k.label == "perf-50%-row-o0-fp32")
+            .unwrap()
+            .id;
+        let mut approx = Config::baseline(&g);
+        approx.set_knob(1, perf_knob);
+        let shipped = TradeoffCurve::from_points(vec![
+            TradeoffPoint {
+                qos: 100.0,
+                perf: 1.0,
+                config: Config::baseline(&g),
+            },
+            TradeoffPoint {
+                qos: 99.0,
+                perf: 1.5,
+                config: approx,
+            },
+        ]);
+        let refined = refine_measured_cpu(
+            &g,
+            &registry,
+            &shipped,
+            &inputs,
+            QosMetric::Accuracy,
+            &reference,
+            50.0,
+            3,
+            0,
+        )
+        .unwrap();
+        assert!(!refined.is_empty());
+        for p in refined.points() {
+            assert!(p.perf > 0.0 && p.perf.is_finite());
+        }
     }
 
     #[test]

@@ -4,17 +4,20 @@
 //! approximation method (represented using integers in ApproxTuner) … A
 //! zero value denotes no approximation."
 //!
-//! Per-op knob counts match the paper:
+//! Per-op knob counts match the paper, extended with the LUT-based
+//! approximate-multiplier family (AdaPT-style; see `at_tensor::lut`):
 //! * **convolution** — FP32 (knob 0), FP16, 9 filter-sampling × {fp32,fp16},
-//!   18 perforation × {fp32,fp16}, 7 PROMISE levels: `2 + 18 + 36 + 7 = 63`;
+//!   18 perforation × {fp32,fp16}, 7 PROMISE levels, 3 LUT-multiplier
+//!   bitwidths: `2 + 18 + 36 + 7 + 3 = 66`;
 //! * **reduction** — {exact, 3 sampling ratios} × {fp32, fp16}: `8`;
 //! * **other ops** — {fp32, fp16}: `2`;
 //! * **dense** — {fp32, fp16} at development time, plus the 7 PROMISE
-//!   levels at install time (PROMISE accelerates matrix multiplications).
+//!   levels at install time (PROMISE accelerates matrix multiplications)
+//!   and the 3 LUT-multiplier bitwidths: `12`.
 
 use at_ir::{ApproxChoice, Graph, NodeId, OpClass};
 use at_promise::VoltageLevel;
-use at_tensor::{ConvApprox, Precision, ReduceApprox};
+use at_tensor::{ConvApprox, MulApprox, Precision, ReduceApprox};
 use serde::{Deserialize, Serialize};
 
 /// Index of a knob within an op class's knob list. Knob 0 is always the
@@ -79,7 +82,7 @@ impl Default for KnobRegistry {
 impl KnobRegistry {
     /// Builds the paper's knob tables.
     pub fn new() -> KnobRegistry {
-        let mut conv = Vec::with_capacity(63);
+        let mut conv = Vec::with_capacity(66);
         // Knob 0/1: exact FP32 / FP16.
         conv.push(knob(0, ApproxChoice::BASELINE, "fp32".into(), false));
         conv.push(knob(1, ApproxChoice::FP16, "fp16".into(), false));
@@ -123,7 +126,26 @@ impl KnobRegistry {
                 true,
             ));
         }
-        debug_assert_eq!(conv.len(), 63);
+        // LUT approximate-multiplier bitwidths. The emulated multiplier has
+        // hardware-*independent* semantics (the truth table fixes its
+        // numerical effect), so these are development-time knobs; only the
+        // speed/energy benefit is hardware-specific, priced by `at-hw`.
+        for mul in MulApprox::ALL_LUT {
+            if let MulApprox::Lut { bits } = mul {
+                conv.push(knob(
+                    conv.len(),
+                    ApproxChoice::digital_mul(
+                        ConvApprox::Exact,
+                        ReduceApprox::Exact,
+                        Precision::Fp32,
+                        mul,
+                    ),
+                    format!("lutmul-{bits}b"),
+                    false,
+                ));
+            }
+        }
+        debug_assert_eq!(conv.len(), 66);
 
         let mut dense = vec![
             knob(0, ApproxChoice::BASELINE, "fp32".into(), false),
@@ -137,6 +159,22 @@ impl KnobRegistry {
                 true,
             ));
         }
+        for mul in MulApprox::ALL_LUT {
+            if let MulApprox::Lut { bits } = mul {
+                dense.push(knob(
+                    dense.len(),
+                    ApproxChoice::digital_mul(
+                        ConvApprox::Exact,
+                        ReduceApprox::Exact,
+                        Precision::Fp32,
+                        mul,
+                    ),
+                    format!("lutmul-{bits}b"),
+                    false,
+                ));
+            }
+        }
+        debug_assert_eq!(dense.len(), 12);
 
         let mut reduction = Vec::with_capacity(8);
         for prec in Precision::ALL {
@@ -270,16 +308,41 @@ mod tests {
     #[test]
     fn paper_knob_counts() {
         let r = KnobRegistry::new();
-        assert_eq!(r.table(OpClass::Conv).len(), 63);
+        assert_eq!(r.table(OpClass::Conv).len(), 66);
         assert_eq!(r.table(OpClass::Reduction).len(), 8);
         assert_eq!(r.table(OpClass::Other).len(), 2);
-        assert_eq!(r.table(OpClass::Dense).len(), 9);
-        // Development-time (hardware-independent) conv knobs: 63 - 7 = 56.
+        assert_eq!(r.table(OpClass::Dense).len(), 12);
+        // Development-time (hardware-independent) conv knobs: 66 - 7 PROMISE.
         assert_eq!(
             r.knobs(OpClass::Conv, KnobSet::HardwareIndependent).len(),
-            56
+            59
         );
-        assert_eq!(r.knobs(OpClass::Conv, KnobSet::WithHardware).len(), 63);
+        assert_eq!(r.knobs(OpClass::Conv, KnobSet::WithHardware).len(), 66);
+    }
+
+    #[test]
+    fn lutmul_knobs_registered_and_graded() {
+        let r = KnobRegistry::new();
+        for class in [OpClass::Conv, OpClass::Dense] {
+            let luts: Vec<_> = r
+                .table(class)
+                .iter()
+                .filter(|k| k.label.starts_with("lutmul-"))
+                .collect();
+            assert_eq!(luts.len(), 3, "{class:?}");
+            assert!(luts.iter().all(|k| !k.hardware_specific));
+            let bits: Vec<u8> = luts
+                .iter()
+                .map(|k| match k.choice {
+                    ApproxChoice::Digital {
+                        mul: MulApprox::Lut { bits },
+                        ..
+                    } => bits,
+                    other => panic!("lutmul knob decodes to {other:?}"),
+                })
+                .collect();
+            assert_eq!(bits, vec![8, 6, 4]);
+        }
     }
 
     #[test]
@@ -315,7 +378,7 @@ mod tests {
         let r = KnobRegistry::new();
         let labels: std::collections::HashSet<_> =
             r.table(OpClass::Conv).iter().map(|k| &k.label).collect();
-        assert_eq!(labels.len(), 63, "labels must be unique");
+        assert_eq!(labels.len(), 66, "labels must be unique");
     }
 
     #[test]

@@ -10,11 +10,11 @@
 
 use crate::config::Config;
 use crate::knobs::KnobRegistry;
-use at_hw::{PowerModel, TimingModel};
+use at_hw::{LutMulPoint, PowerModel, TimingModel};
 use at_ir::{ApproxChoice, Graph};
 use at_promise::PromiseModel;
 use at_tensor::cost::{self, OpCounts, ReductionFactors};
-use at_tensor::{Precision, Shape, TensorError};
+use at_tensor::{MulApprox, Precision, Shape, TensorError};
 
 /// Per-program performance/energy estimator.
 pub struct PerfModel<'a> {
@@ -24,27 +24,48 @@ pub struct PerfModel<'a> {
 }
 
 /// Decomposes an execution choice into (algorithmic reduction factors,
-/// precision) for the digital paths.
-fn digital_factors(choice: ApproxChoice) -> (ReductionFactors, Precision) {
+/// precision, multiplier) for the digital paths.
+fn digital_factors(choice: ApproxChoice) -> (ReductionFactors, Precision, MulApprox) {
     match choice {
         ApproxChoice::Digital {
             conv,
             reduce,
             precision,
+            mul,
         } => {
             // The op applies at most one algorithmic mechanism; take the
-            // stronger reduction of the two (the other is Exact → 1.0).
+            // stronger reduction of the set (the others are Exact → 1.0).
+            // The multiplier knob's hardware-independent effect is the
+            // narrower-operand memory saving; its compute-rate advantage is
+            // hardware-specific and applied by the device paths below.
             let fc = cost::conv_reduction_factors(conv, Precision::Fp32);
             let fr = cost::reduce_reduction_factors(reduce, Precision::Fp32);
+            let fm = cost::mul_reduction_factors(mul);
             (
                 ReductionFactors {
-                    compute: fc.compute.max(fr.compute),
-                    memory: fc.memory.max(fr.memory),
+                    compute: fc.compute.max(fr.compute).max(fm.compute),
+                    memory: fc.memory.max(fr.memory).max(fm.memory),
                 },
                 precision,
+                mul,
             )
         }
-        ApproxChoice::Promise(_) => (ReductionFactors::NONE, Precision::Fp32),
+        ApproxChoice::Promise(_) => (ReductionFactors::NONE, Precision::Fp32, MulApprox::Exact),
+    }
+}
+
+/// Folds the hardware mul-cell's compute-rate advantage into the
+/// algorithmic factors (identity for the exact multiplier).
+fn with_mul_cell(alg: ReductionFactors, mul: MulApprox) -> ReductionFactors {
+    match mul {
+        MulApprox::Exact => alg,
+        MulApprox::Lut { bits } => {
+            let speedup = LutMulPoint::for_bits(bits).map_or(1.0, |p| p.compute_speedup);
+            ReductionFactors {
+                compute: alg.compute * speedup,
+                memory: alg.memory,
+            }
+        }
     }
 }
 
@@ -78,7 +99,7 @@ impl<'a> PerfModel<'a> {
             .map(|(&c, &choice)| match choice {
                 ApproxChoice::Promise(level) => (c.memory + c.compute) / level.speedup_vs_digital(),
                 _ => {
-                    let (alg, precision) = digital_factors(choice);
+                    let (alg, precision, _) = digital_factors(choice);
                     let f = ReductionFactors {
                         compute: alg.compute,
                         memory: alg.memory
@@ -121,8 +142,8 @@ impl<'a> PerfModel<'a> {
             .map(|(&c, &choice)| match choice {
                 ApproxChoice::Promise(level) => promise.op_time(c, level),
                 _ => {
-                    let (alg, precision) = digital_factors(choice);
-                    timing.op_time(c, alg, precision)
+                    let (alg, precision, mul) = digital_factors(choice);
+                    timing.op_time(c, with_mul_cell(alg, mul), precision)
                 }
             })
             .sum()
@@ -168,8 +189,8 @@ impl<'a> PerfModel<'a> {
                     t_digital * gpu_power / promise.energy_advantage(level)
                 }
                 _ => {
-                    let (alg, precision) = digital_factors(choice);
-                    let t = timing.op_time(c, alg, precision);
+                    let (alg, precision, mul) = digital_factors(choice);
+                    let t = timing.op_time(c, with_mul_cell(alg, mul), precision);
                     // Double-rate FP16 units draw more dynamic power while
                     // active, so FP16's energy gain trails its speedup
                     // (paper: 2.14× speedup vs 1.99× energy at 1%).
@@ -177,7 +198,15 @@ impl<'a> PerfModel<'a> {
                         Precision::Fp32 => 1.0,
                         Precision::Fp16 => 1.12,
                     };
-                    t * gpu_power * premium
+                    // Approximate-multiplier cells run faster at a fraction
+                    // of the exact pipeline's power.
+                    let mul_factor = match mul {
+                        MulApprox::Exact => 1.0,
+                        MulApprox::Lut { bits } => {
+                            LutMulPoint::for_bits(bits).map_or(1.0, |p| p.power_factor())
+                        }
+                    };
+                    t * gpu_power * premium * mul_factor
                 }
             })
             .sum()
@@ -317,6 +346,32 @@ mod tests {
         let e = m.device_energy_reduction(&c, &timing, &promise, &power);
         assert!(s > 1.0 && e > 1.0);
         assert!(e < s, "energy reduction {e} should trail speedup {s}");
+    }
+
+    #[test]
+    fn lut_multiplier_knob_speeds_up_device_and_saves_energy() {
+        let (g, r) = setup();
+        let m = PerfModel::new(&g, &r, in_shape()).unwrap();
+        let timing = TimingModel::new(DeviceSpec::tx2_gpu());
+        let promise = PromiseModel::paper();
+        let power = PowerModel::tx2();
+        let lut8 = r
+            .table(at_ir::OpClass::Conv)
+            .iter()
+            .find(|k| k.label == "lutmul-8b")
+            .unwrap()
+            .id;
+        let mut c = Config::baseline(&g);
+        c.set_knob(1, lut8);
+        c.set_knob(3, lut8);
+        // Hardware-agnostic model sees the narrower-operand memory saving.
+        assert!(m.predicted_cost(&c) < m.predicted_cost(&Config::baseline(&g)));
+        let s = m.device_speedup(&c, &timing, &promise);
+        assert!(s > 1.0, "device speedup {s}");
+        // Mul cells' energy advantage exceeds their rate advantage, so —
+        // unlike FP16 — energy reduction leads speedup.
+        let e = m.device_energy_reduction(&c, &timing, &promise, &power);
+        assert!(e > s, "energy reduction {e} should lead speedup {s}");
     }
 
     #[test]

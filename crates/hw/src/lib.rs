@@ -19,6 +19,9 @@
 //!   (GPU power drops ~7×, total system power ~1.9× across the ladder).
 //! * [`rails`] — a simulated 1 kHz rail sampler and integrating energy
 //!   meter, mirroring the paper's I2C profiler.
+//! * [`mulcell`] — per-bitwidth speed/energy benefit of the LUT-emulated
+//!   approximate-multiplier cells (their numerical semantics live in
+//!   `at-tensor::lut`; only the benefit is hardware-specific).
 //! * [`disturb`] — scripted time-varying disturbances (governor steps,
 //!   thermal throttling, brownouts, load spikes, sensor dropout) against
 //!   the device model, for closed-loop runtime-adaptation experiments.
@@ -26,6 +29,7 @@
 pub mod device;
 pub mod disturb;
 pub mod dvfs;
+pub mod mulcell;
 pub mod power;
 pub mod rails;
 pub mod timing;
@@ -33,6 +37,7 @@ pub mod timing;
 pub use device::{ComputeUnitKind, DeviceSpec};
 pub use disturb::{DeviceState, Disturbance, DisturbedDevice, Scenario};
 pub use dvfs::FrequencyLadder;
+pub use mulcell::{LutMulPoint, LUT_MUL_POINTS};
 pub use power::{PowerModel, RailPower};
 pub use rails::{EnergyMeter, RailSampler};
 pub use timing::TimingModel;

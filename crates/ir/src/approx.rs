@@ -5,7 +5,7 @@
 //! decoded mechanism the executor consumes.
 
 use at_promise::VoltageLevel;
-use at_tensor::{ConvApprox, Precision, ReduceApprox};
+use at_tensor::{ConvApprox, MulApprox, Precision, ReduceApprox};
 use serde::{Deserialize, Serialize};
 
 /// Decoded approximation choice for one dataflow node.
@@ -19,6 +19,9 @@ pub enum ApproxChoice {
         reduce: ReduceApprox,
         /// Numeric precision.
         precision: Precision,
+        /// Multiplier-level approximation (GEMM-shaped ops: convolutions
+        /// and dense layers).
+        mul: MulApprox,
     },
     /// Offload to the PROMISE analog accelerator at a voltage level
     /// (convolutions and dense layers only).
@@ -31,6 +34,7 @@ impl ApproxChoice {
         conv: ConvApprox::Exact,
         reduce: ReduceApprox::Exact,
         precision: Precision::Fp32,
+        mul: MulApprox::Exact,
     };
 
     /// Exact computation in FP16.
@@ -38,14 +42,32 @@ impl ApproxChoice {
         conv: ConvApprox::Exact,
         reduce: ReduceApprox::Exact,
         precision: Precision::Fp16,
+        mul: MulApprox::Exact,
     };
 
-    /// Convenience constructor for a digital choice.
+    /// Convenience constructor for a digital choice with an exact
+    /// multiplier.
     pub fn digital(conv: ConvApprox, reduce: ReduceApprox, precision: Precision) -> ApproxChoice {
         ApproxChoice::Digital {
             conv,
             reduce,
             precision,
+            mul: MulApprox::Exact,
+        }
+    }
+
+    /// Convenience constructor selecting the multiplier as well.
+    pub fn digital_mul(
+        conv: ConvApprox,
+        reduce: ReduceApprox,
+        precision: Precision,
+        mul: MulApprox,
+    ) -> ApproxChoice {
+        ApproxChoice::Digital {
+            conv,
+            reduce,
+            precision,
+            mul,
         }
     }
 
@@ -79,10 +101,21 @@ mod tests {
         assert!(ApproxChoice::BASELINE.is_exact());
         assert!(!ApproxChoice::FP16.is_exact());
         assert!(!ApproxChoice::Promise(VoltageLevel::P7).is_exact());
+        assert!(!ApproxChoice::digital_mul(
+            ConvApprox::Exact,
+            ReduceApprox::Exact,
+            Precision::Fp32,
+            MulApprox::Lut { bits: 8 },
+        )
+        .is_exact());
     }
 
     #[test]
     fn default_is_baseline() {
         assert_eq!(ApproxChoice::default(), ApproxChoice::BASELINE);
+        assert_eq!(
+            ApproxChoice::digital(ConvApprox::Exact, ReduceApprox::Exact, Precision::Fp32),
+            ApproxChoice::BASELINE
+        );
     }
 }

@@ -16,7 +16,7 @@ use crate::shapes::infer_shapes;
 use at_promise::{promise_conv2d, promise_matmul};
 use at_tensor::cost::{self, OpCounts};
 use at_tensor::ops::{self, conv::Conv2dParams};
-use at_tensor::{Precision, ReduceApprox, Shape, Tensor};
+use at_tensor::{MulApprox, Precision, ReduceApprox, Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,16 +68,18 @@ fn eval_node<'a>(
     promise_seed: u64,
     program_input: &Tensor,
 ) -> Result<Tensor, GraphError> {
-    let (conv_approx, reduce_approx, precision) = match choice {
+    let (conv_approx, reduce_approx, precision, mul_approx) = match choice {
         ApproxChoice::Digital {
             conv,
             reduce,
             precision,
-        } => (conv, reduce, precision),
+            mul,
+        } => (conv, reduce, precision, mul),
         ApproxChoice::Promise(_) => (
             at_tensor::ConvApprox::Exact,
             ReduceApprox::Exact,
             Precision::Fp32,
+            MulApprox::Exact,
         ),
     };
     let out = match &node.op {
@@ -121,21 +123,25 @@ fn eval_node<'a>(
                         groups: *groups,
                         approx: conv_approx,
                         precision,
+                        mul: mul_approx,
                     },
                 )?
             }
         }
         OpKind::Dense { weight, bias } => {
             let w = graph.param(*weight);
-            let out = if let ApproxChoice::Promise(level) = choice {
+            if let ApproxChoice::Promise(level) = choice {
                 let mut rng = StdRng::seed_from_u64(promise_seed ^ ((node.id.0 as u64) << 17));
-                promise_matmul(arg(0)?, w, level, &mut rng)?
+                let out = promise_matmul(arg(0)?, w, level, &mut rng)?;
+                match bias {
+                    Some(b) => ops::bias_add_rows(&out, graph.param(*b), precision)?,
+                    None => out,
+                }
             } else {
-                ops::matmul(arg(0)?, w, precision)?
-            };
-            match bias {
-                Some(b) => ops::bias_add_rows(&out, graph.param(*b), precision)?,
-                None => out,
+                // Fused GEMM+bias epilogue; bit-identical to the unfused
+                // matmul → bias_add_rows pair at every precision.
+                let b = bias.map(|p| graph.param(p));
+                ops::matmul_ex(arg(0)?, w, b, precision, mul_approx)?
             }
         }
         OpKind::Relu => ops::relu(arg(0)?, precision)?,
@@ -215,6 +221,99 @@ pub fn execute(graph: &Graph, input: &Tensor, opts: &ExecOptions) -> Result<Tens
     Ok(out)
 }
 
+/// Conv→ReLU fusion plan for one execution: `plan[r] == Some(c)` means ReLU
+/// node `r` is satisfied by evaluating Conv2d node `c` with the fused
+/// conv+bias+ReLU kernel and moving the tensor into `r`'s slot.
+///
+/// Fusion is bit-invisible (the fused kernel applies `max(0.0)` in its
+/// epilogue exactly where the standalone FP32 ReLU would), so it is only
+/// planned when that holds: the ReLU's sole input is a digitally-executed
+/// Conv2d consumed by nobody else, the ReLU itself runs digitally at FP32,
+/// and the conv is not the program output.
+fn relu_fusion_plan(graph: &Graph, opts: &ExecOptions) -> Vec<Option<NodeId>> {
+    let mut consumers = vec![0usize; graph.len()];
+    for node in graph.nodes() {
+        for inp in &node.inputs {
+            consumers[inp.0 as usize] += 1;
+        }
+    }
+    let out_id = graph.output();
+    let mut plan = vec![None; graph.len()];
+    for node in graph.nodes() {
+        if !matches!(node.op, OpKind::Relu) {
+            continue;
+        }
+        let Some(&cid) = node.inputs.first() else {
+            continue;
+        };
+        if !matches!(graph.node(cid).op, OpKind::Conv2d { .. })
+            || consumers[cid.0 as usize] != 1
+            || Some(cid) == out_id
+        {
+            continue;
+        }
+        let relu_fp32 = matches!(
+            opts.choice(node.id),
+            ApproxChoice::Digital {
+                precision: Precision::Fp32,
+                ..
+            }
+        );
+        if relu_fp32 && matches!(opts.choice(cid), ApproxChoice::Digital { .. }) {
+            plan[node.id.0 as usize] = Some(cid);
+        }
+    }
+    plan
+}
+
+/// Evaluates a Conv2d node with the fused conv+bias+ReLU kernel (digital
+/// choices only; callers guarantee this via [`relu_fusion_plan`]).
+fn eval_conv_fused<'a>(
+    graph: &Graph,
+    node: &Node,
+    arg: impl Fn(usize) -> Result<&'a Tensor, GraphError>,
+    choice: ApproxChoice,
+) -> Result<Tensor, GraphError> {
+    let OpKind::Conv2d {
+        weight,
+        bias,
+        pad,
+        stride,
+        groups,
+    } = &node.op
+    else {
+        return Err(GraphError::Internal {
+            detail: format!("fused-ReLU plan points at non-conv node {}", node.id.0),
+        });
+    };
+    let ApproxChoice::Digital {
+        conv,
+        precision,
+        mul,
+        ..
+    } = choice
+    else {
+        return Err(GraphError::Internal {
+            detail: format!("fused-ReLU plan on non-digital node {}", node.id.0),
+        });
+    };
+    let w = graph.param(*weight);
+    let b = bias.map(|p| graph.param(p));
+    Ok(ops::conv2d_fused_relu(
+        arg(0)?,
+        w,
+        b,
+        Conv2dParams {
+            pad: *pad,
+            stride: *stride,
+            groups: *groups,
+            approx: conv,
+            precision,
+            mul,
+        },
+    )?)
+}
+
 /// Executes the graph and additionally returns per-node wall-clock kernel
 /// times in seconds (host measurements; used for the empirical CPU results
 /// and for tuning-time accounting).
@@ -224,20 +323,44 @@ pub fn execute_with_trace(
     opts: &ExecOptions,
 ) -> Result<(Tensor, Vec<f64>), GraphError> {
     graph.validate()?;
+    let plan = relu_fusion_plan(graph, opts);
+    let mut fused_conv = vec![false; graph.len()];
+    for cid in plan.iter().flatten() {
+        fused_conv[cid.0 as usize] = true;
+    }
     let mut outputs: Vec<Option<Tensor>> = vec![None; graph.len()];
     let mut times = vec![0.0f64; graph.len()];
     for node in graph.nodes() {
         let started = std::time::Instant::now();
-        let out = eval_node(
-            graph,
-            node,
-            |i| fetch(&outputs, node, i),
-            opts.choice(node.id),
-            opts.promise_seed,
-            input,
-        )?;
-        times[node.id.0 as usize] = started.elapsed().as_secs_f64();
-        outputs[node.id.0 as usize] = Some(out);
+        let idx = node.id.0 as usize;
+        let out = if let Some(cid) = plan[idx] {
+            // ReLU was already applied by the conv's fused epilogue: this
+            // node reduces to moving the tensor (the conv has no other
+            // consumer, so its slot can be vacated).
+            outputs[cid.0 as usize]
+                .take()
+                .ok_or_else(|| GraphError::Internal {
+                    detail: format!("fused conv {} not computed before its ReLU", cid.0),
+                })?
+        } else if fused_conv[idx] {
+            eval_conv_fused(
+                graph,
+                node,
+                |i| fetch(&outputs, node, i),
+                opts.choice(node.id),
+            )?
+        } else {
+            eval_node(
+                graph,
+                node,
+                |i| fetch(&outputs, node, i),
+                opts.choice(node.id),
+                opts.promise_seed,
+                input,
+            )?
+        };
+        times[idx] = started.elapsed().as_secs_f64();
+        outputs[idx] = Some(out);
     }
     let out_id = graph.output().ok_or(GraphError::EmptyGraph)?;
     let out = outputs[out_id.0 as usize]
@@ -401,11 +524,14 @@ pub fn choice_is_valid(graph: &Graph, id: NodeId, choice: ApproxChoice) -> bool 
     let class = graph.node(id).op.class();
     match choice {
         ApproxChoice::Promise(_) => matches!(class, OpClass::Conv | OpClass::Dense),
-        ApproxChoice::Digital { conv, reduce, .. } => {
+        ApproxChoice::Digital {
+            conv, reduce, mul, ..
+        } => {
             let conv_ok = conv == at_tensor::ConvApprox::Exact || class == OpClass::Conv;
             let reduce_ok = reduce == ReduceApprox::Exact || class == OpClass::Reduction;
+            let mul_ok = mul == MulApprox::Exact || matches!(class, OpClass::Conv | OpClass::Dense);
             let not_input = class != OpClass::Input || choice == ApproxChoice::BASELINE;
-            conv_ok && reduce_ok && not_input
+            conv_ok && reduce_ok && mul_ok && not_input
         }
     }
 }
@@ -537,6 +663,108 @@ mod tests {
             ApproxChoice::Promise(at_promise::VoltageLevel::P1)
         ));
         assert!(choice_is_valid(&g, NodeId(2), ApproxChoice::FP16));
+    }
+
+    #[test]
+    fn conv_relu_fusion_is_bit_invisible() {
+        let (g, x) = tiny_cnn();
+        // execute() fuses conv→relu; execute_all() never does. The program
+        // output must stay bitwise identical under every digital conv knob.
+        let conv_choices = [
+            ApproxChoice::BASELINE,
+            ApproxChoice::FP16,
+            ApproxChoice::digital(
+                ConvApprox::Perforation {
+                    dim: at_tensor::PerforationDim::Col,
+                    k: 2,
+                    offset: 1,
+                },
+                ReduceApprox::Exact,
+                Precision::Fp32,
+            ),
+            ApproxChoice::digital_mul(
+                ConvApprox::Exact,
+                ReduceApprox::Exact,
+                Precision::Fp32,
+                MulApprox::Lut { bits: 8 },
+            ),
+        ];
+        for choice in conv_choices {
+            let mut config = vec![ApproxChoice::BASELINE; g.len()];
+            config[1] = choice; // node 1 is the conv
+            let opts = ExecOptions {
+                config,
+                promise_seed: 0,
+            };
+            let fused = execute(&g, &x, &opts).unwrap();
+            let unfused = execute_all(&g, &x, &opts).unwrap();
+            let last = unfused.last().unwrap();
+            assert_eq!(
+                fused.data(),
+                last.data(),
+                "fusion changed bits under {choice:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_skipped_when_relu_not_fp32() {
+        let (g, x) = tiny_cnn();
+        // FP16 ReLU re-quantises its input; the fused kernel must not be
+        // used there, and the unfused path must agree with execute_all.
+        let mut config = vec![ApproxChoice::BASELINE; g.len()];
+        config[2] = ApproxChoice::FP16; // node 2 is the relu
+        let opts = ExecOptions {
+            config,
+            promise_seed: 0,
+        };
+        let out = execute(&g, &x, &opts).unwrap();
+        let all = execute_all(&g, &x, &opts).unwrap();
+        assert_eq!(out.data(), all.last().unwrap().data());
+    }
+
+    #[test]
+    fn lut_multiplier_executes_on_conv_and_dense() {
+        let (g, x) = tiny_cnn();
+        let base = execute(&g, &x, &ExecOptions::baseline()).unwrap();
+        let lut = ApproxChoice::digital_mul(
+            ConvApprox::Exact,
+            ReduceApprox::Exact,
+            Precision::Fp32,
+            MulApprox::Lut { bits: 4 },
+        );
+        for node in [1usize, 5] {
+            // conv, dense
+            let mut config = vec![ApproxChoice::BASELINE; g.len()];
+            config[node] = lut;
+            let opts = ExecOptions {
+                config,
+                promise_seed: 0,
+            };
+            let out = execute(&g, &x, &opts).unwrap();
+            assert!(
+                base.mse(&out).unwrap() > 0.0,
+                "LUT multiplier on node {node} should perturb the output"
+            );
+            // Deterministic across runs (integer accumulation).
+            let again = execute(&g, &x, &opts).unwrap();
+            assert_eq!(out.data(), again.data());
+        }
+    }
+
+    #[test]
+    fn lut_multiplier_validity_follows_op_class() {
+        let (g, _) = tiny_cnn();
+        let lut = ApproxChoice::digital_mul(
+            ConvApprox::Exact,
+            ReduceApprox::Exact,
+            Precision::Fp32,
+            MulApprox::Lut { bits: 6 },
+        );
+        assert!(choice_is_valid(&g, NodeId(1), lut)); // conv
+        assert!(choice_is_valid(&g, NodeId(5), lut)); // dense
+        assert!(!choice_is_valid(&g, NodeId(2), lut)); // relu
+        assert!(!choice_is_valid(&g, NodeId(3), lut)); // pool
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! sampling, `R_m = 4` (2× fewer bytes from FP16 × 2× fewer loads from
 //! sampling) and `R_c = 2`.
 
-use crate::knobs::{ConvApprox, Precision, ReduceApprox};
+use crate::knobs::{ConvApprox, MulApprox, Precision, ReduceApprox};
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};
 
@@ -172,6 +172,20 @@ pub fn reduce_reduction_factors(approx: ReduceApprox, precision: Precision) -> R
     ReductionFactors {
         compute: alg,
         memory: alg * prec_mem,
+    }
+}
+
+/// Hardware-independent reduction factors for a multiplier knob: narrower
+/// operands cut memory traffic by `32/bits`; the compute-*rate* advantage
+/// of the approximate multiplier cell is hardware-specific and priced by
+/// `at-hw` (like FP16's double-rate units).
+pub fn mul_reduction_factors(mul: MulApprox) -> ReductionFactors {
+    match mul {
+        MulApprox::Exact => ReductionFactors::NONE,
+        MulApprox::Lut { bits } => ReductionFactors {
+            compute: 1.0,
+            memory: 32.0 / f64::from(bits),
+        },
     }
 }
 

@@ -129,6 +129,69 @@ impl ConvApprox {
     }
 }
 
+/// Multiplier-level approximation applied to GEMM-shaped ops (convolution
+/// and dense layers).
+///
+/// `Lut { bits }` emulates a hardware approximate multiplier (Mitchell's
+/// logarithmic multiplier) over operands symmetric-quantised to signed
+/// `bits`-bit integers, served from a precomputed lookup table
+/// ([`crate::lut`]) — the AdaPT knob family. Like FP16, the *semantics* are
+/// hardware-independent (the LUT defines them exactly); the speed/energy
+/// benefit is modelled by `at-hw`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MulApprox {
+    /// Exact f32 multiplication.
+    Exact,
+    /// LUT-emulated approximate multiplier over `bits`-bit operands.
+    Lut {
+        /// Operand bitwidth (2..=8).
+        bits: u8,
+    },
+}
+
+impl MulApprox {
+    /// The registered LUT bitwidths, most to least accurate.
+    pub const ALL_LUT: [MulApprox; 3] = [
+        MulApprox::Lut { bits: 8 },
+        MulApprox::Lut { bits: 6 },
+        MulApprox::Lut { bits: 4 },
+    ];
+
+    /// Validates the bitwidth.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        match *self {
+            MulApprox::Exact => Ok(()),
+            MulApprox::Lut { bits } => {
+                if (crate::lut::MIN_BITS..=crate::lut::MAX_BITS).contains(&bits) {
+                    Ok(())
+                } else {
+                    Err(TensorError::InvalidKnob {
+                        op: "mul",
+                        detail: format!(
+                            "LUT multiplier bitwidth {bits} outside {}..={}",
+                            crate::lut::MIN_BITS,
+                            crate::lut::MAX_BITS
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    /// The operand bitwidth (`None` for exact).
+    pub fn bits(&self) -> Option<u8> {
+        match *self {
+            MulApprox::Exact => None,
+            MulApprox::Lut { bits } => Some(bits),
+        }
+    }
+
+    /// Whether this is the exact multiplier.
+    pub fn is_exact(&self) -> bool {
+        *self == MulApprox::Exact
+    }
+}
+
 /// Algorithmic approximation applied to a reduction (paper: 3 sampling
 /// ratios — 50%, 40% and 25% of the inputs are used).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -232,5 +295,18 @@ mod tests {
         {
             a.validate().unwrap();
         }
+        for m in MulApprox::ALL_LUT {
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mul_approx_bounds() {
+        assert!(MulApprox::Exact.validate().is_ok());
+        assert!(MulApprox::Lut { bits: 8 }.validate().is_ok());
+        assert!(MulApprox::Lut { bits: 1 }.validate().is_err());
+        assert!(MulApprox::Lut { bits: 9 }.validate().is_err());
+        assert_eq!(MulApprox::Lut { bits: 6 }.bits(), Some(6));
+        assert!(MulApprox::Exact.is_exact());
     }
 }

@@ -21,6 +21,10 @@
 //! * **IEEE FP16**: software binary16 quantisation of operands and results,
 //!   giving hardware-independent *semantics* for half precision (the
 //!   performance benefit is modelled by `at-hw`).
+//! * **LUT approximate multipliers** (the AdaPT knob family): GEMM-shaped
+//!   ops over operands symmetric-quantised to 4/6/8-bit integers with
+//!   products served from a precomputed Mitchell-multiplier table
+//!   ([`lut`]), accumulated exactly in `i64`.
 //!
 //! Kernels are parallelised with rayon over batch × output-channel (or rows
 //! for 2-D ops), following the data-parallel iterator idiom.
@@ -30,14 +34,16 @@
 pub mod cost;
 pub mod error;
 pub mod f16;
+pub mod instrument;
 pub mod knobs;
+pub mod lut;
 pub mod ops;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use f16::F16;
-pub use knobs::{ConvApprox, PerforationDim, Precision, ReduceApprox};
+pub use knobs::{ConvApprox, MulApprox, PerforationDim, Precision, ReduceApprox};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

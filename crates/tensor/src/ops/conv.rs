@@ -1,17 +1,16 @@
-//! 2-D convolution: exact, filter-sampled and perforated variants, each in
-//! FP32 or FP16 semantics.
+//! 2-D convolution: exact, filter-sampled, perforated and LUT-multiplied
+//! variants, each in FP32 or FP16 semantics.
 //!
-//! This is the hand-written kernel the paper describes in §6.2 (the authors
-//! could not use cuDNN for convolutions because perforation and sampling
-//! require a custom algorithm). The kernel is parallelised with rayon over
-//! `(batch, output-channel)` pairs; each task writes a disjoint `Ho×Wo`
-//! output plane, so the parallelism is data-race free by construction.
+//! Since the kernel-optimisation pass, every configuration executes through
+//! the im2col + tiled-GEMM lowering in [`super::im2col`] (the paper's §6.2
+//! cuBLAS formulation); the original direct seven-loop kernel survives as
+//! the oracle in [`super::reference`] and the differential suite pins the
+//! two bit-for-bit. This module owns the parameter struct and the public
+//! entry points.
 
 use crate::error::TensorError;
-use crate::knobs::{ConvApprox, PerforationDim, Precision};
-use crate::shape::{conv2d_out_shape, Shape};
+use crate::knobs::{ConvApprox, MulApprox, Precision};
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Configuration of a convolution call.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +26,8 @@ pub struct Conv2dParams {
     pub approx: ConvApprox,
     /// Numeric precision.
     pub precision: Precision,
+    /// Multiplier-level approximation (LUT approximate multipliers).
+    pub mul: MulApprox,
 }
 
 impl Default for Conv2dParams {
@@ -37,6 +38,7 @@ impl Default for Conv2dParams {
             groups: 1,
             approx: ConvApprox::Exact,
             precision: Precision::Fp32,
+            mul: MulApprox::Exact,
         }
     }
 }
@@ -47,212 +49,38 @@ impl Default for Conv2dParams {
 /// The `approx` mechanism selects between the exact kernel, filter sampling
 /// (skip 1-out-of-k filter elements, rescale by `k/(k-1)`) and output
 /// perforation (skip 1-out-of-k output rows/columns, interpolate from
-/// computed neighbours). `Precision::Fp16` quantises operands and the result
-/// through IEEE binary16.
+/// computed neighbours); `mul` optionally routes every product through a
+/// LUT approximate multiplier. `Precision::Fp16` quantises operands and the
+/// result through IEEE binary16.
 pub fn conv2d(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     params: Conv2dParams,
 ) -> Result<Tensor, TensorError> {
-    params.approx.validate()?;
-    let (_, c, _, _) = input.shape().as_nchw()?;
-    let (k, wc, _, _) = weight.shape().as_nchw()?;
-    let groups = params.groups.max(1);
-    if c % groups != 0 || k % groups != 0 || wc != c / groups {
-        return Err(TensorError::ShapeMismatch {
-            op: "conv2d",
-            detail: format!(
-                "groups={groups} incompatible with input channels {c}, weight [{k},{wc},..]"
-            ),
-        });
-    }
-    // Shape algebra is the same as a dense conv with C/groups input
-    // channels per filter.
-    let pseudo_input = {
-        let (n, _, h, w) = input.shape().as_nchw()?;
-        Shape::nchw(n, wc, h, w)
-    };
-    let out_shape = conv2d_out_shape(pseudo_input, weight.shape(), params.pad, params.stride)?;
-    if let Some(b) = bias {
-        if b.len() != k {
-            return Err(TensorError::ShapeMismatch {
-                op: "conv2d",
-                detail: format!("bias length {} != output channels {k}", b.len()),
-            });
-        }
-    }
-
-    // FP16 semantics: quantise operands, accumulate in f32, quantise result.
-    let (qin, qw, qb);
-    let (input, weight, bias) = match params.precision {
-        Precision::Fp32 => (input, weight, bias),
-        Precision::Fp16 => {
-            qin = input.to_f16();
-            qw = weight.to_f16();
-            qb = bias.map(|b| b.to_f16());
-            (&qin, &qw, qb.as_ref())
-        }
-    };
-
-    let mut out = compute_conv(input, weight, bias, params, out_shape)?;
-    if params.precision == Precision::Fp16 {
-        out.quantize_f16();
-    }
-    Ok(out)
+    super::im2col::conv2d_lowered(input, weight, bias, params, false)
 }
 
-fn compute_conv(
+/// [`conv2d`] with the subsequent ReLU fused into the kernel's epilogue, so
+/// the executor skips one full intermediate-tensor materialisation.
+///
+/// Bit-identical to `relu(conv2d(..))` at FP32 for every `params` setting
+/// (the epilogue applies the same `max(v, 0)` expression after the same
+/// quantisation points).
+pub fn conv2d_fused_relu(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     params: Conv2dParams,
-    out_shape: Shape,
 ) -> Result<Tensor, TensorError> {
-    let (n, c, h, w) = input.shape().as_nchw()?;
-    let (k, cpg, r, s) = weight.shape().as_nchw()?; // cpg = channels/group
-    let (_, _, ho, wo) = out_shape.as_nchw()?;
-    let (ph, pw) = params.pad;
-    let (sh, sw) = params.stride;
-    let groups = params.groups.max(1);
-    let kpg = k / groups; // output channels per group
-
-    // Filter-sampling mask: kept[(c,r,s) flattened] with compensation scale.
-    let (mask, scale) = match params.approx {
-        ConvApprox::FilterSampling { k: kk, offset } => {
-            let total = cpg * r * s;
-            let mask: Vec<bool> = (0..total).map(|i| i % kk != offset).collect();
-            // Rescale by the *actual* kept fraction so the approximation is
-            // unbiased even when the filter size is not a multiple of k
-            // (k/(k-1) is the asymptotic value the paper quotes).
-            let kept = mask.iter().filter(|&&m| m).count().max(1);
-            (Some(mask), total as f32 / kept as f32)
-        }
-        _ => (None, 1.0),
-    };
-
-    let in_data = input.data();
-    let w_data = weight.data();
-    let plane = ho * wo;
-    let mut out = vec![0.0f32; n * k * plane];
-
-    // Parallelise over (batch, output channel): each task owns one output
-    // plane.
-    out.par_chunks_mut(plane).enumerate().for_each(|(idx, op)| {
-        let b = idx / k; // batch index
-        let oc = idx % k; // output channel
-        let g = oc / kpg; // channel group
-        let ic_start = g * cpg;
-        let w_base = oc * cpg * r * s;
-        let bias_v = bias.map_or(0.0, |bt| bt.data()[oc]);
-
-        // Which output rows/cols to actually compute under perforation.
-        let skip = |coord: usize| -> bool {
-            match params.approx {
-                ConvApprox::Perforation {
-                    dim: _,
-                    k: kk,
-                    offset,
-                } => coord % kk == offset,
-                _ => false,
-            }
-        };
-        let (perf_rows, perf_cols) = match params.approx {
-            ConvApprox::Perforation { dim, .. } => {
-                (dim == PerforationDim::Row, dim == PerforationDim::Col)
-            }
-            _ => (false, false),
-        };
-
-        for oy in 0..ho {
-            if perf_rows && skip(oy) {
-                continue; // interpolated later
-            }
-            for ox in 0..wo {
-                if perf_cols && skip(ox) {
-                    continue;
-                }
-                let mut acc = 0.0f32;
-                let iy0 = (oy * sh) as isize - ph as isize;
-                let ix0 = (ox * sw) as isize - pw as isize;
-                for icw in 0..cpg {
-                    let ic = ic_start + icw;
-                    let in_base = (b * c + ic) * h * w;
-                    let wk_base = w_base + icw * r * s;
-                    for ky in 0..r {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let row_base = in_base + iy as usize * w;
-                        let wrow = wk_base + ky * s;
-                        for kx in 0..s {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            if let Some(m) = &mask {
-                                // Mask is indexed by the (c,r,s)-flattened
-                                // filter element, shared across all output
-                                // channels (paper: "prunes an equal fraction
-                                // of filter elements across all feature
-                                // maps").
-                                if !m[icw * r * s + ky * s + kx] {
-                                    continue;
-                                }
-                            }
-                            acc += in_data[row_base + ix as usize] * w_data[wrow + kx];
-                        }
-                    }
-                }
-                op[oy * wo + ox] = acc * scale + bias_v;
-            }
-        }
-
-        // Interpolation pass for perforated outputs: nearest-neighbour
-        // averaging of computed elements (Figurnov et al.).
-        if perf_rows {
-            for oy in 0..ho {
-                if !skip(oy) {
-                    continue;
-                }
-                // Nearest computed rows above and below.
-                let above = (0..oy).rev().find(|&y| !skip(y));
-                let below = (oy + 1..ho).find(|&y| !skip(y));
-                for ox in 0..wo {
-                    op[oy * wo + ox] = match (above, below) {
-                        (Some(a), Some(bl)) => 0.5 * (op[a * wo + ox] + op[bl * wo + ox]),
-                        (Some(a), None) => op[a * wo + ox],
-                        (None, Some(bl)) => op[bl * wo + ox],
-                        (None, None) => bias_v,
-                    };
-                }
-            }
-        } else if perf_cols {
-            for ox in 0..wo {
-                if !skip(ox) {
-                    continue;
-                }
-                let left = (0..ox).rev().find(|&x| !skip(x));
-                let right = (ox + 1..wo).find(|&x| !skip(x));
-                for oy in 0..ho {
-                    op[oy * wo + ox] = match (left, right) {
-                        (Some(l), Some(rr)) => 0.5 * (op[oy * wo + l] + op[oy * wo + rr]),
-                        (Some(l), None) => op[oy * wo + l],
-                        (None, Some(rr)) => op[oy * wo + rr],
-                        (None, None) => bias_v,
-                    };
-                }
-            }
-        }
-    });
-
-    Tensor::from_vec(out_shape, out)
+    super::im2col::conv2d_lowered(input, weight, bias, params, true)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::knobs::PerforationDim;
+    use crate::shape::Shape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -378,7 +206,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let input = Tensor::uniform(Shape::nchw(1, 3, 16, 16), -1.0, 1.0, &mut rng);
         let weight = Tensor::uniform(Shape::nchw(4, 3, 3, 3), -0.5, 0.5, &mut rng);
-        let exact = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
         let mse_at = |k: usize| {
             let out = conv2d(
                 &input,
@@ -407,7 +234,6 @@ mod tests {
             .unwrap();
             exact_p.mse(&out).unwrap()
         };
-        let _ = exact;
         // Skipping every 2nd row (k=2) must hurt at least as much as every
         // 4th (k=4).
         assert!(
@@ -488,11 +314,38 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, TensorError::InvalidKnob { .. }));
     }
+
+    #[test]
+    fn lut_multiplier_approximates() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 8, 8), -1.0, 1.0, &mut rng);
+        let weight = Tensor::uniform(Shape::nchw(3, 2, 3, 3), -0.5, 0.5, &mut rng);
+        let exact = conv2d(&input, &weight, None, Conv2dParams::default()).unwrap();
+        let mse_at = |bits: u8| {
+            let out = conv2d(
+                &input,
+                &weight,
+                None,
+                Conv2dParams {
+                    mul: MulApprox::Lut { bits },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            exact.mse(&out).unwrap()
+        };
+        let (m8, m4) = (mse_at(8), mse_at(4));
+        assert!(m8 > 0.0, "LUT must differ from exact");
+        assert!(m4 > m8, "4-bit must be coarser than 8-bit: {m4} vs {m8}");
+        assert!(m8 < 0.05, "8-bit LUT should stay close: {m8}");
+    }
 }
 
 #[cfg(test)]
 mod group_tests {
     use super::*;
+    use crate::knobs::PerforationDim;
+    use crate::shape::Shape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,16 +1,43 @@
-//! Matrix multiplication (dense/fully-connected layers) with FP16 support.
+//! Matrix multiplication (dense/fully-connected layers) on the tiled GEMM
+//! core, with FP16 and LUT approximate-multiplier support.
+//!
+//! [`matmul`] keeps the original naive-kernel semantics bit-for-bit (the
+//! differential suite enforces this against [`super::reference`]);
+//! [`matmul_ex`] additionally fuses the per-column bias add and selects the
+//! multiplier, so the IR executor's dense layers run in one kernel without
+//! materialising the unbiased product.
 
 use crate::error::TensorError;
-use crate::knobs::Precision;
+use crate::knobs::{MulApprox, Precision};
+use crate::lut;
+use crate::ops::gemm::{self, Epilogue};
 use crate::tensor::Tensor;
 use crate::Shape;
-use rayon::prelude::*;
 
-/// `C = A × B` for `A: [M,K]`, `B: [K,N]`, parallelised over rows of `A`.
+/// `C = A × B` for `A: [M,K]`, `B: [K,N]` on the register-blocked kernel.
 ///
 /// `Precision::Fp16` quantises both operands and the result through binary16
 /// while accumulating in f32.
 pub fn matmul(a: &Tensor, b: &Tensor, precision: Precision) -> Result<Tensor, TensorError> {
+    matmul_ex(a, b, None, precision, MulApprox::Exact)
+}
+
+/// Fused dense layer: `C = epilogue(A × B)` with optional per-column bias,
+/// FP16 semantics and a selectable multiplier.
+///
+/// Bit-compatibility contract: with `MulApprox::Exact` this equals the
+/// unfused `matmul` → [`bias_add_rows`] sequence exactly (same quantisation
+/// points, same accumulation order). With `MulApprox::Lut`, operands are
+/// symmetric-quantised per tensor and every product is served from the
+/// bitwidth's Mitchell table, accumulating in `i64`.
+pub fn matmul_ex(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    precision: Precision,
+    mul: MulApprox,
+) -> Result<Tensor, TensorError> {
+    mul.validate()?;
     let (m, ka) = a.shape().as_mat()?;
     let (kb, n) = b.shape().as_mat()?;
     if ka != kb {
@@ -18,6 +45,14 @@ pub fn matmul(a: &Tensor, b: &Tensor, precision: Precision) -> Result<Tensor, Te
             op: "matmul",
             detail: format!("inner dims {ka} vs {kb}"),
         });
+    }
+    if let Some(bt) = bias {
+        if bt.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "bias_add",
+                detail: format!("bias len {} != cols {n}", bt.len()),
+            });
+        }
     }
 
     let (qa, qb);
@@ -29,29 +64,34 @@ pub fn matmul(a: &Tensor, b: &Tensor, precision: Precision) -> Result<Tensor, Te
             (&qa, &qb)
         }
     };
+    let epi = Epilogue::Dense {
+        bias: bias.map(|t| t.data()),
+        fp16: precision == Precision::Fp16,
+    };
 
-    let ad = a.data();
-    let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(row, orow)| {
-        let arow = &ad[row * ka..(row + 1) * ka];
-        // k-outer accumulation: walks B row-by-row for cache friendliness.
-        for (k, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[k * n..(k + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+    match mul {
+        MulApprox::Exact => {
+            gemm::gemm_f32(m, ka, n, a.data(), b.data(), &mut out, &epi);
         }
-    });
-
-    let mut t = Tensor::from_vec(Shape::mat(m, n), out)?;
-    if precision == Precision::Fp16 {
-        t.quantize_f16();
+        MulApprox::Lut { bits } => {
+            let table = lut::lut_for(bits);
+            let aq = lut::quantize_symmetric(a.data(), bits);
+            let bq = lut::quantize_symmetric(b.data(), bits);
+            gemm::gemm_lut(
+                m,
+                ka,
+                n,
+                &aq.q,
+                &bq.q,
+                table,
+                aq.scale * bq.scale,
+                &mut out,
+                &epi,
+            );
+        }
     }
-    Ok(t)
+    Tensor::from_vec(Shape::mat(m, n), out)
 }
 
 /// Adds a bias row-vector `[N]` to every row of `x: [M,N]`.
@@ -131,5 +171,47 @@ mod tests {
         let b = Tensor::from_vec(Shape::vec(2), vec![10., 20.]).unwrap();
         let y = bias_add_rows(&x, &b, Precision::Fp32).unwrap();
         assert_eq!(y.data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn fused_equals_unfused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::uniform(Shape::mat(5, 37), -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(Shape::mat(37, 91), -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(Shape::vec(91), -0.5, 0.5, &mut rng);
+        for precision in Precision::ALL {
+            let unfused =
+                bias_add_rows(&matmul(&a, &b, precision).unwrap(), &bias, precision).unwrap();
+            let fused = matmul_ex(&a, &b, Some(&bias), precision, MulApprox::Exact).unwrap();
+            for (u, f) in unfused.data().iter().zip(fused.data()) {
+                assert_eq!(u.to_bits(), f.to_bits(), "{precision:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_multiplier_error_bounded_and_graded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::uniform(Shape::mat(12, 48), -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(Shape::mat(48, 20), -1.0, 1.0, &mut rng);
+        let exact = matmul(&a, &b, Precision::Fp32).unwrap();
+        let mse_at = |bits: u8| {
+            let approx = matmul_ex(&a, &b, None, Precision::Fp32, MulApprox::Lut { bits }).unwrap();
+            exact.mse(&approx).unwrap()
+        };
+        let (m8, m6, m4) = (mse_at(8), mse_at(6), mse_at(4));
+        assert!(m8 > 0.0, "LUT path must actually approximate");
+        assert!(
+            m8 < m6 && m6 < m4,
+            "error must grow as bits shrink: {m8} {m6} {m4}"
+        );
+        assert!(m4 < 1.0, "even 4-bit stays in the ballpark: {m4}");
+    }
+
+    #[test]
+    fn invalid_mul_rejected() {
+        let a = Tensor::zeros(Shape::mat(2, 2));
+        let b = Tensor::zeros(Shape::mat(2, 2));
+        assert!(matmul_ex(&a, &b, None, Precision::Fp32, MulApprox::Lut { bits: 1 }).is_err());
     }
 }

@@ -5,17 +5,19 @@
 
 pub mod activation;
 pub mod conv;
+pub mod gemm;
 pub mod im2col;
 pub mod matmul;
 pub mod norm;
 pub mod pool;
 pub mod reduce;
+pub mod reference;
 pub mod softmax;
 
 pub use activation::{clipped_relu, map_unary, relu, tanh_op, UnaryOp};
-pub use conv::conv2d;
-pub use im2col::conv2d_im2col;
-pub use matmul::{bias_add_rows, matmul};
+pub use conv::{conv2d, conv2d_fused_relu};
+pub use im2col::{conv2d_im2col, conv2d_lowered};
+pub use matmul::{bias_add_rows, matmul, matmul_ex};
 pub use norm::batchnorm2d;
 pub use pool::{avg_pool2d, max_pool2d};
 pub use reduce::{reduce, ReduceKind};
