@@ -14,8 +14,10 @@
 //!   counter in `tests/skipwork.rs`).
 //!
 //! Sizing is env-tunable so CI can smoke-run it in seconds:
-//! `AT_KERNELS_DIM` caps the largest matmul dimension (default 512),
-//! `AT_KERNELS_REPS` the repetitions per measurement (default 7, best-of).
+//! `AT_BENCH_DIM` caps the largest matmul dimension (default 512),
+//! `AT_BENCH_REPS` the repetitions per measurement (default 7, best-of);
+//! the legacy `AT_KERNELS_*` names still work as aliases (see
+//! [`crate::env`]).
 
 use crate::report;
 use at_tensor::ops::conv::Conv2dParams;
@@ -75,13 +77,6 @@ pub struct Artifact {
     pub headline_matmul_speedup: f64,
     /// exact/perforated(k=2, col) conv time on the largest conv shape.
     pub headline_perforation_speedup: f64,
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 fn tensor(shape: Shape, seed: u64) -> Tensor {
@@ -275,8 +270,8 @@ pub fn artifact_value(artifact: &Artifact) -> serde::Value {
 
 /// Runs the benchmark and writes `BENCH_kernels.json`.
 pub fn run() {
-    let max_dim = env_usize("AT_KERNELS_DIM", 512);
-    let reps = env_usize("AT_KERNELS_REPS", 7);
+    let max_dim = crate::env::usize_var("AT_BENCH_DIM", &["AT_KERNELS_DIM"], 512);
+    let reps = crate::env::usize_var("AT_BENCH_REPS", &["AT_KERNELS_REPS"], 7);
     eprintln!("[kernels] max dim {max_dim}, {reps} reps (best-of)");
     let artifact = build_artifact(max_dim, reps);
 

@@ -1,0 +1,6 @@
+//! Chaos campaign load test writing `BENCH_chaos.json`; see
+//! `at_bench::fleet_chaos` for the experiment body.
+
+fn main() {
+    at_bench::fleet_chaos::run();
+}

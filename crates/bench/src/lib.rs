@@ -7,6 +7,8 @@
 //! result formatting in [`report`].
 
 pub mod bench_kernels;
+pub mod env;
+pub mod fleet_chaos;
 pub mod harness;
 pub mod qos_guard;
 pub mod report;

@@ -19,9 +19,10 @@
 //! policy under 1-thread and 8-thread rayon pools and asserts bit-identical
 //! reports.
 //!
-//! Environment: `AT_FLEET_REQUESTS` (total arrival target, default
-//! 1,200,000), `AT_FLEET_REPLICAS` (default 8), `AT_FLEET_SEED` (default
-//! 7).
+//! Environment: `AT_BENCH_REQUESTS` (total arrival target, default
+//! 1,200,000), `AT_BENCH_REPLICAS` (default 8), `AT_BENCH_SEED` (default
+//! 7) — the legacy `AT_FLEET_*` names still work as aliases (see
+//! [`crate::env`]).
 
 use crate::report::{pct, write_bench_json, Table, RESULTS_SCHEMA_VERSION};
 use at_core::config::Config;
@@ -85,13 +86,6 @@ pub struct Artifact {
     policies: Vec<PolicyStats>,
 }
 
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 /// Synthesizes a tenant curve from zoo metadata: speedup rungs grow
 /// linearly, promised QoS drops grow with depth, both seeded by the
 /// model's layer count so every tenant's curve differs deterministically.
@@ -126,7 +120,7 @@ fn honest_qos(id: BenchmarkId) -> Vec<f64> {
 const LIAR: BenchmarkId = BenchmarkId::Vgg16Cifar10;
 const LIE_MARGIN: f64 = 2.5;
 
-fn roster(horizon_s: f64, rate_scale: f64, seed: u64) -> Vec<TenantSpec> {
+pub(crate) fn roster(horizon_s: f64, rate_scale: f64, seed: u64) -> Vec<TenantSpec> {
     let models = [
         BenchmarkId::LeNet,
         BenchmarkId::AlexNetCifar10,
@@ -188,7 +182,7 @@ fn roster(horizon_s: f64, rate_scale: f64, seed: u64) -> Vec<TenantSpec> {
         .collect()
 }
 
-fn executors() -> Vec<MiscalibratedExecutor> {
+pub(crate) fn executors() -> Vec<MiscalibratedExecutor> {
     let models = [
         BenchmarkId::LeNet,
         BenchmarkId::AlexNetCifar10,
@@ -289,6 +283,7 @@ pub fn build_artifact(requests_target: usize, replicas: usize, seed: u64) -> Art
         horizon_s,
         steal: true,
         route_seed: seed ^ 0xF1EE,
+        ..FleetParams::default()
     };
 
     let mut table = Table::new(&[
@@ -367,9 +362,10 @@ pub fn artifact_value(artifact: &Artifact) -> serde::Value {
 
 /// Entry point of the `serve_fleet` binary.
 pub fn run() {
-    let requests = env_f64("AT_FLEET_REQUESTS", 1_200_000.0).max(1.0) as usize;
-    let replicas = env_f64("AT_FLEET_REPLICAS", 8.0).max(1.0) as usize;
-    let seed = env_f64("AT_FLEET_SEED", 7.0) as u64;
+    let requests =
+        crate::env::usize_var("AT_BENCH_REQUESTS", &["AT_FLEET_REQUESTS"], 1_200_000).max(1);
+    let replicas = crate::env::usize_var("AT_BENCH_REPLICAS", &["AT_FLEET_REPLICAS"], 8).max(1);
+    let seed = crate::env::u64_var("AT_BENCH_SEED", &["AT_FLEET_SEED"], 7);
     println!(
         "serve_fleet: {replicas} replicas × 6 tenants, target {requests} requests, seed {seed}"
     );

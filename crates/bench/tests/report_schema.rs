@@ -94,6 +94,28 @@ fn fresh_serve_fleet_artifact_conforms() {
     );
 }
 
+/// Same writer-side guarantee for the chaos campaign: a freshly built
+/// (small) `fleet_chaos` artifact validates, is not double-wrapped, and
+/// carries zero unaccounted requests even at toy scale.
+#[test]
+fn fresh_fleet_chaos_artifact_conforms() {
+    let artifact = at_bench::fleet_chaos::build_artifact(2_000, 2, 7);
+    let tree = envelope(at_bench::fleet_chaos::artifact_value(&artifact));
+    validate_artifact(&tree).expect("fresh fleet_chaos artifact must conform");
+    let pairs = tree.as_object().unwrap();
+    assert!(pairs.iter().any(
+        |(k, v)| k == "schema_version" && v.as_f64() == Some(f64::from(RESULTS_SCHEMA_VERSION))
+    ));
+    assert!(pairs.iter().any(|(k, _)| k == "availability_pct"));
+    assert!(pairs
+        .iter()
+        .any(|(k, v)| k == "requests_unaccounted" && v.as_f64() == Some(0.0)));
+    assert!(
+        !pairs.iter().any(|(k, _)| k == "data"),
+        "a versioned artifact must not get double-wrapped"
+    );
+}
+
 /// Same writer-side guarantee for the kernel micro-benchmark: a freshly
 /// built (tiny) artifact validates and carries the headline speedup fields.
 #[test]

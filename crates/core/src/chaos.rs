@@ -1,0 +1,366 @@
+//! Seeded, replayable fleet chaos: scripted replica crashes with delayed
+//! restart, gray failures (silent service-time inflation), and
+//! router↔replica partitions with message loss.
+//!
+//! A [`ChaosPlan`] is a time-sorted script of [`ChaosEvent`]s that the
+//! fleet loop (`fleet::run_fleet`) merges into its discrete-event stream.
+//! Plans are either hand-scripted ([`ChaosPlan::scripted`]) or drawn from
+//! a seed ([`ChaosPlan::campaign`]) with the same stateless splitmix64
+//! discipline as `fault.rs`: every draw is a pure function of
+//! `(seed, stream, index)`, never of call order, so a campaign replays
+//! bit-identically regardless of how the simulation is threaded.
+//!
+//! Gray failures are deliberately *not* delivered as stream events: a gray
+//! replica keeps accepting and completing work, just slower. The plan
+//! instead exposes [`ChaosPlan::gray_inflation_at`], a pure function of
+//! `(replica, time)` that the fleet multiplies into raw service time, and
+//! detection is left entirely to the router's ejection logic — the
+//! simulation never tells the router a replica has gone gray.
+
+use crate::guard::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// What a chaos event does to its target replica.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ChaosKind {
+    /// The replica process dies: its in-flight request is lost, its queue
+    /// is redistributed or shed, and a warm restart from the replica's
+    /// checkpoint is scheduled `restart_after_s` later.
+    Crash {
+        /// Delay between the crash and the warm restart, in seconds.
+        restart_after_s: f64,
+    },
+    /// Gray failure: for `len_s` seconds the replica silently serves
+    /// `inflation`× slower. No event is surfaced to the router; defense is
+    /// the router's own EWMA-based ejection.
+    Gray {
+        /// Window length in seconds.
+        len_s: f64,
+        /// Service-time multiplier (≥ 1) while the window is active.
+        inflation: f64,
+    },
+    /// Router↔replica partition: for `len_s` seconds the replica is
+    /// unreachable (treated like an open breaker by routing and stealing),
+    /// and up to `lost_messages` already-queued requests are dropped on
+    /// the wire — accounted as `ShedReason::ReplicaLost`, never silently.
+    Partition {
+        /// Window length in seconds.
+        len_s: f64,
+        /// Queued requests lost when the partition opens.
+        lost_messages: usize,
+    },
+}
+
+impl ChaosKind {
+    /// Stable tie-break rank for same-instant events on the same replica.
+    fn rank(&self) -> u8 {
+        match self {
+            ChaosKind::Crash { .. } => 0,
+            ChaosKind::Gray { .. } => 1,
+            ChaosKind::Partition { .. } => 2,
+        }
+    }
+}
+
+/// One scripted chaos event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// Simulation time at which the event fires.
+    pub at_s: f64,
+    /// Target replica index. Events aimed past the fleet are ignored.
+    pub replica: usize,
+    /// What happens.
+    pub kind: ChaosKind,
+}
+
+/// A time-sorted, sanitized script of chaos events.
+///
+/// The default plan is empty: a fleet run with `ChaosPlan::default()` is
+/// bit-identical to one that predates the chaos layer.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+}
+
+/// Maps a splitmix64 draw to `[0, 1)`.
+fn unit(seed: u64, stream: u64, i: u64) -> f64 {
+    let h = splitmix64(
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i.wrapping_mul(0xD134_2543_DE82_EF95),
+    );
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Picks a replica index in `[0, n)` from a splitmix64 draw.
+fn pick(seed: u64, stream: u64, i: u64, n: usize) -> usize {
+    let h = splitmix64(
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i.wrapping_mul(0xD134_2543_DE82_EF95),
+    );
+    (h % n.max(1) as u64) as usize
+}
+
+impl ChaosPlan {
+    /// An empty plan (no chaos).
+    pub fn none() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Builds a plan from explicit events, sanitizing and time-sorting.
+    ///
+    /// Sanitization drops events with a non-finite or negative fire time,
+    /// clamps crash restart delays to finite non-negative, drops gray /
+    /// partition windows with non-positive length, and clamps gray
+    /// inflation into `[1, ∞)` (finite). Events are then sorted by
+    /// `(at_s, replica, kind)` so merge order is total.
+    pub fn scripted(events: impl IntoIterator<Item = ChaosEvent>) -> ChaosPlan {
+        let mut kept: Vec<ChaosEvent> = events
+            .into_iter()
+            .filter_map(|mut e| {
+                if !e.at_s.is_finite() || e.at_s < 0.0 {
+                    return None;
+                }
+                match &mut e.kind {
+                    ChaosKind::Crash { restart_after_s } => {
+                        if !restart_after_s.is_finite() || *restart_after_s < 0.0 {
+                            *restart_after_s = 0.0;
+                        }
+                    }
+                    ChaosKind::Gray { len_s, inflation } => {
+                        if !len_s.is_finite() || *len_s <= 0.0 {
+                            return None;
+                        }
+                        if !inflation.is_finite() || *inflation < 1.0 {
+                            *inflation = 1.0;
+                        }
+                    }
+                    ChaosKind::Partition { len_s, .. } => {
+                        if !len_s.is_finite() || *len_s <= 0.0 {
+                            return None;
+                        }
+                    }
+                }
+                Some(e)
+            })
+            .collect();
+        kept.sort_by(|a, b| {
+            a.at_s
+                .total_cmp(&b.at_s)
+                .then_with(|| a.replica.cmp(&b.replica))
+                .then_with(|| a.kind.rank().cmp(&b.kind.rank()))
+        });
+        ChaosPlan { events: kept }
+    }
+
+    /// Draws a seeded chaos campaign over a `horizon_s`-second run against
+    /// `replicas` replicas: `crashes` crash/restart pairs, `grays` gray
+    /// windows, and `partitions` partition windows, all placed inside the
+    /// middle of the horizon so recovery is observable before the run ends.
+    /// Pure in `(seed, horizon_s, replicas, counts)`.
+    pub fn campaign(
+        seed: u64,
+        horizon_s: f64,
+        replicas: usize,
+        crashes: usize,
+        grays: usize,
+        partitions: usize,
+    ) -> ChaosPlan {
+        if !horizon_s.is_finite() || horizon_s <= 0.0 || replicas == 0 {
+            return ChaosPlan::default();
+        }
+        let mut events = Vec::with_capacity(crashes + grays + partitions);
+        for i in 0..crashes {
+            let i = i as u64;
+            events.push(ChaosEvent {
+                at_s: (0.15 + 0.55 * unit(seed, 1, i)) * horizon_s,
+                replica: pick(seed, 2, i, replicas),
+                kind: ChaosKind::Crash {
+                    restart_after_s: (0.02 + 0.06 * unit(seed, 3, i)) * horizon_s,
+                },
+            });
+        }
+        for i in 0..grays {
+            let i = i as u64;
+            events.push(ChaosEvent {
+                at_s: (0.10 + 0.50 * unit(seed, 4, i)) * horizon_s,
+                replica: pick(seed, 5, i, replicas),
+                kind: ChaosKind::Gray {
+                    len_s: (0.08 + 0.12 * unit(seed, 6, i)) * horizon_s,
+                    inflation: 3.0 + 5.0 * unit(seed, 7, i),
+                },
+            });
+        }
+        for i in 0..partitions {
+            let i = i as u64;
+            events.push(ChaosEvent {
+                at_s: (0.10 + 0.55 * unit(seed, 8, i)) * horizon_s,
+                replica: pick(seed, 9, i, replicas),
+                kind: ChaosKind::Partition {
+                    len_s: (0.02 + 0.05 * unit(seed, 10, i)) * horizon_s,
+                    lost_messages: 1
+                        + (splitmix64(seed ^ 11 ^ i.wrapping_mul(0xBF58_476D_1CE4_E5B9)) % 4)
+                            as usize,
+                },
+            });
+        }
+        ChaosPlan::scripted(events)
+    }
+
+    /// True when the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The sanitized, time-sorted events.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// `(crashes, grays, partitions)` in the plan.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                ChaosKind::Crash { .. } => c.0 += 1,
+                ChaosKind::Gray { .. } => c.1 += 1,
+                ChaosKind::Partition { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The silent service-time multiplier for `replica` at time `t`:
+    /// the product of all gray windows active there, `1.0` when none are.
+    pub fn gray_inflation_at(&self, replica: usize, t: f64) -> f64 {
+        let mut factor = 1.0;
+        for e in &self.events {
+            if e.replica != replica {
+                continue;
+            }
+            if let ChaosKind::Gray { len_s, inflation } = e.kind {
+                if t >= e.at_s && t < e.at_s + len_s {
+                    factor *= inflation;
+                }
+            }
+        }
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_sorts_and_sanitizes() {
+        let plan = ChaosPlan::scripted([
+            ChaosEvent {
+                at_s: 5.0,
+                replica: 1,
+                kind: ChaosKind::Crash {
+                    restart_after_s: -2.0,
+                },
+            },
+            ChaosEvent {
+                at_s: 1.0,
+                replica: 0,
+                kind: ChaosKind::Gray {
+                    len_s: 2.0,
+                    inflation: 0.5,
+                },
+            },
+            ChaosEvent {
+                at_s: f64::NAN,
+                replica: 0,
+                kind: ChaosKind::Partition {
+                    len_s: 1.0,
+                    lost_messages: 3,
+                },
+            },
+            ChaosEvent {
+                at_s: 3.0,
+                replica: 2,
+                kind: ChaosKind::Partition {
+                    len_s: 0.0,
+                    lost_messages: 3,
+                },
+            },
+        ]);
+        // NaN fire time and zero-length partition are dropped.
+        assert_eq!(plan.events().len(), 2);
+        // Sorted by time.
+        assert_eq!(plan.events()[0].at_s, 1.0);
+        // Sub-unity inflation clamps to the identity.
+        assert_eq!(
+            plan.events()[0].kind,
+            ChaosKind::Gray {
+                len_s: 2.0,
+                inflation: 1.0
+            }
+        );
+        // Negative restart delay clamps to immediate restart.
+        assert_eq!(
+            plan.events()[1].kind,
+            ChaosKind::Crash {
+                restart_after_s: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_in_horizon() {
+        let a = ChaosPlan::campaign(42, 100.0, 8, 4, 2, 2);
+        let b = ChaosPlan::campaign(42, 100.0, 8, 4, 2, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.counts(), (4, 2, 2));
+        for e in a.events() {
+            assert!(e.at_s >= 0.0 && e.at_s <= 100.0);
+            assert!(e.replica < 8);
+        }
+        let c = ChaosPlan::campaign(43, 100.0, 8, 4, 2, 2);
+        assert_ne!(a, c, "different seeds must draw different campaigns");
+    }
+
+    #[test]
+    fn campaign_degenerate_inputs_are_empty() {
+        assert!(ChaosPlan::campaign(1, f64::NAN, 8, 4, 2, 2).is_empty());
+        assert!(ChaosPlan::campaign(1, -5.0, 8, 4, 2, 2).is_empty());
+        assert!(ChaosPlan::campaign(1, 100.0, 0, 4, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn gray_inflation_composes_and_defaults_to_identity() {
+        let plan = ChaosPlan::scripted([
+            ChaosEvent {
+                at_s: 10.0,
+                replica: 3,
+                kind: ChaosKind::Gray {
+                    len_s: 5.0,
+                    inflation: 4.0,
+                },
+            },
+            ChaosEvent {
+                at_s: 12.0,
+                replica: 3,
+                kind: ChaosKind::Gray {
+                    len_s: 5.0,
+                    inflation: 2.0,
+                },
+            },
+        ]);
+        assert_eq!(plan.gray_inflation_at(3, 9.9), 1.0);
+        assert_eq!(plan.gray_inflation_at(3, 10.0), 4.0);
+        assert_eq!(plan.gray_inflation_at(3, 13.0), 8.0);
+        assert_eq!(plan.gray_inflation_at(3, 15.5), 2.0);
+        assert_eq!(plan.gray_inflation_at(2, 13.0), 1.0);
+        assert_eq!(ChaosPlan::none().gray_inflation_at(0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let plan = ChaosPlan::campaign(7, 60.0, 4, 2, 1, 1);
+        let json = serde_json::to_string(&serde_json::to_value(&plan))
+            .unwrap_or_else(|e| panic!("serialize: {e:?}"));
+        let back: ChaosPlan =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("deserialize: {e:?}"));
+        assert_eq!(plan, back);
+    }
+}

@@ -20,12 +20,18 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use crate::evaluate::{BatchTelemetry, CacheSnapshot};
-use crate::pareto::TradeoffPoint;
+use crate::guard::QosGuard;
+use crate::pareto::{TradeoffCurve, TradeoffPoint};
 use crate::search::TunerState;
+use crate::serve::BreakerState;
 use crate::supervise::SupervisionSnapshot;
 
 /// Current checkpoint schema version; bumped on any layout change.
 pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Current per-replica checkpoint schema version (independent of the
+/// search-checkpoint schema — the two evolve separately).
+pub const REPLICA_CHECKPOINT_VERSION: u32 = 1;
 
 /// When and where the batch driver writes checkpoints.
 #[derive(Clone, Debug)]
@@ -132,10 +138,7 @@ impl SearchCheckpoint {
     /// rename over `path`, so a crash mid-write never corrupts an existing
     /// good checkpoint.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let json = self.to_json();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &json).map_err(|e| CheckpointError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+        atomic_write(path, &self.to_json())
     }
 
     /// Loads and validates a checkpoint from disk.
@@ -169,6 +172,106 @@ impl SearchCheckpoint {
 #[derive(Deserialize)]
 struct VersionProbe {
     version: u32,
+}
+
+/// Atomic file write shared by every checkpoint writer: serialise to
+/// `<path>.tmp`, then rename over `path`, so a crash mid-write never leaves
+/// a truncated file where a good checkpoint used to be.
+fn atomic_write(path: &Path, json: &str) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-replica fleet checkpoints
+// ---------------------------------------------------------------------------
+
+/// Per-tenant slice of a replica checkpoint: the tenant's shipped curve,
+/// the tuner's quarantine mask over it, and the full guard state. Restoring
+/// the guard is what keeps convictions across a crash — a restored
+/// `Quarantined` point is never re-canaried back through Suspect.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TenantCheckpoint {
+    /// The tenant's shipped tradeoff curve as the tuner held it.
+    pub curve: TradeoffCurve,
+    /// Per-point quarantine mask (`quarantined[i]` ⇔ point `i` masked).
+    pub quarantined: Vec<bool>,
+    /// The tenant's QoS guard, convictions and canary cursors included.
+    pub guard: QosGuard,
+}
+
+/// Everything a crashed fleet replica needs for a warm restart: breaker
+/// state, degradation-ladder position, and per-tenant tuner + guard state.
+/// Written with the same atomic temp-file-then-rename discipline as
+/// [`SearchCheckpoint`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicaCheckpoint {
+    /// Schema version ([`REPLICA_CHECKPOINT_VERSION`] at write time).
+    pub version: u32,
+    /// Replica index within its fleet.
+    pub replica: usize,
+    /// Simulation time at which the replica crashed.
+    pub crashed_at_s: f64,
+    /// The degradation-ladder requirement last applied (dead-band anchor).
+    pub applied_required: f64,
+    /// The replica's service-time slowdown EWMA.
+    pub slow_ewma: f64,
+    /// Circuit-breaker state at crash time.
+    pub breaker: BreakerState,
+    /// Consecutive-failure counter feeding the breaker.
+    pub consecutive_failures: usize,
+    /// When an open breaker's cooldown elapses.
+    pub open_until: f64,
+    /// Per-tenant tuner + guard state, indexed like the fleet's tenants.
+    pub tenants: Vec<TenantCheckpoint>,
+}
+
+impl ReplicaCheckpoint {
+    /// Serialises the checkpoint to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("replica checkpoint contains only finite floats")
+    }
+
+    /// Parses and validates a replica checkpoint from JSON.
+    pub fn from_json(s: &str) -> Result<ReplicaCheckpoint, CheckpointError> {
+        if let Ok(v) = serde_json::from_str::<VersionProbe>(s) {
+            if v.version != REPLICA_CHECKPOINT_VERSION {
+                return Err(CheckpointError::VersionMismatch { found: v.version });
+            }
+        }
+        let cp: ReplicaCheckpoint =
+            serde_json::from_str(s).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if cp.version != REPLICA_CHECKPOINT_VERSION {
+            return Err(CheckpointError::VersionMismatch { found: cp.version });
+        }
+        if !cp.crashed_at_s.is_finite() || !cp.applied_required.is_finite() {
+            return Err(CheckpointError::Malformed(
+                "non-finite replica checkpoint timing".into(),
+            ));
+        }
+        for (t, tc) in cp.tenants.iter().enumerate() {
+            if tc.quarantined.len() != tc.curve.len() {
+                return Err(CheckpointError::Malformed(format!(
+                    "tenant {t}: quarantine mask length {} vs curve length {}",
+                    tc.quarantined.len(),
+                    tc.curve.len()
+                )));
+            }
+        }
+        Ok(cp)
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        atomic_write(path, &self.to_json())
+    }
+
+    /// Loads and validates a replica checkpoint from disk.
+    pub fn load(path: &Path) -> Result<ReplicaCheckpoint, CheckpointError> {
+        let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        ReplicaCheckpoint::from_json(&json)
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +409,73 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = SearchCheckpoint::load(Path::new("/nonexistent/at/cp.json")).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    fn replica_sample() -> ReplicaCheckpoint {
+        use crate::guard::GuardParams;
+        let curve = TradeoffCurve::from_points(vec![
+            TradeoffPoint {
+                qos: 90.0,
+                perf: 1.0,
+                config: Config::from_knobs(vec![KnobId(0)]),
+            },
+            TradeoffPoint {
+                qos: 85.0,
+                perf: 2.0,
+                config: Config::from_knobs(vec![KnobId(1)]),
+            },
+        ]);
+        let guard = QosGuard::new(&GuardParams::default(), &curve);
+        ReplicaCheckpoint {
+            version: REPLICA_CHECKPOINT_VERSION,
+            replica: 3,
+            crashed_at_s: 12.5,
+            applied_required: 1.25,
+            slow_ewma: 1.125,
+            breaker: BreakerState::HalfOpen,
+            consecutive_failures: 2,
+            open_until: 13.0,
+            tenants: vec![TenantCheckpoint {
+                quarantined: vec![false; curve.len()],
+                curve,
+                guard,
+            }],
+        }
+    }
+
+    #[test]
+    fn replica_checkpoint_disk_roundtrip_is_exact_and_atomic() {
+        let dir = std::env::temp_dir().join("at_replica_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replica3.json");
+        let cp = replica_sample();
+        cp.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        // No PartialEq on QosGuard: exactness is compared via canonical JSON.
+        let back = ReplicaCheckpoint::load(&path).unwrap();
+        assert_eq!(back.to_json(), cp.to_json());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replica_checkpoint_version_mismatch_is_typed() {
+        let mut cp = replica_sample();
+        cp.version = REPLICA_CHECKPOINT_VERSION + 7;
+        let err = ReplicaCheckpoint::from_json(&cp.to_json()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::VersionMismatch {
+                found: REPLICA_CHECKPOINT_VERSION + 7
+            }
+        );
+    }
+
+    #[test]
+    fn replica_checkpoint_rejects_mask_length_drift() {
+        let mut cp = replica_sample();
+        cp.tenants[0].quarantined.push(true);
+        let err = ReplicaCheckpoint::from_json(&cp.to_json()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed(_)), "{err}");
     }
 
     #[test]

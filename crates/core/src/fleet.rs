@@ -30,10 +30,23 @@
 //! testable — and what lets the `serve_fleet` bench bin push millions of
 //! simulated requests per run and publish the harness's own sustained
 //! simulated-requests/sec in `BENCH_serve.json`.
+//!
+//! On top of load the fleet also survives *failure*: a seeded
+//! [`ChaosPlan`] merges replica crashes (with warm restart from a
+//! [`ReplicaCheckpoint`]), silent gray failures (service-time inflation
+//! the router must detect itself via per-replica EWMA ejection —
+//! [`EjectionParams`]), and router↔replica partitions (treated like an
+//! open breaker, with bounded message loss) into the same time-ordered
+//! event stream. The accounting invariant is absolute: every arrival ends
+//! up served, faulted, stalled, or shed with a typed
+//! [`crate::serve::ShedReason`] — `requests_unaccounted` in the report is
+//! arithmetic, not an estimate, and must be zero.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+use crate::chaos::{ChaosKind, ChaosPlan};
+use crate::checkpoint::{ReplicaCheckpoint, TenantCheckpoint, REPLICA_CHECKPOINT_VERSION};
 use crate::guard::{fails_floor, splitmix64, GuardParams, GuardVerdict, QosGuard};
 use crate::pareto::TradeoffCurve;
 use crate::runtime::{Policy, RuntimeTuner};
@@ -120,6 +133,11 @@ pub struct FleetParams {
     pub steal: bool,
     /// Seed of the power-of-two sampling hash.
     pub route_seed: u64,
+    /// Scripted failure injection (empty by default: a chaos-free run is
+    /// bit-identical to one that predates the chaos layer).
+    pub chaos: ChaosPlan,
+    /// Gray-failure ejection knobs for the router.
+    pub ejection: EjectionParams,
 }
 
 impl Default for FleetParams {
@@ -131,6 +149,53 @@ impl Default for FleetParams {
             horizon_s: 60.0,
             steal: true,
             route_seed: 0xF1EE7,
+            chaos: ChaosPlan::default(),
+            ejection: EjectionParams::default(),
+        }
+    }
+}
+
+/// Gray-failure defense knobs: how the router spots a slow-but-alive
+/// replica and when it lets it back in.
+///
+/// The router keeps a per-replica EWMA of the *observed slowdown* of each
+/// completion (service time × configured speedup ÷ tenant baseline — the
+/// same normalised unit as the ladder's `slow_ewma`). A replica whose EWMA
+/// exceeds `eject_ratio` × the median EWMA of its healthy peers is ejected
+/// from routing candidacy; after `probe_after_s` it is re-probed with a
+/// bounded number of requests and readmitted only when the probes come
+/// back fast. Detection is *relative*, so a fleet-wide disturbance (every
+/// replica slowed by the same brownout) never ejects anyone.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EjectionParams {
+    /// Master switch; off = the router never ejects.
+    pub enabled: bool,
+    /// EWMA smoothing factor in `(0, 1]` (weight of the newest sample).
+    pub alpha: f64,
+    /// Completions a replica must serve (since start or restart) before it
+    /// can be ejected — protects cold replicas from noisy first samples.
+    pub min_samples: usize,
+    /// Ejection threshold: EWMA > `eject_ratio` × healthy-peer median.
+    pub eject_ratio: f64,
+    /// Seconds an ejected replica sits out before probing begins.
+    pub probe_after_s: f64,
+    /// Probe requests admitted per probation round.
+    pub probe_budget: usize,
+    /// A probe succeeds when its slowdown sample is ≤ `readmit_ratio` ×
+    /// the healthy-peer median.
+    pub readmit_ratio: f64,
+}
+
+impl Default for EjectionParams {
+    fn default() -> EjectionParams {
+        EjectionParams {
+            enabled: true,
+            alpha: 0.2,
+            min_samples: 32,
+            eject_ratio: 2.5,
+            probe_after_s: 1.0,
+            probe_budget: 3,
+            readmit_ratio: 1.5,
         }
     }
 }
@@ -165,6 +230,17 @@ pub struct ReplicaView {
     /// Current degradation rung depth (0 = exact baseline) — the
     /// QoS-awareness input of power-of-two-choices.
     pub degradation: usize,
+    /// Whether the router cannot (or will not) reach the replica: crashed,
+    /// partitioned away, or ejected as a gray failure. Treated exactly
+    /// like an open breaker by every policy.
+    pub unreachable: bool,
+}
+
+impl ReplicaView {
+    /// Whether a policy may select this replica.
+    fn available(&self) -> bool {
+        !self.breaker_open && !self.unreachable
+    }
 }
 
 /// One routing decision: the chosen replica plus the replicas the policy
@@ -181,8 +257,9 @@ pub struct RouteDecision {
 /// Routes one arrival. A pure function of `(policy, views, cursor, key)`:
 /// `cursor` is the round-robin position (advanced in place), `key` the
 /// per-arrival hash input of power-of-two sampling. No policy ever selects
-/// a replica with an open breaker while a closed one exists; with every
-/// breaker open the decision is `chosen: None`.
+/// a replica with an open breaker — or an unreachable one (crashed,
+/// partitioned, gray-ejected) — while an available replica exists; with
+/// none available the decision is `chosen: None`.
 pub fn route(
     policy: RouterPolicy,
     views: &[ReplicaView],
@@ -192,7 +269,7 @@ pub fn route(
     let closed: Vec<usize> = views
         .iter()
         .enumerate()
-        .filter(|(_, v)| !v.breaker_open)
+        .filter(|(_, v)| v.available())
         .map(|(i, _)| i)
         .collect();
     if closed.is_empty() {
@@ -206,7 +283,7 @@ pub fn route(
             let n = views.len();
             for off in 0..n {
                 let i = (*cursor + off) % n;
-                if !views[i].breaker_open {
+                if views[i].available() {
                     *cursor = (i + 1) % n;
                     return RouteDecision {
                         chosen: Some(i),
@@ -309,6 +386,57 @@ pub enum FleetEventKind {
         /// The exhausted tenant.
         tenant: usize,
     },
+    /// A replica crashed: its in-flight request was killed, its queue
+    /// migrated to healthy peers or shed, and a warm restart scheduled.
+    ReplicaCrashed {
+        /// The crashed replica.
+        replica: usize,
+        /// In-flight requests killed (0 or 1).
+        killed: usize,
+        /// Queued requests migrated to healthy replicas.
+        migrated: usize,
+        /// Queued requests shed as `ReplicaLost`.
+        shed: usize,
+    },
+    /// A crashed replica warm-restarted from its checkpoint.
+    ReplicaRestarted {
+        /// The restarted replica.
+        replica: usize,
+        /// Quarantine convictions inherited from the checkpoint (summed
+        /// over tenants) — the points it does *not* have to re-learn.
+        inherited_quarantined: usize,
+    },
+    /// The router lost contact with a replica; queued requests on the far
+    /// side of the partition may be lost.
+    Partitioned {
+        /// The unreachable replica.
+        replica: usize,
+        /// Queued requests lost on the wire, shed as `ReplicaLost`.
+        lost: usize,
+    },
+    /// A partition healed; the replica is reachable again.
+    PartitionHealed {
+        /// The rejoined replica.
+        replica: usize,
+    },
+    /// The router ejected a slow-but-alive replica from routing candidacy.
+    GrayEjected {
+        /// The ejected replica.
+        replica: usize,
+        /// Its slowdown EWMA over the healthy-peer median at ejection.
+        slow_ratio: f64,
+    },
+    /// An ejected replica entered probation: a bounded number of probe
+    /// requests may be routed to it again.
+    GrayProbing {
+        /// The probing replica.
+        replica: usize,
+    },
+    /// Probation succeeded; the replica rejoined routing candidacy.
+    GrayReadmitted {
+        /// The readmitted replica.
+        replica: usize,
+    },
 }
 
 /// One typed, timestamped fleet event.
@@ -354,6 +482,26 @@ impl FleetEvent {
             FleetEventKind::ExactFallback { replica, tenant } => {
                 format!("r{replica} exact-fallback tenant={tenant}")
             }
+            FleetEventKind::ReplicaCrashed {
+                replica,
+                killed,
+                migrated,
+                shed,
+            } => format!("r{replica} crashed killed={killed} migrated={migrated} shed={shed}"),
+            FleetEventKind::ReplicaRestarted {
+                replica,
+                inherited_quarantined,
+            } => format!("r{replica} restarted inherited={inherited_quarantined}"),
+            FleetEventKind::Partitioned { replica, lost } => {
+                format!("r{replica} partitioned lost={lost}")
+            }
+            FleetEventKind::PartitionHealed { replica } => format!("r{replica} partition-healed"),
+            FleetEventKind::GrayEjected {
+                replica,
+                slow_ratio,
+            } => format!("r{replica} gray-ejected ratio={slow_ratio:.2}"),
+            FleetEventKind::GrayProbing { replica } => format!("r{replica} gray-probing"),
+            FleetEventKind::GrayReadmitted { replica } => format!("r{replica} gray-readmitted"),
         };
         format!("t={:.4} n={} {}", self.time_s, self.completed, body)
     }
@@ -389,6 +537,9 @@ pub struct TenantReport {
     /// Shed: every breaker open at the door, or a breaker-trip flush found
     /// no closed replica with room.
     pub shed_breaker: usize,
+    /// Shed: lost to a replica crash or partition (in-flight requests
+    /// killed by a crash, crash-flush overflow, partition message loss).
+    pub shed_replica_lost: usize,
     /// Canary observations across all replicas.
     pub canaries: usize,
     /// Canary misses (observed below promise − tolerance).
@@ -423,7 +574,8 @@ impl TenantReport {
         if self.arrivals == 0 {
             0.0
         } else {
-            (self.shed_queue_full + self.shed_deadline + self.shed_breaker) as f64
+            (self.shed_queue_full + self.shed_deadline + self.shed_breaker + self.shed_replica_lost)
+                as f64
                 / self.arrivals as f64
         }
     }
@@ -448,6 +600,12 @@ pub struct ReplicaReport {
     pub deescalations: usize,
     /// Deepest queue observed.
     pub max_queue_depth: usize,
+    /// Times this replica crashed.
+    pub crashes: usize,
+    /// Times the router gray-ejected this replica.
+    pub gray_ejections: usize,
+    /// Times this replica was partitioned away.
+    pub partitions: usize,
     /// Breaker state at end of run.
     pub final_breaker: BreakerState,
 }
@@ -479,6 +637,19 @@ pub struct FleetReport {
     pub steal_events: usize,
     /// Breaker trips across all replicas.
     pub breaker_trips: usize,
+    /// Replica crashes injected by the chaos plan.
+    pub crashes: usize,
+    /// Gray-failure ejections performed by the router.
+    pub gray_ejections: usize,
+    /// Partitions injected by the chaos plan.
+    pub partitions: usize,
+    /// |arrivals − (admitted + shed)| — the request-accounting invariant.
+    /// Zero means every arrival is accounted: served, faulted, stalled, or
+    /// shed with a typed reason. Anything else is a bug.
+    pub requests_unaccounted: usize,
+    /// Mean time from a crash to the restarted replica's first completed
+    /// request, seconds (0 when no crash recovered within the horizon).
+    pub mean_recovery_s: f64,
     /// Mean latency of served requests, seconds.
     pub mean_latency_s: f64,
     /// 99th-percentile latency of served requests, seconds.
@@ -548,6 +719,21 @@ struct InFlight {
     canary: Option<f64>,
     /// Per-(replica, tenant) execution index the request ran as.
     tk: usize,
+    /// Normalised slowdown of this execution (service × speedup ÷
+    /// baseline) — the router's gray-detection sample.
+    slow_sample: f64,
+}
+
+/// Router-side gray-failure state of one replica.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum EjectState {
+    /// Full routing candidate.
+    Healthy,
+    /// Removed from candidacy; sits out until probation starts.
+    Ejected { since: f64 },
+    /// Probation: up to `left` more probe requests may be admitted;
+    /// `successes` fast completions so far readmit at the probe budget.
+    Probing { left: usize, successes: usize },
 }
 
 struct Replica {
@@ -569,6 +755,23 @@ struct Replica {
     escalations: usize,
     deescalations: usize,
     max_queue_depth: usize,
+    /// Crashed and not yet restarted.
+    down: bool,
+    /// Partitioned away from the router (still executing its own queue).
+    partitioned: bool,
+    /// Router-side gray-failure state.
+    eject: EjectState,
+    /// Router-side slowdown EWMA (gray detection; separate from the
+    /// ladder's `slow_ewma`, which the replica itself owns).
+    router_ewma: f64,
+    /// Completions since start or last restart (ejection warm-up gate).
+    samples_since_up: usize,
+    /// Set at crash time; cleared (into the recovery-time series) by the
+    /// first completion after restart.
+    recovering_since: Option<f64>,
+    crashes: usize,
+    gray_ejections: usize,
+    partitions: usize,
 }
 
 impl Replica {
@@ -591,6 +794,15 @@ impl Replica {
             escalations: 0,
             deescalations: 0,
             max_queue_depth: 0,
+            down: false,
+            partitioned: false,
+            eject: EjectState::Healthy,
+            router_ewma: 1.0,
+            samples_since_up: 0,
+            recovering_since: None,
+            crashes: 0,
+            gray_ejections: 0,
+            partitions: 0,
         }
     }
 
@@ -601,6 +813,29 @@ impl Replica {
             BreakerState::HalfOpen => self.probes_admitted < probes_needed,
             BreakerState::Open => false,
         }
+    }
+
+    /// Whether the router can reach the replica at all (not crashed, not
+    /// partitioned). A reachable replica may still be gray-ejected.
+    fn reachable(&self) -> bool {
+        !self.down && !self.partitioned
+    }
+
+    /// Whether routing must treat the replica as unreachable: crashed,
+    /// partitioned, ejected, or probing with the probe budget spent.
+    fn route_unreachable(&self) -> bool {
+        !self.reachable()
+            || match self.eject {
+                EjectState::Healthy => false,
+                EjectState::Ejected { .. } => true,
+                EjectState::Probing { left, .. } => left == 0,
+            }
+    }
+
+    /// Whether the replica is a fully healthy target for migrated or
+    /// stolen work (reachable and not under gray suspicion).
+    fn healthy_target(&self) -> bool {
+        self.reachable() && self.eject == EjectState::Healthy
     }
 }
 
@@ -614,6 +849,7 @@ struct TenantAccum {
     shed_queue_full: usize,
     shed_deadline: usize,
     shed_breaker: usize,
+    shed_replica_lost: usize,
     planned_floor_breaches: usize,
     latency_sum: f64,
     qos_sum: f64,
@@ -736,6 +972,7 @@ pub fn run_fleet(
         executors: &[&dyn RequestExecutor],
         tenant_acc: &mut [TenantAccum],
         device: &DisturbedDevice,
+        chaos: &ChaosPlan,
         dead_band: f64,
         drain_budget: f64,
         stall_bound: f64,
@@ -784,14 +1021,22 @@ pub fn run_fleet(
 
             let state = device.state_at(k);
             let speedup = tuner.current_speedup();
-            let raw_svc = device.invocation_time(&state, spec.baseline_time_s.max(1e-12), speedup);
+            let mut raw_svc =
+                device.invocation_time(&state, spec.baseline_time_s.max(1e-12), speedup);
+            // Gray failure: silent service-time inflation. The branch keeps
+            // the chaos-free service time bit-identical to the pre-chaos
+            // code path.
+            let inflation = chaos.gray_inflation_at(r, now);
+            if inflation != 1.0 {
+                raw_svc *= inflation;
+            }
             let (svc, stalled) = if raw_svc > stall_bound {
                 (stall_bound, true)
             } else {
                 (raw_svc, false)
             };
-            rep.slow_ewma =
-                0.7 * rep.slow_ewma + 0.3 * (svc * speedup / spec.baseline_time_s.max(1e-12));
+            let slow_sample = svc * speedup / spec.baseline_time_s.max(1e-12);
+            rep.slow_ewma = 0.7 * rep.slow_ewma + 0.3 * slow_sample;
             let executor = executors.get(t).copied().unwrap_or(&FALLBACK_EXECUTOR);
             let fault = executor.execute(tk).is_err();
             let rung = tuner.current_index();
@@ -816,18 +1061,22 @@ pub fn run_fleet(
                 rung,
                 canary,
                 tk,
+                slow_sample,
             });
         }
     }
 
-    // Migrates (or sheds) replica `r`'s queue after its breaker tripped.
-    // Each request goes to the least-loaded closed replica with room; with
-    // stealing off, or no such replica, it is shed as a breaker casualty.
+    // Migrates (or sheds) replica `r`'s queue after its breaker tripped or
+    // it crashed. Each request goes to the least-loaded healthy replica
+    // with room; with stealing off, or no such replica, it is shed — as a
+    // breaker casualty (`lost == false`) or as `ReplicaLost` (`lost ==
+    // true`, the crash path). Either way every request is accounted.
     #[allow(clippy::too_many_arguments)]
     fn flush_queue(
         r: usize,
         now: f64,
         steal: bool,
+        lost: bool,
         queue_cap: usize,
         probes_needed: usize,
         replicas: &mut [Replica],
@@ -842,6 +1091,7 @@ pub fn run_fleet(
                 (0..replicas.len())
                     .filter(|&j| {
                         j != r
+                            && replicas[j].healthy_target()
                             && replicas[j].open_to_arrivals(probes_needed)
                             && replicas[j].queue.len() < queue_cap
                     })
@@ -858,13 +1108,77 @@ pub fn run_fleet(
                     migrated += 1;
                 }
                 None => {
-                    tenant_acc[q.tenant].shed_breaker += 1;
+                    if lost {
+                        tenant_acc[q.tenant].shed_replica_lost += 1;
+                    } else {
+                        tenant_acc[q.tenant].shed_breaker += 1;
+                    }
                     shed += 1;
                 }
             }
         }
         (migrated, shed)
     }
+
+    // Snapshots a replica's full control state for warm restart: breaker,
+    // ladder position, slowdown EWMA, and every tenant's (possibly
+    // repaired) curve, quarantine mask and guard.
+    fn snapshot_replica(
+        r: usize,
+        now: f64,
+        rep: &Replica,
+        tuners_row: &[RuntimeTuner],
+        guards_row: &[QosGuard],
+    ) -> ReplicaCheckpoint {
+        ReplicaCheckpoint {
+            version: REPLICA_CHECKPOINT_VERSION,
+            replica: r,
+            crashed_at_s: now,
+            applied_required: rep.applied_required,
+            slow_ewma: rep.slow_ewma,
+            breaker: rep.breaker,
+            consecutive_failures: rep.consecutive_failures,
+            open_until: rep.open_until,
+            tenants: tuners_row
+                .iter()
+                .zip(guards_row)
+                .map(|(tu, g)| TenantCheckpoint {
+                    quarantined: (0..tu.curve().len())
+                        .map(|ix| tu.is_quarantined(ix))
+                        .collect(),
+                    curve: tu.curve().clone(),
+                    guard: g.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    // Chaos machinery: the scripted event cursor, pending restart/heal
+    // timers, per-replica crash checkpoints, and recovery timing.
+    #[derive(Clone, Copy)]
+    enum TimerKind {
+        Restart,
+        Heal,
+    }
+    impl TimerKind {
+        fn rank(self) -> u8 {
+            match self {
+                TimerKind::Restart => 0,
+                TimerKind::Heal => 1,
+            }
+        }
+    }
+    struct FleetTimer {
+        at_s: f64,
+        replica: usize,
+        kind: TimerKind,
+    }
+    let chaos_events = params.chaos.events();
+    let mut ci = 0usize; // next chaos event index
+    let mut timers: Vec<FleetTimer> = Vec::new();
+    let mut checkpoints: Vec<Option<ReplicaCheckpoint>> = (0..n).map(|_| None).collect();
+    let mut recovery_times: Vec<f64> = Vec::new();
+    let ej = params.ejection;
 
     let mut i = 0usize; // next arrival index
     loop {
@@ -881,23 +1195,47 @@ pub fn run_fleet(
                 }
             }
         }
+        // Earliest pending timer (ties: restarts before heals, then lowest
+        // replica index — unique per (replica, kind) while pending, so the
+        // order is total).
+        let next_t: Option<usize> = (0..timers.len()).min_by(|&a, &b| {
+            timers[a]
+                .at_s
+                .total_cmp(&timers[b].at_s)
+                .then_with(|| timers[a].kind.rank().cmp(&timers[b].kind.rank()))
+                .then_with(|| timers[a].replica.cmp(&timers[b].replica))
+        });
+        let next_k = chaos_events.get(ci).map(|e| e.at_s);
         let next_a = arrivals.get(i).copied();
-        let (is_completion, now, r_done) = match (next_c, next_a) {
-            (Some((c, r)), Some((a, _))) => {
-                if c <= a {
-                    (true, c, r)
-                } else {
-                    (false, a, usize::MAX)
-                }
-            }
-            (Some((c, r)), None) => (true, c, r),
-            (None, Some((a, _))) => (false, a, usize::MAX),
-            (None, None) => break,
-        };
 
-        if is_completion {
-            // --- Completion on replica r_done ------------------------------
-            let r = r_done;
+        // Merge the four sources. Same-instant ties resolve completion →
+        // chaos → timer → arrival (strict `<` against each later source),
+        // preserving the pre-chaos `completion <= arrival` discipline.
+        let mut choice: Option<(f64, u8)> = next_c.map(|(t, _)| (t, 0u8));
+        for (t, class) in [
+            (next_k, 1u8),
+            (next_t.map(|ix| timers[ix].at_s), 2u8),
+            (next_a.map(|(a, _)| a), 3u8),
+        ]
+        .into_iter()
+        .filter_map(|(t, c)| t.map(|t| (t, c)))
+        {
+            let replace = match choice {
+                None => true,
+                Some((t0, _)) => t < t0,
+            };
+            if replace {
+                choice = Some((t, class));
+            }
+        }
+        let Some((now, class)) = choice else { break };
+
+        if class == 0 {
+            // --- Completion ------------------------------------------------
+            let r = match next_c {
+                Some((_, r)) => r,
+                None => break,
+            };
             let Some(b) = replicas[r].busy.take() else {
                 break;
             };
@@ -940,6 +1278,7 @@ pub fn run_fleet(
                                 r,
                                 now,
                                 params.steal,
+                                false,
                                 sp.queue_cap,
                                 probes_needed,
                                 &mut replicas,
@@ -970,6 +1309,7 @@ pub fn run_fleet(
                             r,
                             now,
                             params.steal,
+                            false,
                             sp.queue_cap,
                             probes_needed,
                             &mut replicas,
@@ -1037,13 +1377,95 @@ pub fn run_fleet(
                 }
             }
 
-            // Queue drained: steal the back half of the longest peer queue.
+            // Crash recovery bookkeeping: the first completion after a
+            // restart closes that crash's recovery window.
+            if let Some(t0) = replicas[r].recovering_since.take() {
+                recovery_times.push((now - t0).max(0.0));
+            }
+
+            // Router-side gray defense: fold this completion's slowdown
+            // sample into the replica's EWMA (NaN-safe), then run the
+            // ejection / probation state machine against the healthy-peer
+            // median. Detection is relative, so fleet-wide disturbances
+            // (which slow every replica together) never eject anyone.
+            if ej.enabled && n >= 2 {
+                if b.slow_sample.is_finite() {
+                    let alpha = ej.alpha.clamp(1e-6, 1.0);
+                    let next = (1.0 - alpha) * replicas[r].router_ewma + alpha * b.slow_sample;
+                    replicas[r].router_ewma = if next.is_finite() {
+                        next
+                    } else {
+                        b.slow_sample
+                    };
+                    replicas[r].samples_since_up += 1;
+                }
+                let mut peers: Vec<f64> = (0..n)
+                    .filter(|&j| j != r && replicas[j].healthy_target())
+                    .map(|j| replicas[j].router_ewma)
+                    .filter(|v| v.is_finite())
+                    .collect();
+                // Never eject the last healthy replica: with no peer to
+                // compare against there is no relative signal.
+                if !peers.is_empty() {
+                    peers.sort_by(f64::total_cmp);
+                    let median = peers[peers.len() / 2].max(1e-9);
+                    match replicas[r].eject {
+                        EjectState::Healthy => {
+                            if replicas[r].samples_since_up >= ej.min_samples.max(1)
+                                && replicas[r].router_ewma > ej.eject_ratio.max(1.0) * median
+                            {
+                                replicas[r].eject = EjectState::Ejected { since: now };
+                                replicas[r].gray_ejections += 1;
+                                log.push(
+                                    now,
+                                    completed_total,
+                                    FleetEventKind::GrayEjected {
+                                        replica: r,
+                                        slow_ratio: replicas[r].router_ewma / median,
+                                    },
+                                );
+                            }
+                        }
+                        EjectState::Probing { left, successes } => {
+                            if b.slow_sample.is_finite() {
+                                if b.slow_sample <= ej.readmit_ratio.max(1.0) * median {
+                                    let s = successes + 1;
+                                    if s >= ej.probe_budget.max(1) {
+                                        replicas[r].eject = EjectState::Healthy;
+                                        // The EWMA is contaminated by the
+                                        // gray window; restart trust fresh.
+                                        replicas[r].router_ewma = 1.0;
+                                        log.push(
+                                            now,
+                                            completed_total,
+                                            FleetEventKind::GrayReadmitted { replica: r },
+                                        );
+                                    } else {
+                                        replicas[r].eject =
+                                            EjectState::Probing { left, successes: s };
+                                    }
+                                } else {
+                                    // Failed probe: back to the bench until
+                                    // the next probation round.
+                                    replicas[r].eject = EjectState::Ejected { since: now };
+                                }
+                            }
+                        }
+                        EjectState::Ejected { .. } => {}
+                    }
+                }
+            }
+
+            // Queue drained: steal the back half of the longest reachable
+            // peer queue. Only a fully healthy replica steals (never into a
+            // gray or partitioned one), and never across a partition.
             if replicas[r].queue.is_empty()
                 && params.steal
                 && replicas[r].breaker == BreakerState::Closed
+                && replicas[r].healthy_target()
             {
                 let victim = (0..n)
-                    .filter(|&j| j != r && replicas[j].queue.len() >= 2)
+                    .filter(|&j| j != r && replicas[j].reachable() && replicas[j].queue.len() >= 2)
                     .max_by_key(|&j| (replicas[j].queue.len(), usize::MAX - j));
                 if let Some(v) = victim {
                     let vlen = replicas[v].queue.len();
@@ -1078,13 +1500,15 @@ pub fn run_fleet(
                 executors,
                 &mut tenant_acc,
                 device,
+                &params.chaos,
                 dead_band,
                 drain_budget,
                 stall_bound,
             );
             // A breaker trip may have migrated work onto idle replicas.
             for j in 0..n {
-                if replicas[j].busy.is_none() && !replicas[j].queue.is_empty() {
+                if !replicas[j].down && replicas[j].busy.is_none() && !replicas[j].queue.is_empty()
+                {
                     start_next(
                         j,
                         now,
@@ -1096,9 +1520,207 @@ pub fn run_fleet(
                         executors,
                         &mut tenant_acc,
                         device,
+                        &params.chaos,
                         dead_band,
                         drain_budget,
                         stall_bound,
+                    );
+                }
+            }
+        } else if class == 1 {
+            // --- Chaos event -----------------------------------------------
+            let ev = chaos_events[ci];
+            ci += 1;
+            let r = ev.replica;
+            if r >= n {
+                continue;
+            }
+            match ev.kind {
+                ChaosKind::Crash { restart_after_s } => {
+                    if replicas[r].down {
+                        continue;
+                    }
+                    // Checkpoint first: the warm restart resumes from the
+                    // exact pre-crash control state (breaker, ladder,
+                    // quarantine convictions).
+                    checkpoints[r] = Some(snapshot_replica(
+                        r,
+                        now,
+                        &replicas[r],
+                        &tuners[r],
+                        &guards[r],
+                    ));
+                    let killed = match replicas[r].busy.take() {
+                        Some(victim) => {
+                            tenant_acc[victim.tenant].shed_replica_lost += 1;
+                            1
+                        }
+                        None => 0,
+                    };
+                    replicas[r].down = true;
+                    replicas[r].crashes += 1;
+                    replicas[r].recovering_since = Some(now);
+                    let (migrated, shed) = flush_queue(
+                        r,
+                        now,
+                        params.steal,
+                        true,
+                        sp.queue_cap,
+                        probes_needed,
+                        &mut replicas,
+                        &mut tenant_acc,
+                    );
+                    timers.push(FleetTimer {
+                        at_s: now + restart_after_s.max(0.0),
+                        replica: r,
+                        kind: TimerKind::Restart,
+                    });
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::ReplicaCrashed {
+                            replica: r,
+                            killed,
+                            migrated,
+                            shed,
+                        },
+                    );
+                    // Migrated work may have landed on idle replicas.
+                    for j in 0..n {
+                        if !replicas[j].down
+                            && replicas[j].busy.is_none()
+                            && !replicas[j].queue.is_empty()
+                        {
+                            start_next(
+                                j,
+                                now,
+                                &mut replicas,
+                                &mut tuners,
+                                &mut guards,
+                                &mut texec,
+                                tenants,
+                                executors,
+                                &mut tenant_acc,
+                                device,
+                                &params.chaos,
+                                dead_band,
+                                drain_budget,
+                                stall_bound,
+                            );
+                        }
+                    }
+                }
+                ChaosKind::Gray { .. } => {
+                    // Silent by design: the inflation reaches service times
+                    // through `gray_inflation_at` inside start_next; the
+                    // router has to notice on its own.
+                }
+                ChaosKind::Partition {
+                    len_s,
+                    lost_messages,
+                } => {
+                    if replicas[r].down || replicas[r].partitioned {
+                        continue;
+                    }
+                    replicas[r].partitioned = true;
+                    replicas[r].partitions += 1;
+                    let mut lost = 0usize;
+                    for _ in 0..lost_messages {
+                        match replicas[r].queue.pop_back() {
+                            Some(q) => {
+                                tenant_acc[q.tenant].shed_replica_lost += 1;
+                                lost += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    timers.push(FleetTimer {
+                        at_s: now + len_s,
+                        replica: r,
+                        kind: TimerKind::Heal,
+                    });
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::Partitioned { replica: r, lost },
+                    );
+                }
+            }
+        } else if class == 2 {
+            // --- Restart / heal timer --------------------------------------
+            let Some(ix) = next_t else { break };
+            let timer = timers.swap_remove(ix);
+            let r = timer.replica;
+            match timer.kind {
+                TimerKind::Restart => {
+                    replicas[r].down = false;
+                    let mut inherited = 0usize;
+                    if let Some(cp) = checkpoints[r].take() {
+                        let applied = cp.applied_required;
+                        {
+                            let rep = &mut replicas[r];
+                            rep.breaker = cp.breaker;
+                            rep.consecutive_failures = cp.consecutive_failures;
+                            rep.open_until = cp.open_until;
+                            rep.probes_admitted = 0;
+                            rep.probe_successes = 0;
+                            rep.applied_required = cp.applied_required;
+                            rep.slow_ewma = cp.slow_ewma;
+                            rep.router_ewma = 1.0;
+                            rep.samples_since_up = 0;
+                        }
+                        for (t, tc) in cp.tenants.into_iter().enumerate() {
+                            if t >= m {
+                                break;
+                            }
+                            let TenantCheckpoint {
+                                curve,
+                                quarantined,
+                                guard,
+                            } = tc;
+                            let spec = &tenants[t];
+                            let mut tuner = RuntimeTuner::new(
+                                curve,
+                                Policy::EnforceEachInvocation,
+                                1,
+                                spec.baseline_time_s.max(1e-12),
+                                sp.seed,
+                            );
+                            // Re-apply the convictions instead of
+                            // re-learning them: the restored guard's
+                            // Quarantined trust keeps `observe` from ever
+                            // re-convicting these points.
+                            for (ix2, &q) in quarantined.iter().enumerate() {
+                                if q {
+                                    tuner.quarantine(ix2);
+                                    inherited += 1;
+                                }
+                            }
+                            tuner.adapt_to(applied);
+                            tuners[r][t] = tuner;
+                            guards[r][t] = guard;
+                        }
+                    } else {
+                        // No checkpoint (unreachable for scripted crashes):
+                        // restart cold.
+                        replicas[r].router_ewma = 1.0;
+                        replicas[r].samples_since_up = 0;
+                    }
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::ReplicaRestarted {
+                            replica: r,
+                            inherited_quarantined: inherited,
+                        },
+                    );
+                }
+                TimerKind::Heal => {
+                    replicas[r].partitioned = false;
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::PartitionHealed { replica: r },
                     );
                 }
             }
@@ -1107,8 +1729,13 @@ pub fn run_fleet(
             let Some((at, t)) = next_a else { break };
             i += 1;
 
-            // Cooldowns elapse on arrival ticks, in replica order.
+            // Cooldowns elapse on arrival ticks, in replica order; crashed
+            // replicas are frozen until their restart timer fires. Ejected
+            // replicas whose sit-out elapsed enter probation here too.
             for (r, rep) in replicas.iter_mut().enumerate() {
+                if rep.down {
+                    continue;
+                }
                 if rep.breaker == BreakerState::Open && now >= rep.open_until {
                     rep.breaker = BreakerState::HalfOpen;
                     rep.probes_admitted = 0;
@@ -1118,6 +1745,19 @@ pub fn run_fleet(
                         completed_total,
                         FleetEventKind::BreakerHalfOpen { replica: r },
                     );
+                }
+                if let EjectState::Ejected { since } = rep.eject {
+                    if ej.enabled && now >= since + ej.probe_after_s.max(0.0) {
+                        rep.eject = EjectState::Probing {
+                            left: ej.probe_budget.max(1),
+                            successes: 0,
+                        };
+                        log.push(
+                            now,
+                            completed_total,
+                            FleetEventKind::GrayProbing { replica: r },
+                        );
+                    }
                 }
             }
 
@@ -1129,6 +1769,7 @@ pub fn run_fleet(
                     busy: rep.busy.is_some(),
                     breaker_open: !rep.open_to_arrivals(probes_needed),
                     degradation: tuners[r][t].current_index().map_or(0, |ix| ix + 1),
+                    unreachable: rep.route_unreachable(),
                 })
                 .collect();
             let key =
@@ -1173,6 +1814,17 @@ pub fn run_fleet(
             if replicas[r].breaker == BreakerState::HalfOpen {
                 replicas[r].probes_admitted += 1;
             }
+            // A probing (previously gray-ejected) replica spends one probe
+            // slot per admitted request; at zero it leaves candidacy again
+            // until its probes complete.
+            if let EjectState::Probing { left, successes } = replicas[r].eject {
+                if left > 0 {
+                    replicas[r].eject = EjectState::Probing {
+                        left: left - 1,
+                        successes,
+                    };
+                }
+            }
             replicas[r].queue.push_back(req);
             replicas[r].max_queue_depth = replicas[r].max_queue_depth.max(replicas[r].queue.len());
             start_next(
@@ -1186,6 +1838,7 @@ pub fn run_fleet(
                 executors,
                 &mut tenant_acc,
                 device,
+                &params.chaos,
                 dead_band,
                 drain_budget,
                 stall_bound,
@@ -1224,6 +1877,7 @@ pub fn run_fleet(
             shed_queue_full: acc.shed_queue_full,
             shed_deadline: acc.shed_deadline,
             shed_breaker: acc.shed_breaker,
+            shed_replica_lost: acc.shed_replica_lost,
             canaries: 0,
             canary_misses: 0,
             observed_floor_breaches: 0,
@@ -1266,6 +1920,9 @@ pub fn run_fleet(
             escalations: rep.escalations,
             deescalations: rep.deescalations,
             max_queue_depth: rep.max_queue_depth,
+            crashes: rep.crashes,
+            gray_ejections: rep.gray_ejections,
+            partitions: rep.partitions,
             final_breaker: rep.breaker,
         })
         .collect();
@@ -1277,8 +1934,13 @@ pub fn run_fleet(
     let stalled: usize = tenant_reports.iter().map(|t| t.stalled).sum();
     let shed: usize = tenant_reports
         .iter()
-        .map(|t| t.shed_queue_full + t.shed_deadline + t.shed_breaker)
+        .map(|t| t.shed_queue_full + t.shed_deadline + t.shed_breaker + t.shed_replica_lost)
         .sum();
+    let mean_recovery_s = if recovery_times.is_empty() {
+        0.0
+    } else {
+        recovery_times.iter().sum::<f64>() / recovery_times.len() as f64
+    };
     FleetReport {
         policy: params.policy.name().to_string(),
         replicas: n,
@@ -1292,6 +1954,11 @@ pub fn run_fleet(
         shed,
         steal_events,
         breaker_trips: replica_reports.iter().map(|r| r.breaker_trips).sum(),
+        crashes: replica_reports.iter().map(|r| r.crashes).sum(),
+        gray_ejections: replica_reports.iter().map(|r| r.gray_ejections).sum(),
+        partitions: replica_reports.iter().map(|r| r.partitions).sum(),
+        requests_unaccounted: arrivals.len().abs_diff(admitted + shed),
+        mean_recovery_s,
         mean_latency_s,
         p99_latency_s,
         tenants: tenant_reports,

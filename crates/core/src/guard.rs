@@ -413,6 +413,7 @@ impl GuardReport {
 // The guard
 // ---------------------------------------------------------------------------
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct Account {
     trust: PointTrust,
     canaries: usize,
@@ -424,6 +425,12 @@ struct Account {
 /// The trust-but-verify QoS guard. Owns the canary sampler, the per-point
 /// error accounts and the event log; the caller (the serving loop) owns the
 /// [`crate::runtime::RuntimeTuner`] and applies [`GuardVerdict`]s to it.
+///
+/// Serializable so a replica checkpoint can carry its guards across a
+/// crash: a restored guard keeps its convictions (a `Quarantined` point
+/// stays quarantined — `observe` short-circuits on it), its strike
+/// counters, and its canary cursor state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct QosGuard {
     params: GuardParams,
     sampler: CanarySampler,

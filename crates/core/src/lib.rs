@@ -50,6 +50,7 @@
 //! bit-identically, and [`fault`] provides deterministic fault injection to
 //! prove all of it under test.
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod closed_loop;
 pub mod config;
@@ -73,14 +74,18 @@ pub mod ship;
 pub mod supervise;
 pub mod tuner;
 
-pub use checkpoint::{CheckpointError, CheckpointPolicy, SearchCheckpoint, CHECKPOINT_VERSION};
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
+pub use checkpoint::{
+    CheckpointError, CheckpointPolicy, ReplicaCheckpoint, SearchCheckpoint, TenantCheckpoint,
+    CHECKPOINT_VERSION, REPLICA_CHECKPOINT_VERSION,
+};
 pub use closed_loop::{run_closed_loop, ClosedLoopParams, ClosedLoopReport, TraceRow};
 pub use config::Config;
 pub use evaluate::{AttemptEvaluator, CacheStats, Evaluation, Evaluator};
 pub use fault::{FaultKind, FaultMix, FaultPlan, FaultyEvaluator};
 pub use fleet::{
-    fleet_arrivals, route, run_fleet, FleetEvent, FleetEventKind, FleetParams, FleetReport,
-    ReplicaReport, ReplicaView, RouteDecision, RouterPolicy, TenantReport, TenantSpec,
+    fleet_arrivals, route, run_fleet, EjectionParams, FleetEvent, FleetEventKind, FleetParams,
+    FleetReport, ReplicaReport, ReplicaView, RouteDecision, RouterPolicy, TenantReport, TenantSpec,
 };
 pub use guard::{
     CanarySampler, GuardEvent, GuardEventKind, GuardParams, GuardReport, GuardVerdict,

@@ -104,6 +104,7 @@ fn storm_params() -> FleetParams {
         horizon_s: 15.0,
         steal: true,
         route_seed: 0xF1EE7,
+        ..FleetParams::default()
     }
 }
 
@@ -303,6 +304,7 @@ fn lying_tenant_is_quarantined_without_touching_neighbours() {
             horizon_s: 120.0,
             steal: true,
             route_seed: 0xF1EE7,
+            ..FleetParams::default()
         },
     );
     let liar = &r.tenants[1];

@@ -1,0 +1,454 @@
+//! Chaos acceptance tests: a seeded crash + gray + partition campaign over
+//! an 8-replica × 6-tenant fleet loses zero requests unaccounted, restarted
+//! replicas inherit their quarantine convictions instead of re-learning
+//! them, gray replicas are ejected and readmitted with typed events, a
+//! fleet-wide slowdown never ejects anyone (detection is relative), and the
+//! whole chaotic report is bit-identical across rayon thread counts.
+
+use std::collections::HashSet;
+
+use at_core::chaos::{ChaosEvent, ChaosKind, ChaosPlan};
+use at_core::config::Config;
+use at_core::fleet::{
+    run_fleet, FleetEventKind, FleetParams, FleetReport, RouterPolicy, TenantSpec,
+};
+use at_core::guard::{GuardParams, MiscalibratedExecutor};
+use at_core::pareto::{TradeoffCurve, TradeoffPoint};
+use at_core::serve::{NoFaultExecutor, RequestExecutor, ServeParams, TrafficPattern};
+use at_hw::{DisturbedDevice, FrequencyLadder, Scenario};
+
+fn curve(qos_perf: &[(f64, f64)]) -> TradeoffCurve {
+    TradeoffCurve::from_points(
+        qos_perf
+            .iter()
+            .map(|&(qos, perf)| TradeoffPoint {
+                qos,
+                perf,
+                config: Config::from_knobs(vec![]),
+            })
+            .collect(),
+    )
+}
+
+fn idle_device() -> DisturbedDevice {
+    DisturbedDevice::tx2(Scenario::new(
+        "idle",
+        FrequencyLadder::tx2_gpu(),
+        usize::MAX / 2,
+        0,
+    ))
+}
+
+fn tenant(name: &str, rate_rps: f64, baseline_time_s: f64, seed: u64) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        curve: curve(&[(96.0, 1.4), (93.0, 1.9), (90.0, 2.4)]),
+        baseline_time_s,
+        baseline_qos: 98.0,
+        pattern: TrafficPattern::Steady { rate_rps },
+        arrival_seed: seed,
+        guard: GuardParams {
+            qos_floor: 85.0,
+            ..GuardParams::default()
+        },
+    }
+}
+
+/// Every arrival in a report partitions into an outcome — totals and per
+/// tenant. This is the chaos layer's core promise: crash, partition, gray.
+fn assert_fully_accounted(r: &FleetReport) {
+    assert_eq!(
+        r.requests_unaccounted, 0,
+        "every request must be accounted: served, faulted, stalled, or shed"
+    );
+    let shed_sum: usize = r
+        .tenants
+        .iter()
+        .map(|t| t.shed_queue_full + t.shed_deadline + t.shed_breaker + t.shed_replica_lost)
+        .sum();
+    assert_eq!(r.arrivals, r.admitted + shed_sum);
+    for t in &r.tenants {
+        assert_eq!(
+            t.arrivals,
+            t.admitted + t.shed_queue_full + t.shed_deadline + t.shed_breaker + t.shed_replica_lost,
+            "tenant {} accounting must partition",
+            t.name
+        );
+    }
+}
+
+/// The pinned campaign: 8 replicas × 6 tenants, 3 crashes + 2 gray windows
+/// + 2 partitions drawn from one seed.
+fn run_campaign() -> FleetReport {
+    let tenants: Vec<TenantSpec> = (0..6)
+        .map(|t| {
+            tenant(
+                &format!("tenant-{t}"),
+                12.0 + 3.0 * t as f64,
+                0.012 + 0.004 * t as f64,
+                0x51EED ^ (t as u64),
+            )
+        })
+        .collect();
+    let execs: Vec<&dyn RequestExecutor> = (0..6)
+        .map(|_| &NoFaultExecutor as &dyn RequestExecutor)
+        .collect();
+    run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 8,
+            policy: RouterPolicy::PowerOfTwoChoices,
+            serve: ServeParams {
+                deadline_s: 0.5,
+                queue_cap: 16,
+                ..ServeParams::default()
+            },
+            horizon_s: 60.0,
+            steal: true,
+            route_seed: 0xC4A05,
+            chaos: ChaosPlan::campaign(0xC4A05, 60.0, 8, 3, 2, 2),
+            ..FleetParams::default()
+        },
+    )
+}
+
+#[test]
+fn chaos_campaign_accounts_every_request() {
+    let r = run_campaign();
+    assert!(r.arrivals > 1000, "campaign must see real load");
+    assert!(r.crashes >= 1, "the campaign must actually crash replicas");
+    assert!(r.partitions >= 1, "the campaign must actually partition");
+    assert_fully_accounted(&r);
+
+    let crash_events = r
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, FleetEventKind::ReplicaCrashed { .. }))
+        .count();
+    let restart_events = r
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, FleetEventKind::ReplicaRestarted { .. }))
+        .count();
+    assert_eq!(crash_events, r.crashes, "every crash is a typed event");
+    assert_eq!(
+        restart_events, r.crashes,
+        "every crash must warm-restart within the horizon"
+    );
+    let crashes_per_replica: usize = r.replica_reports.iter().map(|x| x.crashes).sum();
+    assert_eq!(crashes_per_replica, r.crashes);
+    assert!(
+        r.mean_recovery_s > 0.0,
+        "a recovered crash must report a recovery time"
+    );
+    // The fleet keeps serving through the chaos window.
+    assert!(
+        r.on_time_rate() > 0.5,
+        "availability must survive the campaign: {}",
+        r.on_time_rate()
+    );
+}
+
+#[test]
+fn chaos_report_is_bit_identical_across_thread_counts() {
+    let run_with = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(run_campaign)
+    };
+    let one = run_with(1).to_json();
+    let eight = run_with(8).to_json();
+    assert_eq!(one, eight, "chaos must not break thread-count determinism");
+    let again = run_campaign().to_json();
+    assert_eq!(one, again, "same seed, same campaign, same report");
+}
+
+/// A replica crashed *after* convicting a lying tenant restarts with the
+/// conviction intact: the restart event reports inherited quarantines and
+/// no (replica, tenant, rung) is ever convicted twice.
+#[test]
+fn restart_inherits_quarantine_without_reconviction() {
+    let tenants = vec![
+        TenantSpec {
+            name: "honest".to_string(),
+            curve: curve(&[(97.0, 1.4), (95.0, 1.8)]),
+            baseline_time_s: 0.02,
+            baseline_qos: 99.0,
+            pattern: TrafficPattern::Steady { rate_rps: 6.0 },
+            arrival_seed: 1,
+            guard: GuardParams {
+                qos_floor: 90.0,
+                canary_fraction: 0.4,
+                ..GuardParams::default()
+            },
+        },
+        TenantSpec {
+            name: "liar".to_string(),
+            curve: curve(&[(96.0, 1.5), (94.0, 2.0)]),
+            baseline_time_s: 0.02,
+            baseline_qos: 99.0,
+            pattern: TrafficPattern::Steady { rate_rps: 6.0 },
+            arrival_seed: 2,
+            guard: GuardParams {
+                qos_floor: 90.0,
+                canary_fraction: 0.4,
+                ..GuardParams::default()
+            },
+        },
+    ];
+    let liar_exec = MiscalibratedExecutor {
+        honest_qos: vec![70.0, 65.0],
+        jitter: 0.2,
+        seed: 0xBAD,
+    };
+    let honest_exec = MiscalibratedExecutor {
+        honest_qos: vec![97.0, 95.0],
+        jitter: 0.2,
+        seed: 0xAAA,
+    };
+    let execs: Vec<&dyn RequestExecutor> = vec![&honest_exec, &liar_exec];
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 2,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.25,
+                dead_band: 0.0,
+                drain_fraction: 0.05,
+                ..ServeParams::default()
+            },
+            horizon_s: 120.0,
+            steal: true,
+            route_seed: 0xF1EE7,
+            chaos: ChaosPlan::scripted([ChaosEvent {
+                at_s: 60.0,
+                replica: 0,
+                kind: ChaosKind::Crash {
+                    restart_after_s: 0.5,
+                },
+            }]),
+            ..FleetParams::default()
+        },
+    );
+    assert_fully_accounted(&r);
+    assert_eq!(r.crashes, 1);
+    let inherited: Vec<usize> = r
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            FleetEventKind::ReplicaRestarted {
+                replica: 0,
+                inherited_quarantined,
+            } => Some(inherited_quarantined),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(inherited.len(), 1, "replica 0 must restart exactly once");
+    assert!(
+        inherited[0] > 0,
+        "the restart must inherit the liar's convictions from the checkpoint"
+    );
+    // No re-conviction: each (replica, tenant, rung) appears at most once
+    // across the whole event log, crash and restart included.
+    let mut seen = HashSet::new();
+    for e in &r.events {
+        if let FleetEventKind::Quarantined {
+            replica,
+            tenant,
+            rung,
+            ..
+        } = e.kind
+        {
+            assert!(
+                seen.insert((replica, tenant, rung)),
+                "({replica}, {tenant}, {rung}) convicted twice — restart re-learned a known liar"
+            );
+        }
+    }
+    assert!(!seen.is_empty(), "the liar must be convicted at least once");
+}
+
+/// One silently slow replica is ejected from routing candidacy, probed
+/// after the window ends, and readmitted — all with typed events, and with
+/// every request still accounted.
+#[test]
+fn gray_replica_is_ejected_probed_and_readmitted() {
+    let tenants = vec![tenant("t", 60.0, 0.01, 0x6A4)];
+    let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 3,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.5,
+                queue_cap: 16,
+                ..ServeParams::default()
+            },
+            horizon_s: 30.0,
+            steal: true,
+            route_seed: 0x6A4,
+            chaos: ChaosPlan::scripted([ChaosEvent {
+                at_s: 3.0,
+                replica: 2,
+                kind: ChaosKind::Gray {
+                    len_s: 6.0,
+                    inflation: 8.0,
+                },
+            }]),
+            ..FleetParams::default()
+        },
+    );
+    assert_fully_accounted(&r);
+    assert!(r.gray_ejections >= 1, "the slow replica must be ejected");
+    assert!(r.replica_reports[2].gray_ejections >= 1);
+    assert_eq!(r.replica_reports[0].gray_ejections, 0);
+    assert_eq!(r.replica_reports[1].gray_ejections, 0);
+    let first =
+        |pred: &dyn Fn(&FleetEventKind) -> bool| r.events.iter().position(|e| pred(&e.kind));
+    let ejected = first(&|k| matches!(k, FleetEventKind::GrayEjected { replica: 2, .. }));
+    let probing = first(&|k| matches!(k, FleetEventKind::GrayProbing { replica: 2 }));
+    let readmitted = first(&|k| matches!(k, FleetEventKind::GrayReadmitted { replica: 2 }));
+    let (e, p, a) = (
+        ejected.expect("GrayEjected event"),
+        probing.expect("GrayProbing event"),
+        readmitted.expect("GrayReadmitted event"),
+    );
+    assert!(e < p && p < a, "eject → probe → readmit, in that order");
+}
+
+/// Relative detection: the same inflation applied to *every* replica moves
+/// every EWMA together, so the median moves too and nobody is ejected. A
+/// fleet-wide brownout is the ladder's problem, not the router's.
+#[test]
+fn fleet_wide_slowdown_never_ejects() {
+    let tenants = vec![tenant("t", 60.0, 0.01, 0x6A4)];
+    let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+    let everywhere = (0..3).map(|rep| ChaosEvent {
+        at_s: 3.0,
+        replica: rep,
+        kind: ChaosKind::Gray {
+            len_s: 6.0,
+            inflation: 8.0,
+        },
+    });
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 3,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.5,
+                queue_cap: 16,
+                ..ServeParams::default()
+            },
+            horizon_s: 30.0,
+            steal: true,
+            route_seed: 0x6A4,
+            chaos: ChaosPlan::scripted(everywhere),
+            ..FleetParams::default()
+        },
+    );
+    assert_fully_accounted(&r);
+    assert_eq!(
+        r.gray_ejections, 0,
+        "relative detection must not eject under a fleet-wide slowdown"
+    );
+}
+
+/// A partition drops a bounded number of queued requests (each shed with a
+/// typed reason), blocks routing to the replica until it heals, and heals
+/// with a typed event.
+#[test]
+fn partition_sheds_bounded_messages_and_heals() {
+    let tenants = vec![tenant("t", 80.0, 0.02, 0x9A7)];
+    let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 2,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.6,
+                queue_cap: 16,
+                ..ServeParams::default()
+            },
+            horizon_s: 20.0,
+            steal: true,
+            route_seed: 0x9A7,
+            chaos: ChaosPlan::scripted([ChaosEvent {
+                at_s: 5.0,
+                replica: 1,
+                kind: ChaosKind::Partition {
+                    len_s: 2.0,
+                    lost_messages: 3,
+                },
+            }]),
+            ..FleetParams::default()
+        },
+    );
+    assert_fully_accounted(&r);
+    assert_eq!(r.partitions, 1);
+    assert_eq!(r.replica_reports[1].partitions, 1);
+    let cut = r
+        .events
+        .iter()
+        .position(|e| matches!(e.kind, FleetEventKind::Partitioned { replica: 1, .. }));
+    let healed = r
+        .events
+        .iter()
+        .position(|e| matches!(e.kind, FleetEventKind::PartitionHealed { replica: 1 }));
+    let (c, h) = (
+        cut.expect("Partitioned event"),
+        healed.expect("PartitionHealed event"),
+    );
+    assert!(c < h, "the partition must heal after it opens");
+    let lost = match r.events[c].kind {
+        FleetEventKind::Partitioned { lost, .. } => lost,
+        _ => unreachable!(),
+    };
+    assert!(lost <= 3, "message loss is bounded by the plan");
+    let shed_lost: usize = r.tenants.iter().map(|t| t.shed_replica_lost).sum();
+    assert_eq!(
+        shed_lost, lost,
+        "with no crash in the plan, ReplicaLost sheds are exactly the wire losses"
+    );
+}
+
+/// An empty plan really is a no-op: byte-for-byte the same report as a run
+/// with the chaos field left at its default.
+#[test]
+fn empty_chaos_plan_is_bit_identical_to_no_chaos() {
+    let tenants = vec![tenant("t", 25.0, 0.02, 0xE11)];
+    let run_with = |chaos: ChaosPlan| {
+        let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+        run_fleet(
+            &tenants,
+            &execs,
+            &idle_device(),
+            &FleetParams {
+                replicas: 3,
+                horizon_s: 20.0,
+                chaos,
+                ..FleetParams::default()
+            },
+        )
+    };
+    assert_eq!(
+        run_with(ChaosPlan::none()).to_json(),
+        run_with(ChaosPlan::default()).to_json()
+    );
+}

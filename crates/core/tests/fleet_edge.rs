@@ -1,0 +1,195 @@
+//! Fleet edge-case tests: stealing never fires when no peer queue reaches
+//! the 2-entry threshold, a half-open breaker sheds at the door once its
+//! probe budget is spent, and power-of-two-choices degenerates correctly
+//! when only one replica is available.
+
+use at_core::config::Config;
+use at_core::fleet::{
+    route, run_fleet, FleetEventKind, FleetParams, ReplicaView, RouterPolicy, TenantSpec,
+};
+use at_core::guard::GuardParams;
+use at_core::pareto::{TradeoffCurve, TradeoffPoint};
+use at_core::serve::{
+    NoFaultExecutor, RequestExecutor, ScriptedFaultExecutor, ServeParams, TrafficPattern,
+};
+use at_hw::{DisturbedDevice, FrequencyLadder, Scenario};
+
+fn curve(qos_perf: &[(f64, f64)]) -> TradeoffCurve {
+    TradeoffCurve::from_points(
+        qos_perf
+            .iter()
+            .map(|&(qos, perf)| TradeoffPoint {
+                qos,
+                perf,
+                config: Config::from_knobs(vec![]),
+            })
+            .collect(),
+    )
+}
+
+fn idle_device() -> DisturbedDevice {
+    DisturbedDevice::tx2(Scenario::new(
+        "idle",
+        FrequencyLadder::tx2_gpu(),
+        usize::MAX / 2,
+        0,
+    ))
+}
+
+fn tenant(name: &str, rate_rps: f64, baseline_time_s: f64, seed: u64) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        curve: curve(&[(96.0, 1.4), (93.0, 1.9)]),
+        baseline_time_s,
+        baseline_qos: 98.0,
+        pattern: TrafficPattern::Steady { rate_rps },
+        arrival_seed: seed,
+        guard: GuardParams {
+            qos_floor: 85.0,
+            ..GuardParams::default()
+        },
+    }
+}
+
+/// Stealing moves the back *half* of a peer queue, so it only fires when a
+/// victim holds ≥ 2 waiting requests. With `queue_cap: 1` no queue can ever
+/// reach the threshold — even under heavy overload, with stealing enabled,
+/// zero steal events occur and the overflow sheds with a typed reason.
+#[test]
+fn no_steal_when_every_peer_queue_is_below_threshold() {
+    let tenants = vec![tenant("hot", 120.0, 0.03, 0x57EA)];
+    let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 2,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.5,
+                queue_cap: 1,
+                ..ServeParams::default()
+            },
+            horizon_s: 20.0,
+            steal: true,
+            route_seed: 0x57EA,
+            ..FleetParams::default()
+        },
+    );
+    assert!(r.arrivals > 1000, "the overload must materialise");
+    assert_eq!(
+        r.steal_events, 0,
+        "no queue ever reaches the steal threshold"
+    );
+    for rep in &r.replica_reports {
+        assert_eq!(rep.steals_in, 0);
+        assert_eq!(rep.steals_out, 0);
+        assert!(rep.max_queue_depth <= 1);
+    }
+    assert!(!r
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, FleetEventKind::Steal { .. })));
+    assert!(r.shed > 0, "cap-1 queues under overload must shed");
+    assert_eq!(r.requests_unaccounted, 0);
+}
+
+/// Once a half-open breaker has admitted its probe budget, further
+/// arrivals are shed at the door instead of queueing behind probes whose
+/// verdict is still pending. A permanently faulting executor keeps the
+/// single replica cycling trip → half-open → re-trip; with service slower
+/// than the arrival gap, the budget is always exhausted mid-probe.
+#[test]
+fn half_open_probe_budget_exhaustion_sheds_at_door() {
+    let faulty = ScriptedFaultExecutor {
+        windows: vec![(0, usize::MAX / 2)],
+    };
+    let tenants = vec![tenant("t", 50.0, 0.1, 0xD00A)];
+    let execs: Vec<&dyn RequestExecutor> = vec![&faulty];
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 1,
+            policy: RouterPolicy::RoundRobin,
+            serve: ServeParams {
+                deadline_s: 1.0,
+                queue_cap: 8,
+                cooldown_s: 0.0,
+                half_open_probes: 2,
+                ..ServeParams::default()
+            },
+            horizon_s: 10.0,
+            steal: true,
+            route_seed: 0xD00A,
+            ..FleetParams::default()
+        },
+    );
+    assert!(
+        r.breaker_trips >= 2,
+        "the breaker must re-trip from half-open"
+    );
+    assert!(
+        r.events
+            .iter()
+            .any(|e| matches!(e.kind, FleetEventKind::BreakerHalfOpen { .. })),
+        "the breaker must half-open during the run"
+    );
+    let shed_breaker: usize = r.tenants.iter().map(|t| t.shed_breaker).sum();
+    assert!(
+        shed_breaker > 0,
+        "arrivals beyond the probe budget must shed at the door"
+    );
+    assert_eq!(r.requests_unaccounted, 0);
+    assert_eq!(r.faulted, r.admitted, "every executed request faults");
+}
+
+/// Power-of-two-choices with a single available replica: both hash samples
+/// land on it, `sampled` collapses to one entry, and it is chosen — the
+/// policy never routes to an open or unreachable replica.
+#[test]
+fn power_of_two_with_one_available_replica_routes_to_it() {
+    let views = [
+        ReplicaView {
+            breaker_open: true,
+            ..ReplicaView::default()
+        },
+        ReplicaView {
+            unreachable: true,
+            ..ReplicaView::default()
+        },
+        ReplicaView {
+            queue_len: 5,
+            busy: true,
+            degradation: 2,
+            ..ReplicaView::default()
+        },
+        ReplicaView {
+            breaker_open: true,
+            unreachable: true,
+            ..ReplicaView::default()
+        },
+    ];
+    let mut cursor = 0;
+    for key in 0..64u64 {
+        let d = route(RouterPolicy::PowerOfTwoChoices, &views, &mut cursor, key);
+        assert_eq!(d.chosen, Some(2), "key {key}: the only available replica");
+        assert_eq!(d.sampled, vec![2], "key {key}: the sample pair collapses");
+    }
+    // And with nothing available the door closes.
+    let none = [
+        ReplicaView {
+            breaker_open: true,
+            ..ReplicaView::default()
+        },
+        ReplicaView {
+            unreachable: true,
+            ..ReplicaView::default()
+        },
+    ];
+    let d = route(RouterPolicy::PowerOfTwoChoices, &none, &mut cursor, 7);
+    assert_eq!(d.chosen, None);
+    assert!(d.sampled.is_empty());
+}

@@ -3,33 +3,46 @@
 //! invariants every balancer must hold before any simulation runs on top:
 //! join-shortest-queue never routes to a strictly longer queue than the
 //! minimum, power-of-two-choices only ever picks from its sampled pair,
-//! round-robin cycles through the closed replicas permutation-fairly, and
-//! *no* policy routes to an open-breaker replica while a closed one exists.
+//! round-robin cycles through the available replicas permutation-fairly,
+//! and *no* policy routes to an open-breaker or unreachable (crashed /
+//! partitioned / gray-ejected) replica while an available one exists.
 
 use at_core::fleet::{route, ReplicaView, RouteDecision, RouterPolicy};
 use proptest::prelude::*;
 
 /// An arbitrary replica view: bounded queue depth, busy flag, breaker
-/// flag, degradation rung.
+/// flag, degradation rung, reachability flag.
 fn view_s() -> impl Strategy<Value = ReplicaView> {
-    (0usize..50, prop::bool::ANY, prop::bool::ANY, 0usize..6).prop_map(
-        |(queue_len, busy, breaker_open, degradation)| ReplicaView {
-            queue_len,
-            busy,
-            breaker_open,
-            degradation,
-        },
+    (
+        0usize..50,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0usize..6,
+        prop::bool::ANY,
     )
+        .prop_map(
+            |(queue_len, busy, breaker_open, degradation, unreachable)| ReplicaView {
+                queue_len,
+                busy,
+                breaker_open,
+                degradation,
+                unreachable,
+            },
+        )
+}
+
+fn available(v: &ReplicaView) -> bool {
+    !v.breaker_open && !v.unreachable
 }
 
 fn views_s() -> impl Strategy<Value = Vec<ReplicaView>> {
     prop::collection::vec(view_s(), 1..12)
 }
 
-/// Views with at least `k` closed replicas.
+/// Views with at least `k` available replicas.
 fn views_closed_s(k: usize) -> impl Strategy<Value = Vec<ReplicaView>> {
-    prop::collection::vec(view_s(), 1..12).prop_filter("needs closed replicas", move |vs| {
-        vs.iter().filter(|v| !v.breaker_open).count() >= k
+    prop::collection::vec(view_s(), 1..12).prop_filter("needs available replicas", move |vs| {
+        vs.iter().filter(|v| available(v)).count() >= k
     })
 }
 
@@ -37,7 +50,7 @@ fn closed_of(views: &[ReplicaView]) -> Vec<usize> {
     views
         .iter()
         .enumerate()
-        .filter(|(_, v)| !v.breaker_open)
+        .filter(|(_, v)| available(v))
         .map(|(i, _)| i)
         .collect()
 }
@@ -60,16 +73,16 @@ proptest! {
         match chosen {
             Some(i) => {
                 prop_assert!(i < views.len());
-                prop_assert!(!views[i].breaker_open,
-                    "{policy:?} routed to open replica {i}");
+                prop_assert!(available(&views[i]),
+                    "{policy:?} routed to open/unreachable replica {i}");
                 prop_assert!(!closed.is_empty());
             }
             None => prop_assert!(closed.is_empty(),
-                "{policy:?} returned None with closed replicas {closed:?}"),
+                "{policy:?} returned None with available replicas {closed:?}"),
         }
-        // Sampled sets only ever contain closed replicas.
+        // Sampled sets only ever contain available replicas.
         for &s in &sampled {
-            prop_assert!(!views[s].breaker_open);
+            prop_assert!(available(&views[s]));
         }
     }
 
@@ -105,7 +118,7 @@ proptest! {
         let d = route(RouterPolicy::PowerOfTwoChoices, &views, &mut cursor, key);
         prop_assert!(d.sampled.len() <= 2, "po2 sampled {:?}", d.sampled);
         for &s in &d.sampled {
-            prop_assert!(!views[s].breaker_open);
+            prop_assert!(available(&views[s]));
         }
         if let Some(i) = d.chosen {
             prop_assert!(d.sampled.contains(&i),
@@ -151,7 +164,7 @@ proptest! {
                 "round-robin visited replica {} {} times in one cycle", i, counts[i]);
         }
         for (i, v) in views.iter().enumerate() {
-            if v.breaker_open {
+            if !available(v) {
                 prop_assert_eq!(counts[i], 0);
             }
         }
@@ -173,6 +186,6 @@ proptest! {
             .chosen
             .unwrap();
         prop_assert_ne!(first, second,
-            "consecutive round-robin choices must differ with ≥2 closed replicas");
+            "consecutive round-robin choices must differ with ≥2 available replicas");
     }
 }

@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `fleet_chaos` chaos campaign, so
+//! `cargo run --release --bin fleet_chaos` works without `-p at-bench`;
+//! see `at_bench::fleet_chaos` for the experiment body.
+
+fn main() {
+    at_bench::fleet_chaos::run();
+}
