@@ -1,0 +1,6 @@
+//! Silent-data-corruption campaign writing `BENCH_sdc.json`; see
+//! `at_bench::fleet_sdc` for the experiment body.
+
+fn main() {
+    at_bench::fleet_sdc::run();
+}

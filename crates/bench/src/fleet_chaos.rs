@@ -191,18 +191,9 @@ pub fn build_artifact(requests_target: usize, replicas: usize, seed: u64) -> Art
         (replicas / 4).max(1),
         (replicas / 4).max(1),
     );
-    let check = |threads: usize| {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .map(|pool| {
-                pool.install(|| {
-                    run_fleet(&tenants, &exec_refs, &device, &params_for(&chaos_again)).to_json()
-                })
-            })
-            .unwrap_or_default()
-    };
-    let bit_identical = check(1) == check(8);
+    let bit_identical = crate::report::bit_identical_across_threads(|| {
+        run_fleet(&tenants, &exec_refs, &device, &params_for(&chaos_again)).to_json()
+    });
     println!(
         "determinism: 1-thread vs 8-thread campaign reports {}",
         if bit_identical {

@@ -9,6 +9,7 @@
 pub mod bench_kernels;
 pub mod env;
 pub mod fleet_chaos;
+pub mod fleet_sdc;
 pub mod harness;
 pub mod qos_guard;
 pub mod report;

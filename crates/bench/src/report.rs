@@ -191,6 +191,21 @@ fn write_artifact(path: &std::path::Path, value: &impl serde::Serialize, pretty:
     }
 }
 
+/// Runs `render` under a 1-thread rayon pool and again under an 8-thread
+/// pool and reports whether the two outputs are byte-identical. Every fleet
+/// bench uses this as its determinism self-check: the simulated report must
+/// not depend on how many worker threads rayon happens to schedule.
+pub fn bit_identical_across_threads(render: impl Fn() -> String + Sync) -> bool {
+    let under = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map(|pool| pool.install(&render))
+            .unwrap_or_default()
+    };
+    under(1) == under(8)
+}
+
 /// Formats a factor like `2.14x`.
 pub fn fx(v: f64) -> String {
     format!("{v:.2}x")

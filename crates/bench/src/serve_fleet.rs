@@ -117,7 +117,7 @@ fn honest_qos(id: BenchmarkId) -> Vec<f64> {
 /// every rung, while its executor under-delivers a further 1.5 (a 4-point
 /// total lie, dipping below the tenant's floor on deep rungs) — the guard
 /// must convict it per replica without touching the other five tenants.
-const LIAR: BenchmarkId = BenchmarkId::Vgg16Cifar10;
+pub(crate) const LIAR: BenchmarkId = BenchmarkId::Vgg16Cifar10;
 const LIE_MARGIN: f64 = 2.5;
 
 pub(crate) fn roster(horizon_s: f64, rate_scale: f64, seed: u64) -> Vec<TenantSpec> {
@@ -313,24 +313,15 @@ pub fn build_artifact(requests_target: usize, replicas: usize, seed: u64) -> Art
 
     // Determinism self-check: the same seed must produce a byte-identical
     // report whether rayon runs 1 or 8 threads.
-    let check = |threads: usize| {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .map(|pool| {
-                pool.install(|| {
-                    run_fleet(
-                        &tenants,
-                        &exec_refs,
-                        &device,
-                        &params_for(RouterPolicy::PowerOfTwoChoices),
-                    )
-                    .to_json()
-                })
-            })
-            .unwrap_or_default()
-    };
-    let bit_identical = check(1) == check(8);
+    let bit_identical = crate::report::bit_identical_across_threads(|| {
+        run_fleet(
+            &tenants,
+            &exec_refs,
+            &device,
+            &params_for(RouterPolicy::PowerOfTwoChoices),
+        )
+        .to_json()
+    });
     println!(
         "determinism: 1-thread vs 8-thread reports {}",
         if bit_identical {

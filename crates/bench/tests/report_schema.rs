@@ -133,3 +133,29 @@ fn fresh_bench_kernels_artifact_conforms() {
         "a versioned artifact must not get double-wrapped"
     );
 }
+
+/// Same writer-side guarantee for the SDC campaign: a freshly built
+/// (small) `fleet_sdc` artifact validates, is not double-wrapped, and
+/// carries zero unaccounted requests and the headline coverage fields
+/// even at toy scale.
+#[test]
+fn fresh_fleet_sdc_artifact_conforms() {
+    let artifact = at_bench::fleet_sdc::build_artifact(2_000, 2, 7, 1, 32);
+    let tree = envelope(at_bench::fleet_sdc::artifact_value(&artifact));
+    validate_artifact(&tree).expect("fresh fleet_sdc artifact must conform");
+    let pairs = tree.as_object().unwrap();
+    assert!(pairs.iter().any(
+        |(k, v)| k == "schema_version" && v.as_f64() == Some(f64::from(RESULTS_SCHEMA_VERSION))
+    ));
+    assert!(pairs.iter().any(|(k, _)| k == "availability_pct"));
+    assert!(pairs.iter().any(|(k, _)| k == "fleet_detection_pct"));
+    assert!(pairs.iter().any(|(k, _)| k == "kernel"));
+    assert!(pairs.iter().any(|(k, _)| k == "overhead"));
+    assert!(pairs
+        .iter()
+        .any(|(k, v)| k == "requests_unaccounted" && v.as_f64() == Some(0.0)));
+    assert!(
+        !pairs.iter().any(|(k, _)| k == "data"),
+        "a versioned artifact must not get double-wrapped"
+    );
+}

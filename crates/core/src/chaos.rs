@@ -1,6 +1,7 @@
 //! Seeded, replayable fleet chaos: scripted replica crashes with delayed
-//! restart, gray failures (silent service-time inflation), and
-//! router↔replica partitions with message loss.
+//! restart, gray failures (silent service-time inflation), router↔replica
+//! partitions with message loss, and bit-flip windows (silent data
+//! corruption).
 //!
 //! A [`ChaosPlan`] is a time-sorted script of [`ChaosEvent`]s that the
 //! fleet loop (`fleet::run_fleet`) merges into its discrete-event stream.
@@ -16,6 +17,14 @@
 //! `(replica, time)` that the fleet multiplies into raw service time, and
 //! detection is left entirely to the router's ejection logic — the
 //! simulation never tells the router a replica has gone gray.
+//!
+//! Bit-flip windows follow the same silent discipline: while a window is
+//! active ([`ChaosPlan::bitflip_at`]), each request started on the target
+//! replica draws a flip with the window's per-request rate via
+//! [`ChaosPlan::draw_flip`] — pure in `(seed, replica, draw index)`, never
+//! in call order. The fleet is never told a flip happened; the ABFT layer
+//! has to *detect* it, and the injector's ground truth is what makes
+//! escapes measurable.
 
 use crate::guard::splitmix64;
 use serde::{Deserialize, Serialize};
@@ -49,6 +58,66 @@ pub enum ChaosKind {
         /// Queued requests lost when the partition opens.
         lost_messages: usize,
     },
+    /// Silent-data-corruption window: for `len_s` seconds each request
+    /// started on the replica independently flips one bit (probability
+    /// `rate`) in the given target buffer. Like gray failures, nothing is
+    /// surfaced to the router — detection is the ABFT layer's job.
+    BitFlip {
+        /// Window length in seconds.
+        len_s: f64,
+        /// Per-request flip probability in `[0, 1]`.
+        rate: f64,
+        /// Which buffer the flip lands in.
+        target: FlipTarget,
+        /// Lowest bit position drawn (flipped bits are uniform in
+        /// `min_bit..32`); low mantissa bits perturb below approximation
+        /// noise, so raising the floor concentrates on consequential flips.
+        min_bit: u32,
+    },
+}
+
+/// Which buffer a bit flip corrupts. The targets mirror the data a
+/// GEMM-shaped kernel touches; which defense layer catches each is part of
+/// the fault model (weight fingerprints catch resident weight corruption,
+/// ABFT checksums catch the rest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipTarget {
+    /// Packed weight panel (model parameters resident on the replica).
+    WeightPanel,
+    /// im2col activation/patch buffer (per-request scratch).
+    ActivationBuffer,
+    /// GEMM output accumulator.
+    Accumulator,
+}
+
+impl FlipTarget {
+    /// All targets, in draw order.
+    pub const ALL: [FlipTarget; 3] = [
+        FlipTarget::WeightPanel,
+        FlipTarget::ActivationBuffer,
+        FlipTarget::Accumulator,
+    ];
+}
+
+/// An active bit-flip window's parameters, as seen by [`ChaosPlan::bitflip_at`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BitFlipWindow {
+    /// Per-request flip probability.
+    pub rate: f64,
+    /// Corrupted buffer.
+    pub target: FlipTarget,
+    /// Lowest bit position drawn.
+    pub min_bit: u32,
+}
+
+/// One injected flip, drawn by [`ChaosPlan::draw_flip`]: ground truth the
+/// fleet report uses to measure detection coverage and escapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedFlip {
+    /// Corrupted buffer.
+    pub target: FlipTarget,
+    /// Flipped bit position (`min_bit..32`).
+    pub bit: u32,
 }
 
 impl ChaosKind {
@@ -58,6 +127,7 @@ impl ChaosKind {
             ChaosKind::Crash { .. } => 0,
             ChaosKind::Gray { .. } => 1,
             ChaosKind::Partition { .. } => 2,
+            ChaosKind::BitFlip { .. } => 3,
         }
     }
 }
@@ -136,6 +206,18 @@ impl ChaosPlan {
                         if !len_s.is_finite() || *len_s <= 0.0 {
                             return None;
                         }
+                    }
+                    ChaosKind::BitFlip {
+                        len_s,
+                        rate,
+                        min_bit,
+                        ..
+                    } => {
+                        if !len_s.is_finite() || *len_s <= 0.0 || !rate.is_finite() {
+                            return None;
+                        }
+                        *rate = rate.clamp(0.0, 1.0);
+                        *min_bit = (*min_bit).min(31);
                     }
                 }
                 Some(e)
@@ -222,9 +304,101 @@ impl ChaosPlan {
                 ChaosKind::Crash { .. } => c.0 += 1,
                 ChaosKind::Gray { .. } => c.1 += 1,
                 ChaosKind::Partition { .. } => c.2 += 1,
+                ChaosKind::BitFlip { .. } => {}
             }
         }
         c
+    }
+
+    /// Number of bit-flip windows in the plan.
+    pub fn bitflip_windows(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, ChaosKind::BitFlip { .. }))
+            .count()
+    }
+
+    /// Appends a seeded bit-flip campaign to the plan: `windows` corruption
+    /// windows placed inside the middle of the horizon, each with the given
+    /// per-request flip `rate` and bit floor, targets cycling through
+    /// [`FlipTarget::ALL`] by seeded draw. Pure in its inputs; an existing
+    /// plan's events are preserved (the merged script is re-sorted).
+    pub fn with_bitflip_campaign(
+        self,
+        seed: u64,
+        horizon_s: f64,
+        replicas: usize,
+        windows: usize,
+        rate: f64,
+        min_bit: u32,
+    ) -> ChaosPlan {
+        if !horizon_s.is_finite() || horizon_s <= 0.0 || replicas == 0 {
+            return self;
+        }
+        let mut events = self.events;
+        for i in 0..windows {
+            let i = i as u64;
+            events.push(ChaosEvent {
+                at_s: (0.10 + 0.55 * unit(seed, 12, i)) * horizon_s,
+                replica: pick(seed, 13, i, replicas),
+                kind: ChaosKind::BitFlip {
+                    len_s: (0.08 + 0.15 * unit(seed, 14, i)) * horizon_s,
+                    rate,
+                    target: FlipTarget::ALL[pick(seed, 15, i, FlipTarget::ALL.len())],
+                    min_bit,
+                },
+            });
+        }
+        ChaosPlan::scripted(events)
+    }
+
+    /// The bit-flip window active for `replica` at time `t`, if any — the
+    /// earliest-starting active window wins when windows overlap (a single
+    /// flip per request is the modelled fault).
+    pub fn bitflip_at(&self, replica: usize, t: f64) -> Option<BitFlipWindow> {
+        for e in &self.events {
+            if e.replica != replica {
+                continue;
+            }
+            if let ChaosKind::BitFlip {
+                len_s,
+                rate,
+                target,
+                min_bit,
+            } = e.kind
+            {
+                if t >= e.at_s && t < e.at_s + len_s {
+                    return Some(BitFlipWindow {
+                        rate,
+                        target,
+                        min_bit,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Draws whether the `k`-th corruption-eligible request on `replica`
+    /// flips a bit under `window`, and which bit. Pure in
+    /// `(seed, replica, k)` — never in call order — so campaigns replay
+    /// bit-identically at any thread count.
+    pub fn draw_flip(
+        seed: u64,
+        replica: usize,
+        k: u64,
+        window: &BitFlipWindow,
+    ) -> Option<InjectedFlip> {
+        let rseed = seed ^ (replica as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        if unit(rseed, 16, k) >= window.rate {
+            return None;
+        }
+        let span = 32 - window.min_bit.min(31);
+        let bit = window.min_bit + pick(rseed, 17, k, span as usize) as u32;
+        Some(InjectedFlip {
+            target: window.target,
+            bit,
+        })
     }
 
     /// The silent service-time multiplier for `replica` at time `t`:
@@ -355,8 +529,84 @@ mod tests {
     }
 
     #[test]
+    fn bitflip_windows_sanitize_query_and_draw_deterministically() {
+        let plan = ChaosPlan::scripted([
+            ChaosEvent {
+                at_s: 10.0,
+                replica: 2,
+                kind: ChaosKind::BitFlip {
+                    len_s: 5.0,
+                    rate: 7.0, // clamps to 1.0
+                    target: FlipTarget::Accumulator,
+                    min_bit: 99, // clamps to 31
+                },
+            },
+            ChaosEvent {
+                at_s: 1.0,
+                replica: 0,
+                kind: ChaosKind::BitFlip {
+                    len_s: -1.0, // dropped
+                    rate: 0.5,
+                    target: FlipTarget::WeightPanel,
+                    min_bit: 16,
+                },
+            },
+        ]);
+        assert_eq!(plan.bitflip_windows(), 1);
+        assert_eq!(plan.counts(), (0, 0, 0), "bit flips are counted apart");
+        let w = plan.bitflip_at(2, 12.0).unwrap();
+        assert_eq!(w.rate, 1.0);
+        assert_eq!(w.min_bit, 31);
+        assert!(plan.bitflip_at(2, 15.0).is_none(), "window end exclusive");
+        assert!(plan.bitflip_at(1, 12.0).is_none(), "other replica clean");
+
+        // Draws are pure in (seed, replica, k): rate 1.0 always flips, the
+        // same key always draws the same bit, different keys vary.
+        let f1 = ChaosPlan::draw_flip(42, 2, 0, &w).unwrap();
+        let f2 = ChaosPlan::draw_flip(42, 2, 0, &w).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(f1.target, FlipTarget::Accumulator);
+        assert!(f1.bit >= 31 && f1.bit < 32);
+        let lo = BitFlipWindow {
+            rate: 1.0,
+            target: FlipTarget::ActivationBuffer,
+            min_bit: 16,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..64 {
+            let f = ChaosPlan::draw_flip(42, 2, k, &lo).unwrap();
+            assert!((16..32).contains(&f.bit));
+            seen.insert(f.bit);
+        }
+        assert!(seen.len() > 8, "bits spread over the floor..32 range");
+        // Rate 0 never flips.
+        let off = BitFlipWindow { rate: 0.0, ..lo };
+        assert!(ChaosPlan::draw_flip(42, 2, 0, &off).is_none());
+    }
+
+    #[test]
+    fn bitflip_campaign_is_pure_and_preserves_existing_events() {
+        let base = ChaosPlan::campaign(7, 100.0, 8, 2, 1, 1);
+        let a = base.clone().with_bitflip_campaign(7, 100.0, 8, 3, 0.2, 12);
+        let b = base.clone().with_bitflip_campaign(7, 100.0, 8, 3, 0.2, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.counts(), base.counts());
+        assert_eq!(a.bitflip_windows(), 3);
+        for e in a.events() {
+            assert!(e.at_s >= 0.0 && e.at_s <= 100.0);
+            assert!(e.replica < 8);
+        }
+        // Degenerate inputs leave the plan untouched.
+        let same = base
+            .clone()
+            .with_bitflip_campaign(7, f64::NAN, 8, 3, 0.2, 12);
+        assert_eq!(same, base);
+    }
+
+    #[test]
     fn plan_serde_roundtrip() {
-        let plan = ChaosPlan::campaign(7, 60.0, 4, 2, 1, 1);
+        let plan =
+            ChaosPlan::campaign(7, 60.0, 4, 2, 1, 1).with_bitflip_campaign(7, 60.0, 4, 2, 0.3, 16);
         let json = serde_json::to_string(&serde_json::to_value(&plan))
             .unwrap_or_else(|e| panic!("serialize: {e:?}"));
         let back: ChaosPlan =

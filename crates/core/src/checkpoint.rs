@@ -27,11 +27,13 @@ use crate::serve::BreakerState;
 use crate::supervise::SupervisionSnapshot;
 
 /// Current checkpoint schema version; bumped on any layout change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the content fingerprint.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Current per-replica checkpoint schema version (independent of the
-/// search-checkpoint schema — the two evolve separately).
-pub const REPLICA_CHECKPOINT_VERSION: u32 = 1;
+/// search-checkpoint schema — the two evolve separately). Version 2 added
+/// the content fingerprint.
+pub const REPLICA_CHECKPOINT_VERSION: u32 = 2;
 
 /// When and where the batch driver writes checkpoints.
 #[derive(Clone, Debug)]
@@ -67,6 +69,16 @@ pub enum CheckpointError {
     /// The checkpoint is valid but was written by a run with different
     /// parameters than the one trying to resume from it.
     Mismatch(String),
+    /// The checkpoint's content fingerprint disagrees with its contents:
+    /// the file was corrupted (bit rot, partial overwrite, manual edit)
+    /// after it was sealed. Resuming from it would silently diverge, so it
+    /// is refused instead.
+    FingerprintMismatch {
+        /// Fingerprint recomputed from the contents.
+        expected: u64,
+        /// Fingerprint stored in the file.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -79,8 +91,23 @@ impl fmt::Display for CheckpointError {
                 "checkpoint version {found} incompatible with supported version {CHECKPOINT_VERSION}"
             ),
             CheckpointError::Mismatch(e) => write!(f, "checkpoint/run mismatch: {e}"),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint mismatch: contents hash to {expected:#018x} but the file claims {found:#018x} — the checkpoint was corrupted after sealing"
+            ),
         }
     }
+}
+
+/// FNV-1a over a checkpoint's canonical JSON — the content fingerprint
+/// primitive shared by both checkpoint types.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl std::error::Error for CheckpointError {}
@@ -106,12 +133,36 @@ pub struct SearchCheckpoint {
     pub telemetry: Vec<BatchTelemetry>,
     /// Supervision state: fault counters, quarantine, attempt cursors.
     pub supervision: SupervisionSnapshot,
+    /// Content fingerprint: FNV-1a over the canonical JSON of this
+    /// checkpoint with this field zeroed. Stamped by [`Self::seal`] (and by
+    /// [`Self::save`]); checked on every load so a corrupted file is
+    /// refused with a typed error instead of silently resuming wrong.
+    pub fingerprint: u64,
 }
 
 impl SearchCheckpoint {
     /// Serialises the checkpoint to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("checkpoint state contains only finite floats")
+    }
+
+    /// Recomputes the content fingerprint from everything but the
+    /// fingerprint field itself.
+    fn content_fingerprint(&self) -> u64 {
+        let mut z = self.clone();
+        z.fingerprint = 0;
+        fnv1a64(&z.to_json())
+    }
+
+    /// Stamps the content fingerprint. A checkpoint must be sealed before
+    /// its JSON can pass [`Self::from_json`].
+    pub fn seal(&mut self) {
+        self.fingerprint = self.content_fingerprint();
+    }
+
+    /// Whether the stored fingerprint matches the contents.
+    pub fn is_sealed(&self) -> bool {
+        self.fingerprint == self.content_fingerprint()
     }
 
     /// Parses and validates a checkpoint from JSON.
@@ -131,14 +182,23 @@ impl SearchCheckpoint {
         if !cp.qos_min.is_finite() {
             return Err(CheckpointError::Malformed("non-finite qos_min".into()));
         }
+        let expected = cp.content_fingerprint();
+        if cp.fingerprint != expected {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected,
+                found: cp.fingerprint,
+            });
+        }
         Ok(cp)
     }
 
     /// Writes the checkpoint atomically: serialise to `<path>.tmp`, then
     /// rename over `path`, so a crash mid-write never corrupts an existing
-    /// good checkpoint.
+    /// good checkpoint. The written copy is always sealed.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        atomic_write(path, &self.to_json())
+        let mut cp = self.clone();
+        cp.seal();
+        atomic_write(path, &cp.to_json())
     }
 
     /// Loads and validates a checkpoint from disk.
@@ -225,12 +285,35 @@ pub struct ReplicaCheckpoint {
     pub open_until: f64,
     /// Per-tenant tuner + guard state, indexed like the fleet's tenants.
     pub tenants: Vec<TenantCheckpoint>,
+    /// Content fingerprint: FNV-1a over the canonical JSON with this field
+    /// zeroed (see [`SearchCheckpoint::seal`] for the discipline).
+    pub fingerprint: u64,
 }
 
 impl ReplicaCheckpoint {
     /// Serialises the checkpoint to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("replica checkpoint contains only finite floats")
+    }
+
+    /// Recomputes the content fingerprint from everything but the
+    /// fingerprint field itself.
+    fn content_fingerprint(&self) -> u64 {
+        let mut z = self.clone();
+        z.fingerprint = 0;
+        fnv1a64(&z.to_json())
+    }
+
+    /// Stamps the content fingerprint.
+    pub fn seal(&mut self) {
+        self.fingerprint = self.content_fingerprint();
+    }
+
+    /// Whether the stored fingerprint matches the contents. The fleet's
+    /// warm-restart path refuses an unsealed or tampered checkpoint and
+    /// restarts cold instead.
+    pub fn is_sealed(&self) -> bool {
+        self.fingerprint == self.content_fingerprint()
     }
 
     /// Parses and validates a replica checkpoint from JSON.
@@ -259,12 +342,22 @@ impl ReplicaCheckpoint {
                 )));
             }
         }
+        let expected = cp.content_fingerprint();
+        if cp.fingerprint != expected {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected,
+                found: cp.fingerprint,
+            });
+        }
         Ok(cp)
     }
 
-    /// Writes the checkpoint atomically (temp file + rename).
+    /// Writes the checkpoint atomically (temp file + rename). The written
+    /// copy is always sealed.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        atomic_write(path, &self.to_json())
+        let mut cp = self.clone();
+        cp.seal();
+        atomic_write(path, &cp.to_json())
     }
 
     /// Loads and validates a replica checkpoint from disk.
@@ -284,7 +377,7 @@ mod tests {
     use crate::supervise::FaultStats;
 
     fn sample() -> SearchCheckpoint {
-        SearchCheckpoint {
+        let mut cp = SearchCheckpoint {
             version: CHECKPOINT_VERSION,
             qos_min: 89.5,
             batch_size: 16,
@@ -354,7 +447,10 @@ mod tests {
                 failures: vec![],
                 attempt_base: vec![(Config::from_knobs(vec![KnobId(2), KnobId(0)]), 4)],
             },
-        }
+            fingerprint: 0,
+        };
+        cp.seal();
+        cp
     }
 
     #[test]
@@ -426,7 +522,7 @@ mod tests {
             },
         ]);
         let guard = QosGuard::new(&GuardParams::default(), &curve);
-        ReplicaCheckpoint {
+        let mut cp = ReplicaCheckpoint {
             version: REPLICA_CHECKPOINT_VERSION,
             replica: 3,
             crashed_at_s: 12.5,
@@ -440,7 +536,10 @@ mod tests {
                 curve,
                 guard,
             }],
-        }
+            fingerprint: 0,
+        };
+        cp.seal();
+        cp
     }
 
     #[test]
@@ -476,6 +575,49 @@ mod tests {
         cp.tenants[0].quarantined.push(true);
         let err = ReplicaCheckpoint::from_json(&cp.to_json()).unwrap_err();
         assert!(matches!(err, CheckpointError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn tampered_contents_are_a_typed_fingerprint_mismatch() {
+        // Structurally valid, version intact, but a field changed after
+        // sealing: the fingerprint no longer matches the contents.
+        let mut cp = sample();
+        cp.qos_min = 90.0;
+        assert!(!cp.is_sealed());
+        let err = SearchCheckpoint::from_json(&cp.to_json()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        // Re-sealing repairs it.
+        cp.seal();
+        assert!(SearchCheckpoint::from_json(&cp.to_json()).is_ok());
+    }
+
+    #[test]
+    fn unsealed_checkpoint_is_rejected() {
+        let mut cp = sample();
+        cp.fingerprint = 0;
+        let err = SearchCheckpoint::from_json(&cp.to_json()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::FingerprintMismatch { found: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn replica_checkpoint_tamper_is_a_typed_fingerprint_mismatch() {
+        let mut cp = replica_sample();
+        cp.slow_ewma += 0.5;
+        assert!(!cp.is_sealed());
+        let err = ReplicaCheckpoint::from_json(&cp.to_json()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        cp.seal();
+        assert!(cp.is_sealed());
+        assert!(ReplicaCheckpoint::from_json(&cp.to_json()).is_ok());
     }
 
     #[test]

@@ -507,6 +507,8 @@ pub fn run_batched_search<E: AttemptEvaluator>(
                 candidates: candidates.to_vec(),
                 telemetry: telemetry.to_vec(),
                 supervision: supervisor.snapshot(),
+                // `save` seals the written copy.
+                fingerprint: 0,
             };
             if let Err(e) = cp.save(&policy.path) {
                 eprintln!(

@@ -45,7 +45,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::chaos::{ChaosKind, ChaosPlan};
+use crate::chaos::{ChaosKind, ChaosPlan, InjectedFlip};
 use crate::checkpoint::{ReplicaCheckpoint, TenantCheckpoint, REPLICA_CHECKPOINT_VERSION};
 use crate::guard::{fails_floor, splitmix64, GuardParams, GuardVerdict, QosGuard};
 use crate::pareto::TradeoffCurve;
@@ -138,6 +138,8 @@ pub struct FleetParams {
     pub chaos: ChaosPlan,
     /// Gray-failure ejection knobs for the router.
     pub ejection: EjectionParams,
+    /// Silent-data-corruption defense knobs.
+    pub sdc: SdcParams,
 }
 
 impl Default for FleetParams {
@@ -151,6 +153,54 @@ impl Default for FleetParams {
             route_seed: 0xF1EE7,
             chaos: ChaosPlan::default(),
             ejection: EjectionParams::default(),
+            sdc: SdcParams::default(),
+        }
+    }
+}
+
+/// Silent-data-corruption defense knobs: how the fleet reacts when a
+/// replica's ABFT-checksummed kernels report a corrupted result.
+///
+/// The ground truth comes from the chaos plan's bit-flip windows
+/// ([`ChaosPlan::bitflip_at`] / [`ChaosPlan::draw_flip`]); the fleet models
+/// the at-tensor ABFT layer's sensitivity with `detect_bit_floor`: a flip
+/// in bit ≥ floor perturbs the checksum beyond the NaN-safe tolerance and
+/// is *detected*, a lower flip stays under the noise floor and *escapes*
+/// (it is served silently and counted in `sdc_escaped`). A detected result
+/// is discarded — it never reaches the tenant, the guard's residual window
+/// or the breaker — and the request is re-executed on a healthy peer
+/// within `reexec_budget`; past the budget (or with no healthy peer) it is
+/// accounted as faulted. `eject_after` consecutive-style detection strikes
+/// hand the replica to the existing gray-failure eject → probe → readmit
+/// machinery. Every default keeps a corruption-free run bit-identical to
+/// the pre-SDC code path.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SdcParams {
+    /// Whether replicas run the ABFT-protected kernels. Unprotected
+    /// replicas never detect anything: every injected flip escapes.
+    pub protected: bool,
+    /// Times one request may be re-executed after a detection before it is
+    /// accounted as faulted.
+    pub reexec_budget: usize,
+    /// Detection strikes on one replica before the router ejects it
+    /// (reset by readmission and by warm restart).
+    pub eject_after: usize,
+    /// Lowest flipped bit the modelled ABFT check can see: flips in bits
+    /// `>= detect_bit_floor` are detected, lower flips escape.
+    pub detect_bit_floor: u32,
+    /// Per-completion probability that verification trips with no real
+    /// flip (checksum round-off pessimism). 0 disables the draw entirely.
+    pub false_alarm_rate: f64,
+}
+
+impl Default for SdcParams {
+    fn default() -> SdcParams {
+        SdcParams {
+            protected: true,
+            reexec_budget: 1,
+            eject_after: 3,
+            detect_bit_floor: 16,
+            false_alarm_rate: 0.0,
         }
     }
 }
@@ -437,6 +487,41 @@ pub enum FleetEventKind {
         /// The readmitted replica.
         replica: usize,
     },
+    /// A replica's ABFT-checksummed kernel caught an injected bit flip;
+    /// the corrupted result was discarded before reaching the tenant.
+    SdcDetected {
+        /// The corrupting replica.
+        replica: usize,
+        /// The affected tenant.
+        tenant: usize,
+        /// Flipped bit position of the injected fault.
+        bit: u32,
+    },
+    /// Verification tripped with no injected flip (checksum round-off
+    /// pessimism); the good result was discarded anyway.
+    SdcFalseAlarm {
+        /// The replica whose check tripped.
+        replica: usize,
+        /// The affected tenant.
+        tenant: usize,
+    },
+    /// A corruption-detected request was re-executed on a healthy peer.
+    SdcReexecuted {
+        /// The replica that produced the discarded result.
+        replica: usize,
+        /// The healthy replica the request was requeued on.
+        target: usize,
+        /// The affected tenant.
+        tenant: usize,
+    },
+    /// Repeated corruption detections ejected the replica from routing
+    /// candidacy (it re-enters via the gray probe/readmit machinery).
+    SdcEjected {
+        /// The ejected replica.
+        replica: usize,
+        /// Detection strikes at ejection.
+        strikes: usize,
+    },
 }
 
 /// One typed, timestamped fleet event.
@@ -502,6 +587,22 @@ impl FleetEvent {
             } => format!("r{replica} gray-ejected ratio={slow_ratio:.2}"),
             FleetEventKind::GrayProbing { replica } => format!("r{replica} gray-probing"),
             FleetEventKind::GrayReadmitted { replica } => format!("r{replica} gray-readmitted"),
+            FleetEventKind::SdcDetected {
+                replica,
+                tenant,
+                bit,
+            } => format!("r{replica} sdc-detected tenant={tenant} bit={bit}"),
+            FleetEventKind::SdcFalseAlarm { replica, tenant } => {
+                format!("r{replica} sdc-false-alarm tenant={tenant}")
+            }
+            FleetEventKind::SdcReexecuted {
+                replica,
+                target,
+                tenant,
+            } => format!("r{replica} sdc-reexec->r{target} tenant={tenant}"),
+            FleetEventKind::SdcEjected { replica, strikes } => {
+                format!("r{replica} sdc-ejected strikes={strikes}")
+            }
         };
         format!("t={:.4} n={} {}", self.time_s, self.completed, body)
     }
@@ -553,6 +654,15 @@ pub struct TenantReport {
     pub quarantined_points: usize,
     /// Replicas on which quarantine exhausted this tenant's curve.
     pub exact_fallback_replicas: usize,
+    /// Corrupted results caught by ABFT verification for this tenant.
+    pub sdc_detected: usize,
+    /// Detected requests successfully re-executed on a healthy peer.
+    pub sdc_reexecuted: usize,
+    /// Injected flips served silently (below the detection floor, or the
+    /// replica ran unprotected kernels).
+    pub sdc_escaped: usize,
+    /// Verification trips with no injected flip.
+    pub sdc_false_alarm: usize,
     /// Mean latency of served (on-time + late) requests, seconds.
     pub mean_latency_s: f64,
     /// Mean planned QoS over served requests.
@@ -606,6 +716,10 @@ pub struct ReplicaReport {
     pub gray_ejections: usize,
     /// Times this replica was partitioned away.
     pub partitions: usize,
+    /// Corruption detections on this replica's results.
+    pub sdc_detections: usize,
+    /// Times repeated detections ejected this replica.
+    pub sdc_ejections: usize,
     /// Breaker state at end of run.
     pub final_breaker: BreakerState,
 }
@@ -643,6 +757,16 @@ pub struct FleetReport {
     pub gray_ejections: usize,
     /// Partitions injected by the chaos plan.
     pub partitions: usize,
+    /// Corrupted results caught by ABFT verification, all tenants.
+    pub sdc_detected: usize,
+    /// Detected requests re-executed on a healthy peer.
+    pub sdc_reexecuted: usize,
+    /// Injected flips served silently.
+    pub sdc_escaped: usize,
+    /// Verification trips with no injected flip.
+    pub sdc_false_alarm: usize,
+    /// Replicas ejected for repeated corruption detections (event count).
+    pub sdc_ejections: usize,
     /// |arrivals − (admitted + shed)| — the request-accounting invariant.
     /// Zero means every arrival is accounted: served, faulted, stalled, or
     /// shed with a typed reason. Anything else is a bug.
@@ -705,6 +829,9 @@ struct QueuedReq {
     tenant: usize,
     arrival_s: f64,
     deadline_s: f64,
+    /// Times this request was already re-executed after a corruption
+    /// detection (bounded by `SdcParams::reexec_budget`).
+    reexecs: usize,
 }
 
 struct InFlight {
@@ -722,6 +849,11 @@ struct InFlight {
     /// Normalised slowdown of this execution (service × speedup ÷
     /// baseline) — the router's gray-detection sample.
     slow_sample: f64,
+    /// Ground-truth injected bit flip, when a chaos bit-flip window was
+    /// active at start and the seeded draw fired.
+    flip: Option<InjectedFlip>,
+    /// Corruption re-executions this request already consumed.
+    reexecs: usize,
 }
 
 /// Router-side gray-failure state of one replica.
@@ -772,6 +904,17 @@ struct Replica {
     crashes: usize,
     gray_ejections: usize,
     partitions: usize,
+    /// Requests started while a bit-flip window was active (keys the
+    /// seeded flip draw; only advances inside a window).
+    flip_draws: usize,
+    /// Completions that consumed a false-alarm draw (only advances with a
+    /// non-zero false-alarm rate).
+    fa_draws: usize,
+    /// Detection strikes since the replica last earned trust (readmission
+    /// or restart resets it).
+    sdc_strikes: usize,
+    sdc_detections: usize,
+    sdc_ejections: usize,
 }
 
 impl Replica {
@@ -803,6 +946,11 @@ impl Replica {
             crashes: 0,
             gray_ejections: 0,
             partitions: 0,
+            flip_draws: 0,
+            fa_draws: 0,
+            sdc_strikes: 0,
+            sdc_detections: 0,
+            sdc_ejections: 0,
         }
     }
 
@@ -851,6 +999,10 @@ struct TenantAccum {
     shed_breaker: usize,
     shed_replica_lost: usize,
     planned_floor_breaches: usize,
+    sdc_detected: usize,
+    sdc_reexecuted: usize,
+    sdc_escaped: usize,
+    sdc_false_alarm: usize,
     latency_sum: f64,
     qos_sum: f64,
     served: usize,
@@ -903,6 +1055,9 @@ pub fn run_fleet(
     let trip_at = sp.breaker_threshold.max(1);
     let probes_needed = sp.half_open_probes.max(1);
     let stall_bound = sp.stall_bound_s.max(1e-9);
+    // Seeds the ground-truth bit-flip draws; sharing the serve seed keeps
+    // the whole simulation a function of the existing parameter set.
+    let flip_seed = sp.seed;
 
     let mut replicas: Vec<Replica> = (0..n).map(|_| Replica::new()).collect();
     // Per-(replica, tenant) state: the shipped-curve tuner, the guard, and
@@ -973,6 +1128,7 @@ pub fn run_fleet(
         tenant_acc: &mut [TenantAccum],
         device: &DisturbedDevice,
         chaos: &ChaosPlan,
+        flip_seed: u64,
         dead_band: f64,
         drain_budget: f64,
         stall_bound: f64,
@@ -1050,6 +1206,18 @@ pub fn run_fleet(
                     .and_then(|p| executor.canary_qos(tk, rg, p)),
                 _ => None,
             };
+            // Silent corruption: inside an active bit-flip window each
+            // started request consumes one seeded draw. Outside a window
+            // no draw state advances, keeping chaos-free runs
+            // bit-identical to the pre-SDC code path.
+            let flip = match chaos.bitflip_at(r, now) {
+                Some(w) => {
+                    let kd = rep.flip_draws as u64;
+                    rep.flip_draws += 1;
+                    ChaosPlan::draw_flip(flip_seed, r, kd, &w)
+                }
+                None => None,
+            };
             rep.busy = Some(InFlight {
                 tenant: t,
                 arrival_s: req.arrival_s,
@@ -1062,6 +1230,8 @@ pub fn run_fleet(
                 canary,
                 tk,
                 slow_sample,
+                flip,
+                reexecs: req.reexecs,
             });
         }
     }
@@ -1130,7 +1300,7 @@ pub fn run_fleet(
         tuners_row: &[RuntimeTuner],
         guards_row: &[QosGuard],
     ) -> ReplicaCheckpoint {
-        ReplicaCheckpoint {
+        let mut cp = ReplicaCheckpoint {
             version: REPLICA_CHECKPOINT_VERSION,
             replica: r,
             crashed_at_s: now,
@@ -1150,7 +1320,10 @@ pub fn run_fleet(
                     guard: g.clone(),
                 })
                 .collect(),
-        }
+            fingerprint: 0,
+        };
+        cp.seal();
+        cp
     }
 
     // Chaos machinery: the scripted event cursor, pending restart/heal
@@ -1179,6 +1352,7 @@ pub fn run_fleet(
     let mut checkpoints: Vec<Option<ReplicaCheckpoint>> = (0..n).map(|_| None).collect();
     let mut recovery_times: Vec<f64> = Vec::new();
     let ej = params.ejection;
+    let sdcp = params.sdc;
 
     let mut i = 0usize; // next arrival index
     loop {
@@ -1242,38 +1416,185 @@ pub fn run_fleet(
             completed_total += 1;
             let t = b.tenant;
             let latency = b.finish_s - b.arrival_s;
-            let failure = if b.stalled {
-                tenant_acc[t].stalled += 1;
-                true
-            } else if b.fault {
-                tenant_acc[t].faulted += 1;
-                true
-            } else if b.finish_s > b.deadline_s + 1e-12 {
-                tenant_acc[t].served_late += 1;
-                tenant_acc[t].latency_sum += latency;
-                tenant_acc[t].qos_sum += b.qos;
-                tenant_acc[t].served += 1;
-                latencies.push(latency);
-                true
-            } else {
-                tenant_acc[t].served_on_time += 1;
-                tenant_acc[t].latency_sum += latency;
-                tenant_acc[t].qos_sum += b.qos;
-                tenant_acc[t].served += 1;
-                latencies.push(latency);
-                false
-            };
 
-            // Per-replica breaker bookkeeping; a trip migrates the queue.
-            match replicas[r].breaker {
-                BreakerState::Closed => {
-                    if failure {
-                        replicas[r].consecutive_failures += 1;
-                        if replicas[r].consecutive_failures >= trip_at {
+            // --- Silent-data-corruption verdict ---------------------------
+            // Ground truth from the chaos plan meets the modelled ABFT
+            // sensitivity. Strictly gated: with no injected flip and a zero
+            // false-alarm rate nothing below mutates any state, so
+            // corruption-free runs stay bit-identical to the pre-SDC code
+            // path.
+            let mut sdc_tripped = false;
+            if let Some(flip) = b.flip {
+                if sdcp.protected && flip.bit >= sdcp.detect_bit_floor {
+                    sdc_tripped = true;
+                    tenant_acc[t].sdc_detected += 1;
+                    replicas[r].sdc_detections += 1;
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::SdcDetected {
+                            replica: r,
+                            tenant: t,
+                            bit: flip.bit,
+                        },
+                    );
+                } else {
+                    // Below the detection floor (or unprotected kernels):
+                    // the corrupted result is served silently.
+                    tenant_acc[t].sdc_escaped += 1;
+                }
+            } else if sdcp.protected && sdcp.false_alarm_rate > 0.0 {
+                let kd = replicas[r].fa_draws as u64;
+                replicas[r].fa_draws += 1;
+                let h = splitmix64(
+                    flip_seed
+                        ^ 0x5DC_FA11
+                        ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ kd.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                );
+                if (h as f64) / (u64::MAX as f64) < sdcp.false_alarm_rate {
+                    sdc_tripped = true;
+                    tenant_acc[t].sdc_false_alarm += 1;
+                    replicas[r].sdc_detections += 1;
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::SdcFalseAlarm {
+                            replica: r,
+                            tenant: t,
+                        },
+                    );
+                }
+            }
+
+            if sdc_tripped {
+                // The discarded result reaches neither the tenant nor the
+                // guard's residual window nor the breaker: a corruption
+                // verdict is not evidence about promises or failure rates.
+                // Re-execute on a healthy peer within budget; past it (or
+                // with no peer able to take the request) it is accounted as
+                // faulted, keeping the arrival-accounting invariant exact.
+                let mut reexecuted = false;
+                if b.reexecs < sdcp.reexec_budget {
+                    let target = (0..n)
+                        .filter(|&j| {
+                            j != r
+                                && replicas[j].healthy_target()
+                                && replicas[j].open_to_arrivals(probes_needed)
+                                && replicas[j].queue.len() < sp.queue_cap
+                        })
+                        .min_by_key(|&j| (replicas[j].queue.len(), j));
+                    if let Some(j) = target {
+                        replicas[j].queue.push_back(QueuedReq {
+                            tenant: t,
+                            arrival_s: b.arrival_s,
+                            deadline_s: b.deadline_s,
+                            reexecs: b.reexecs + 1,
+                        });
+                        replicas[j].max_queue_depth =
+                            replicas[j].max_queue_depth.max(replicas[j].queue.len());
+                        tenant_acc[t].sdc_reexecuted += 1;
+                        log.push(
+                            now,
+                            completed_total,
+                            FleetEventKind::SdcReexecuted {
+                                replica: r,
+                                target: j,
+                                tenant: t,
+                            },
+                        );
+                        reexecuted = true;
+                    }
+                }
+                if !reexecuted {
+                    tenant_acc[t].faulted += 1;
+                }
+                // Repeated detections hand the replica to the existing gray
+                // eject → probe → readmit machinery. Never eject the last
+                // healthy replica.
+                replicas[r].sdc_strikes += 1;
+                if ej.enabled
+                    && replicas[r].sdc_strikes >= sdcp.eject_after.max(1)
+                    && replicas[r].eject == EjectState::Healthy
+                    && (0..n).any(|j| j != r && replicas[j].healthy_target())
+                {
+                    let strikes = replicas[r].sdc_strikes;
+                    replicas[r].eject = EjectState::Ejected { since: now };
+                    replicas[r].sdc_ejections += 1;
+                    replicas[r].sdc_strikes = 0;
+                    log.push(
+                        now,
+                        completed_total,
+                        FleetEventKind::SdcEjected {
+                            replica: r,
+                            strikes,
+                        },
+                    );
+                }
+            } else {
+                let failure = if b.stalled {
+                    tenant_acc[t].stalled += 1;
+                    true
+                } else if b.fault {
+                    tenant_acc[t].faulted += 1;
+                    true
+                } else if b.finish_s > b.deadline_s + 1e-12 {
+                    tenant_acc[t].served_late += 1;
+                    tenant_acc[t].latency_sum += latency;
+                    tenant_acc[t].qos_sum += b.qos;
+                    tenant_acc[t].served += 1;
+                    latencies.push(latency);
+                    true
+                } else {
+                    tenant_acc[t].served_on_time += 1;
+                    tenant_acc[t].latency_sum += latency;
+                    tenant_acc[t].qos_sum += b.qos;
+                    tenant_acc[t].served += 1;
+                    latencies.push(latency);
+                    false
+                };
+
+                // Per-replica breaker bookkeeping; a trip migrates the queue.
+                match replicas[r].breaker {
+                    BreakerState::Closed => {
+                        if failure {
+                            replicas[r].consecutive_failures += 1;
+                            if replicas[r].consecutive_failures >= trip_at {
+                                replicas[r].breaker = BreakerState::Open;
+                                replicas[r].open_until = now + sp.cooldown_s.max(0.0);
+                                replicas[r].trips += 1;
+                                let failures = replicas[r].consecutive_failures;
+                                let (migrated, shed) = flush_queue(
+                                    r,
+                                    now,
+                                    params.steal,
+                                    false,
+                                    sp.queue_cap,
+                                    probes_needed,
+                                    &mut replicas,
+                                    &mut tenant_acc,
+                                );
+                                log.push(
+                                    now,
+                                    completed_total,
+                                    FleetEventKind::BreakerTripped {
+                                        replica: r,
+                                        failures,
+                                        migrated,
+                                        shed,
+                                    },
+                                );
+                            }
+                        } else {
+                            replicas[r].consecutive_failures = 0;
+                        }
+                    }
+                    BreakerState::HalfOpen => {
+                        if failure {
                             replicas[r].breaker = BreakerState::Open;
                             replicas[r].open_until = now + sp.cooldown_s.max(0.0);
                             replicas[r].trips += 1;
-                            let failures = replicas[r].consecutive_failures;
+                            replicas[r].consecutive_failures = 1;
                             let (migrated, shed) = flush_queue(
                                 r,
                                 now,
@@ -1289,91 +1610,61 @@ pub fn run_fleet(
                                 completed_total,
                                 FleetEventKind::BreakerTripped {
                                     replica: r,
-                                    failures,
+                                    failures: 1,
                                     migrated,
                                     shed,
                                 },
                             );
-                        }
-                    } else {
-                        replicas[r].consecutive_failures = 0;
-                    }
-                }
-                BreakerState::HalfOpen => {
-                    if failure {
-                        replicas[r].breaker = BreakerState::Open;
-                        replicas[r].open_until = now + sp.cooldown_s.max(0.0);
-                        replicas[r].trips += 1;
-                        replicas[r].consecutive_failures = 1;
-                        let (migrated, shed) = flush_queue(
-                            r,
-                            now,
-                            params.steal,
-                            false,
-                            sp.queue_cap,
-                            probes_needed,
-                            &mut replicas,
-                            &mut tenant_acc,
-                        );
-                        log.push(
-                            now,
-                            completed_total,
-                            FleetEventKind::BreakerTripped {
-                                replica: r,
-                                failures: 1,
-                                migrated,
-                                shed,
-                            },
-                        );
-                    } else {
-                        replicas[r].probe_successes += 1;
-                        if replicas[r].probe_successes >= probes_needed {
-                            replicas[r].breaker = BreakerState::Closed;
-                            replicas[r].consecutive_failures = 0;
-                            log.push(
-                                now,
-                                completed_total,
-                                FleetEventKind::BreakerClosed { replica: r },
-                            );
+                        } else {
+                            replicas[r].probe_successes += 1;
+                            if replicas[r].probe_successes >= probes_needed {
+                                replicas[r].breaker = BreakerState::Closed;
+                                replicas[r].consecutive_failures = 0;
+                                log.push(
+                                    now,
+                                    completed_total,
+                                    FleetEventKind::BreakerClosed { replica: r },
+                                );
+                            }
                         }
                     }
+                    BreakerState::Open => {}
                 }
-                BreakerState::Open => {}
-            }
 
-            // Guard: verify the canaried promise before anything re-selects.
-            if !b.stalled && !b.fault {
-                if let (Some(rg), Some(obs)) = (b.rung, b.canary) {
-                    let verdict = guards[r][t].observe(now, completed_total, rg, b.qos, obs);
-                    if let GuardVerdict::Quarantine { rung, repaired_qos } = verdict {
-                        tuners[r][t].repair_qos(rung, repaired_qos);
-                        tuners[r][t].quarantine(rung);
-                        log.push(
-                            now,
-                            completed_total,
-                            FleetEventKind::Quarantined {
-                                replica: r,
-                                tenant: t,
-                                rung,
-                                repaired_qos,
-                            },
-                        );
-                        if tuners[r][t].active_len() == 0 {
-                            guards[r][t].note_unrecoverable(now, completed_total);
+                // Guard: verify the canaried promise before anything re-selects.
+                if !b.stalled && !b.fault {
+                    if let (Some(rg), Some(obs)) = (b.rung, b.canary) {
+                        let verdict = guards[r][t].observe(now, completed_total, rg, b.qos, obs);
+                        if let GuardVerdict::Quarantine { rung, repaired_qos } = verdict {
+                            tuners[r][t].repair_qos(rung, repaired_qos);
+                            tuners[r][t].quarantine(rung);
                             log.push(
                                 now,
                                 completed_total,
-                                FleetEventKind::ExactFallback {
+                                FleetEventKind::Quarantined {
                                     replica: r,
                                     tenant: t,
+                                    rung,
+                                    repaired_qos,
                                 },
                             );
-                        } else {
-                            let applied = replicas[r].applied_required;
-                            tuners[r][t].adapt_to(applied);
+                            if tuners[r][t].active_len() == 0 {
+                                guards[r][t].note_unrecoverable(now, completed_total);
+                                log.push(
+                                    now,
+                                    completed_total,
+                                    FleetEventKind::ExactFallback {
+                                        replica: r,
+                                        tenant: t,
+                                    },
+                                );
+                            } else {
+                                let applied = replicas[r].applied_required;
+                                tuners[r][t].adapt_to(applied);
+                            }
                         }
+                        let _ = b.tk;
                     }
-                    let _ = b.tk;
                 }
             }
 
@@ -1435,6 +1726,7 @@ pub fn run_fleet(
                                         // The EWMA is contaminated by the
                                         // gray window; restart trust fresh.
                                         replicas[r].router_ewma = 1.0;
+                                        replicas[r].sdc_strikes = 0;
                                         log.push(
                                             now,
                                             completed_total,
@@ -1501,6 +1793,7 @@ pub fn run_fleet(
                 &mut tenant_acc,
                 device,
                 &params.chaos,
+                flip_seed,
                 dead_band,
                 drain_budget,
                 stall_bound,
@@ -1521,6 +1814,7 @@ pub fn run_fleet(
                         &mut tenant_acc,
                         device,
                         &params.chaos,
+                        flip_seed,
                         dead_band,
                         drain_budget,
                         stall_bound,
@@ -1603,6 +1897,7 @@ pub fn run_fleet(
                                 &mut tenant_acc,
                                 device,
                                 &params.chaos,
+                                flip_seed,
                                 dead_band,
                                 drain_budget,
                                 stall_bound,
@@ -1614,6 +1909,11 @@ pub fn run_fleet(
                     // Silent by design: the inflation reaches service times
                     // through `gray_inflation_at` inside start_next; the
                     // router has to notice on its own.
+                }
+                ChaosKind::BitFlip { .. } => {
+                    // Silent by design: corruption windows reach requests
+                    // through `bitflip_at` + `draw_flip` inside start_next;
+                    // only the ABFT verdict at completion is observable.
                 }
                 ChaosKind::Partition {
                     len_s,
@@ -1655,7 +1955,10 @@ pub fn run_fleet(
                 TimerKind::Restart => {
                     replicas[r].down = false;
                     let mut inherited = 0usize;
-                    if let Some(cp) = checkpoints[r].take() {
+                    // A checkpoint whose content fingerprint no longer
+                    // matches was corrupted between crash and restart:
+                    // refuse the warm restore and restart cold instead.
+                    if let Some(cp) = checkpoints[r].take().filter(ReplicaCheckpoint::is_sealed) {
                         let applied = cp.applied_required;
                         {
                             let rep = &mut replicas[r];
@@ -1668,6 +1971,7 @@ pub fn run_fleet(
                             rep.slow_ewma = cp.slow_ewma;
                             rep.router_ewma = 1.0;
                             rep.samples_since_up = 0;
+                            rep.sdc_strikes = 0;
                         }
                         for (t, tc) in cp.tenants.into_iter().enumerate() {
                             if t >= m {
@@ -1705,6 +2009,7 @@ pub fn run_fleet(
                         // restart cold.
                         replicas[r].router_ewma = 1.0;
                         replicas[r].samples_since_up = 0;
+                        replicas[r].sdc_strikes = 0;
                     }
                     log.push(
                         now,
@@ -1786,6 +2091,7 @@ pub fn run_fleet(
                 tenant: t,
                 arrival_s: at,
                 deadline_s: at + deadline,
+                reexecs: 0,
             };
             // Replica-level admission: bounded queue, then deadline
             // feasibility under the replica's observed slowdown and the
@@ -1839,6 +2145,7 @@ pub fn run_fleet(
                 &mut tenant_acc,
                 device,
                 &params.chaos,
+                flip_seed,
                 dead_band,
                 drain_budget,
                 stall_bound,
@@ -1884,6 +2191,10 @@ pub fn run_fleet(
             planned_floor_breaches: acc.planned_floor_breaches,
             quarantined_points: 0,
             exact_fallback_replicas: 0,
+            sdc_detected: acc.sdc_detected,
+            sdc_reexecuted: acc.sdc_reexecuted,
+            sdc_escaped: acc.sdc_escaped,
+            sdc_false_alarm: acc.sdc_false_alarm,
             mean_latency_s: if acc.served == 0 {
                 0.0
             } else {
@@ -1923,6 +2234,8 @@ pub fn run_fleet(
             crashes: rep.crashes,
             gray_ejections: rep.gray_ejections,
             partitions: rep.partitions,
+            sdc_detections: rep.sdc_detections,
+            sdc_ejections: rep.sdc_ejections,
             final_breaker: rep.breaker,
         })
         .collect();
@@ -1957,6 +2270,11 @@ pub fn run_fleet(
         crashes: replica_reports.iter().map(|r| r.crashes).sum(),
         gray_ejections: replica_reports.iter().map(|r| r.gray_ejections).sum(),
         partitions: replica_reports.iter().map(|r| r.partitions).sum(),
+        sdc_detected: tenant_reports.iter().map(|t| t.sdc_detected).sum(),
+        sdc_reexecuted: tenant_reports.iter().map(|t| t.sdc_reexecuted).sum(),
+        sdc_escaped: tenant_reports.iter().map(|t| t.sdc_escaped).sum(),
+        sdc_false_alarm: tenant_reports.iter().map(|t| t.sdc_false_alarm).sum(),
+        sdc_ejections: replica_reports.iter().map(|r| r.sdc_ejections).sum(),
         requests_unaccounted: arrivals.len().abs_diff(admitted + shed),
         mean_recovery_s,
         mean_latency_s,

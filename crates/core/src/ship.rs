@@ -43,6 +43,34 @@ pub fn graph_fingerprint(graph: &Graph) -> u64 {
     h
 }
 
+/// A content fingerprint of a graph's *weights*: FNV-1a over every
+/// parameter tensor's shape and f32 bit patterns, in parameter order.
+/// Unlike [`graph_fingerprint`] this sees value changes — a single flipped
+/// mantissa bit anywhere in the model changes the result — so an executor
+/// constructed against a pinned fingerprint can refuse silently corrupted
+/// weights with a typed error instead of serving garbage.
+pub fn weights_fingerprint(graph: &Graph) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for p in graph.params() {
+        eat(&(p.shape().dims().len() as u32).to_le_bytes());
+        for &d in p.shape().dims() {
+            eat(&(d as u64).to_le_bytes());
+        }
+        for &v in p.data() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
 /// The artifact shipped alongside the program binary.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ShippedArtifact {
@@ -385,6 +413,25 @@ mod tests {
         let g1 = graph(1);
         let g2 = graph(99);
         assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+    }
+
+    #[test]
+    fn weights_fingerprint_sees_single_bit_flips() {
+        let g1 = graph(1);
+        let g2 = graph(99);
+        // Structurally identical, so the program fingerprint agrees, but the
+        // weight fingerprint is a content hash and must not.
+        assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+        assert_ne!(weights_fingerprint(&g1), weights_fingerprint(&g2));
+        // Deterministic over identical contents.
+        assert_eq!(weights_fingerprint(&g1), weights_fingerprint(&graph(1)));
+        // A single flipped mantissa bit anywhere in the model is visible to
+        // the weight hash while remaining invisible to the structural one.
+        let mut flipped = graph(1);
+        let data = flipped.param_mut(at_ir::graph::ParamId(0)).data_mut();
+        data[3] = f32::from_bits(data[3].to_bits() ^ 1);
+        assert_ne!(weights_fingerprint(&g1), weights_fingerprint(&flipped));
+        assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&flipped));
     }
 
     #[test]

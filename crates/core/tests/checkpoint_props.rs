@@ -188,7 +188,7 @@ fn checkpoint_s() -> impl Strategy<Value = SearchCheckpoint> {
                 (candidates, telemetry),
                 supervision,
             )| {
-                SearchCheckpoint {
+                let mut cp = SearchCheckpoint {
                     version: CHECKPOINT_VERSION,
                     qos_min,
                     batch_size,
@@ -198,7 +198,10 @@ fn checkpoint_s() -> impl Strategy<Value = SearchCheckpoint> {
                     candidates,
                     telemetry,
                     supervision,
-                }
+                    fingerprint: 0,
+                };
+                cp.seal();
+                cp
             },
         )
 }

@@ -452,3 +452,76 @@ fn empty_chaos_plan_is_bit_identical_to_no_chaos() {
         run_with(ChaosPlan::default()).to_json()
     );
 }
+
+/// A crash that lands while the *same* replica is both gray-inflated and
+/// partitioned: the three fault machines must compose without losing a
+/// request. The replica crashes mid-overlap, warm-restarts, and the fleet
+/// keeps serving — accounting stays exact through the pile-up.
+#[test]
+fn crash_during_active_gray_and_partition_composes() {
+    let tenants = vec![tenant("t", 60.0, 0.015, 0xC0111)];
+    let execs: Vec<&dyn RequestExecutor> = vec![&NoFaultExecutor];
+    let r = run_fleet(
+        &tenants,
+        &execs,
+        &idle_device(),
+        &FleetParams {
+            replicas: 3,
+            policy: RouterPolicy::JoinShortestQueue,
+            serve: ServeParams {
+                deadline_s: 0.5,
+                queue_cap: 16,
+                ..ServeParams::default()
+            },
+            horizon_s: 40.0,
+            steal: true,
+            route_seed: 0xC0111,
+            chaos: ChaosPlan::scripted([
+                ChaosEvent {
+                    at_s: 5.0,
+                    replica: 2,
+                    kind: ChaosKind::Gray {
+                        len_s: 20.0,
+                        inflation: 8.0,
+                    },
+                },
+                ChaosEvent {
+                    at_s: 8.0,
+                    replica: 2,
+                    kind: ChaosKind::Partition {
+                        len_s: 10.0,
+                        lost_messages: 4,
+                    },
+                },
+                ChaosEvent {
+                    at_s: 10.0,
+                    replica: 2,
+                    kind: ChaosKind::Crash {
+                        restart_after_s: 1.0,
+                    },
+                },
+            ]),
+            ..FleetParams::default()
+        },
+    );
+    assert_fully_accounted(&r);
+    assert_eq!(r.crashes, 1);
+    assert_eq!(r.partitions, 1);
+    assert_eq!(r.replica_reports[2].crashes, 1);
+    let pos = |pred: &dyn Fn(&FleetEventKind) -> bool| r.events.iter().position(|e| pred(&e.kind));
+    let partitioned = pos(&|k| matches!(k, FleetEventKind::Partitioned { replica: 2, .. }))
+        .expect("Partitioned event");
+    let crashed = pos(&|k| matches!(k, FleetEventKind::ReplicaCrashed { replica: 2, .. }))
+        .expect("ReplicaCrashed event");
+    let restarted = pos(&|k| matches!(k, FleetEventKind::ReplicaRestarted { replica: 2, .. }))
+        .expect("ReplicaRestarted event");
+    assert!(
+        partitioned < crashed && crashed < restarted,
+        "partition opens, then the crash lands inside it, then the warm restart"
+    );
+    assert!(
+        r.on_time_rate() > 0.5,
+        "two healthy replicas must carry the fleet through the pile-up (got {})",
+        r.on_time_rate()
+    );
+}

@@ -197,6 +197,12 @@ impl Graph {
         &self.params[id.0 as usize]
     }
 
+    /// All parameter tensors, in [`ParamId`] order (weight-integrity
+    /// fingerprints hash these).
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
     /// Mutable parameter access (used by the pruning study).
     pub fn param_mut(&mut self, id: ParamId) -> &mut Tensor {
         &mut self.params[id.0 as usize]

@@ -1,0 +1,39 @@
+//! Micro-probe for the ABFT verification overhead: times the 512³ f32
+//! GEMM and its column-checksum verification back to back, interleaved,
+//! and reports the per-iteration minimum of each (minimum, not mean — the
+//! machine this grows on is a noisy single-core box and the floor is the
+//! only stable statistic). Run with
+//! `cargo run --release -p at-tensor --example prof_abft`.
+
+use std::time::Instant;
+
+fn main() {
+    let n = 512usize;
+    let a: Vec<f32> = (0..n * n)
+        .map(|i| ((i * 2654435761usize) as f32 / u32::MAX as f32) - 0.5)
+        .collect();
+    let b: Vec<f32> = (0..n * n)
+        .map(|i| ((i * 40503usize) as f32 / u32::MAX as f32) - 0.5)
+        .collect();
+    let mut c = vec![0.0f32; n * n];
+    let tol = at_tensor::ops::AbftTol::exact(n, n, n);
+    use at_tensor::ops::gemm::{gemm_f32, Epilogue};
+    gemm_f32(n, n, n, &a, &b, &mut c, &Epilogue::Raw);
+    at_tensor::ops::verify_gemm_f32(n, n, n, &a, &b, &c, &tol).unwrap();
+
+    let (mut best_g, mut best_v) = (f64::MAX, f64::MAX);
+    for _ in 0..12 {
+        let t0 = Instant::now();
+        gemm_f32(n, n, n, &a, &b, &mut c, &Epilogue::Raw);
+        best_g = best_g.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        at_tensor::ops::verify_gemm_f32(n, n, n, &a, &b, &c, &tol).unwrap();
+        best_v = best_v.min(t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "gemm:   {:.3}ms\nverify: {:.3}ms  ({:.1}% of gemm)",
+        best_g * 1e3,
+        best_v * 1e3,
+        100.0 * best_v / best_g
+    );
+}

@@ -49,6 +49,16 @@ pub enum TensorError {
         /// Rendered description of the graph-level failure.
         detail: String,
     },
+    /// An ABFT checksum (or content fingerprint) disagreed with the data it
+    /// protects: the output is silently corrupt and must not be used.
+    /// Unlike [`TensorError::Transient`], retrying the *same* state is not
+    /// expected to help — the caller should re-execute on healthy state.
+    CorruptionDetected {
+        /// Operation (or artifact) whose integrity check failed.
+        op: &'static str,
+        /// Which check tripped and by how much, for logs.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -72,6 +82,9 @@ impl fmt::Display for TensorError {
             TensorError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             TensorError::Transient { detail } => write!(f, "transient failure: {detail}"),
             TensorError::Graph { detail } => write!(f, "graph error: {detail}"),
+            TensorError::CorruptionDetected { op, detail } => {
+                write!(f, "silent data corruption detected in {op}: {detail}")
+            }
         }
     }
 }

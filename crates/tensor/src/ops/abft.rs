@@ -1,0 +1,590 @@
+//! Algorithm-based fault tolerance (ABFT) for GEMM-shaped kernels —
+//! checksum-verified matmul and convolution paths that detect silent data
+//! corruption instead of returning silently wrong outputs.
+//!
+//! The Huang–Abraham identity: for `C = A × B`, the column sums of `C`
+//! must equal `(Σ_i A[i,·]) × B`. Checking it costs `O(M·K + K·N + M·N)` —
+//! negligible next to the `O(M·K·N)` multiply — and any corruption of the
+//! raw accumulators (a flipped bit in an output, an ALU fault during the
+//! multiply, operand memory corrupted after checksum capture) perturbs at
+//! least one column sum far outside floating-point noise: an output flip
+//! lands in exactly one column, and an operand flip smears `Δ·B[kk,·]`
+//! (resp. `Δ·A[·,kk]` folded per column) across the row of sums.
+//!
+//! We deliberately verify the *column* side only. Classic two-sided ABFT
+//! adds row checksums to *localise* (and correct) the faulty element, but
+//! this runtime never corrects in place — detection aborts the kernel and
+//! the fleet re-executes the request on a healthy replica — so the second
+//! side would double the verification cost for localisation information
+//! nobody consumes. Single-sided detection keeps measured overhead inside
+//! the ≤10% envelope on a 512³ GEMM.
+//!
+//! **Tolerance is scaled to the active knob's promised error.** The
+//! verified product is compared against independently accumulated f32
+//! reference checksums (see [`verify_raw`] for why f32 suffices), so the
+//! legitimate discrepancy is the knob's own numerical contract:
+//!
+//! * `MulApprox::Exact` (FP32 and FP16 operands both accumulate in f32):
+//!   FMA rounding noise, which random-walks like `√steps · ε₃₂` against an
+//!   L2-style magnitude bound ([`AbftTol::exact`]).
+//! * `MulApprox::Lut`: the Mitchell logarithmic multiplier's promised
+//!   per-product relative error bound against an L1 magnitude bound
+//!   ([`AbftTol::lut`]).
+//!
+//! Comparisons are NaN-safe by construction: every check is of the form
+//! `|actual − expected| ≤ limit`, which is *false* whenever corruption
+//! produced a NaN or infinity on either side, so non-finite garbage is
+//! always reported as [`TensorError::CorruptionDetected`].
+//!
+//! **Bit-exactness**: the verified paths run the production kernels with a
+//! raw epilogue, verify, then apply the epilogue element-wise. Because
+//! [`Epilogue::apply`] is a pure per-element function, outputs are
+//! bit-identical to the unprotected fused kernels (the golden suite pins
+//! this).
+
+use crate::error::TensorError;
+use crate::knobs::{MulApprox, Precision};
+use crate::lut::{self, LutTable};
+use crate::ops::conv::Conv2dParams;
+use crate::ops::gemm::{self, Epilogue};
+use crate::ops::im2col;
+use crate::tensor::Tensor;
+use crate::Shape;
+
+/// Checksum comparison tolerance: `|actual − expected| ≤ abs + rel · mag`,
+/// where `mag` is an L1 or L2 magnitude bound accumulated alongside the
+/// expected checksum.
+#[derive(Clone, Copy, Debug)]
+pub struct AbftTol {
+    /// Relative factor applied to the magnitude bound.
+    pub rel: f64,
+    /// Absolute floor (covers all-zero panels).
+    pub abs: f64,
+    /// Use the L1 magnitude `Σ|aᵢ·bⱼ|` (worst-case-correlated error, for
+    /// the LUT multiplier) instead of the L2 magnitude `√(Σ(aᵢ·bⱼ)²)`
+    /// (random-walk rounding, for exact accumulation).
+    pub l1: bool,
+}
+
+impl AbftTol {
+    /// Tolerance for exact-FMA accumulation (FP32, and FP16 operands —
+    /// the checksums are computed over the already-quantised operands, so
+    /// the residual noise is still f32 accumulation rounding).
+    pub fn exact(m: usize, k: usize, n: usize) -> AbftTol {
+        let steps = (k + m + n).max(1) as f64;
+        AbftTol {
+            rel: 16.0 * steps.sqrt() * f64::from(f32::EPSILON),
+            abs: 1e-12,
+            l1: false,
+        }
+    }
+
+    /// Tolerance for the LUT approximate multiplier: Mitchell's logarithmic
+    /// multiplier promises ≤ ~11.1% relative error per product (plus table
+    /// integer rounding), and per-product errors can correlate, so the
+    /// bound is L1 with a slack factor. `dequant` is `scale_A · scale_B`.
+    pub fn lut(k: usize, dequant: f32) -> AbftTol {
+        AbftTol {
+            rel: 0.13,
+            abs: f64::from(dequant.abs()) * 8.0 * k.max(1) as f64,
+            l1: true,
+        }
+    }
+}
+
+/// Flips bit `bit` (0 = LSB .. 31 = sign) of `data[index]` in place — the
+/// SDC injector used by the chaos campaigns and the differential tests.
+/// Out-of-range indices/bits are ignored (injection is best-effort).
+pub fn flip_bit(data: &mut [f32], index: usize, bit: u32) {
+    if bit < 32 {
+        if let Some(x) = data.get_mut(index) {
+            *x = f32::from_bits(x.to_bits() ^ (1u32 << bit));
+        }
+    }
+}
+
+/// Column-checksum verification core over `f32` views of the operands.
+/// `c` holds the *raw* (pre-epilogue) accumulators, with the LUT path's
+/// dequantisation already applied (that is how `Epilogue::Raw` stores
+/// them).
+///
+/// Checksums accumulate in `f32`, not `f64`. The comparison limit is
+/// sized for the production kernel's own f32 accumulation noise
+/// (`rel ∝ √steps · ε₃₂` of the magnitude bound), and the reference sums
+/// random-walk with the same step count, so f32 references add error of
+/// the exact order the limit already absorbs — while halving accumulator
+/// memory traffic and keeping every loop in 16-lane single-precision
+/// vectors with no widening converts. That is what holds verification
+/// inside the ≤10% overhead envelope. Only the final comparisons widen
+/// to f64 (they are O(N) and the subtraction must not round away).
+#[allow(clippy::too_many_arguments)]
+fn verify_raw<TA: Copy, TB: Copy>(
+    op: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[TA],
+    fa: impl Fn(TA) -> f32,
+    b: &[TB],
+    fb: impl Fn(TB) -> f32,
+    c: &[f32],
+    tol: &AbftTol,
+) -> Result<(), TensorError> {
+    // Monomorphise on the magnitude norm: a runtime `tol.l1` branch inside
+    // the hot loops defeats the autovectoriser.
+    if tol.l1 {
+        verify_raw_impl::<_, _, _, _, true>(op, m, k, n, a, fa, b, fb, c, tol)
+    } else {
+        verify_raw_impl::<_, _, _, _, false>(op, m, k, n, a, fa, b, fb, c, tol)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_raw_impl<TA: Copy, TB: Copy, FA, FB, const L1: bool>(
+    op: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[TA],
+    fa: FA,
+    b: &[TB],
+    fb: FB,
+    c: &[f32],
+    tol: &AbftTol,
+) -> Result<(), TensorError>
+where
+    FA: Fn(TA) -> f32,
+    FB: Fn(TB) -> f32,
+{
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let mag = |v: f32| if L1 { v.abs() } else { v * v };
+    let fin = |v: f64| if L1 { v } else { v.sqrt() };
+
+    // Performance shape: the checksum math is O(mk + kn + mn) against the
+    // GEMM's O(mkn), but a careless loop nest still costs >50% of the 512³
+    // multiply. Every pass below streams operand rows contiguously (the
+    // prefetch-friendly direction), pairs that share a load share a loop,
+    // and accumulation is vector-indexed — element `j` lands in slot `j`
+    // with rows folded in ascending order — so results are deterministic
+    // at any vector width.
+
+    // Pass over A: per-column sums and magnitudes, rows ascending.
+    let mut colsum_a = vec![0.0f32; k];
+    let mut colmag_a = vec![0.0f32; k];
+    for i in 0..m {
+        for ((s, g), &v) in colsum_a
+            .iter_mut()
+            .zip(colmag_a.iter_mut())
+            .zip(&a[i * k..(i + 1) * k])
+        {
+            let v = fa(v);
+            *s += v;
+            *g += mag(v);
+        }
+    }
+    // Pass over B: expected column checksums (Σ_i A[i,·]) × B[·,j] and the
+    // matching magnitude bound, in one stream.
+    let mut expected_col = vec![0.0f32; n];
+    let mut magnitude_col = vec![0.0f32; n];
+    for kk in 0..k {
+        let sa = colsum_a[kk];
+        // L2 magnitude weight: `sa²` bounds the f32 *checksum* random walk
+        // (its summands are `sa·b`, which dwarfs `Σᵢa²·b²` when A's column
+        // entries correlate in sign), `Σᵢa²` bounds the GEMM's own
+        // accumulation noise folded per column. Their sum dominates both
+        // error sources, so one limit covers the whole comparison.
+        let ma = if L1 {
+            colmag_a[kk]
+        } else {
+            sa * sa + colmag_a[kk]
+        };
+        let brow = &b[kk * n..(kk + 1) * n];
+        for ((e, g), &v) in expected_col
+            .iter_mut()
+            .zip(magnitude_col.iter_mut())
+            .zip(brow)
+        {
+            let v = fb(v);
+            *e += sa * v;
+            *g += ma * mag(v);
+        }
+    }
+    // Pass over C: actual column checksums.
+    let mut actual_col = vec![0.0f32; n];
+    for i in 0..m {
+        for (s, &v) in actual_col.iter_mut().zip(&c[i * n..(i + 1) * n]) {
+            *s += v;
+        }
+    }
+    // Column checks: Σ_i C[i,j] vs (Σ_i A[i,·]) × B[·,j].
+    for j in 0..n {
+        let expected = f64::from(expected_col[j]);
+        let actual = f64::from(actual_col[j]);
+        let limit = tol.abs + tol.rel * fin(f64::from(magnitude_col[j]));
+        // `!(x <= y)` instead of `x > y`: NaN on either side must trip.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !((actual - expected).abs() <= limit) {
+            return Err(TensorError::CorruptionDetected {
+                op,
+                detail: format!(
+                    "column {j} checksum off by {:.3e} (limit {:.3e})",
+                    actual - expected,
+                    limit
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies raw f32 GEMM accumulators `c` against checksums of `a`/`b`.
+///
+/// Exposed so injection campaigns can verify against *golden* operands
+/// after corrupting a working copy — modelling checksums captured at
+/// panel-pack time with the flip landing afterwards.
+pub fn verify_gemm_f32(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    tol: &AbftTol,
+) -> Result<(), TensorError> {
+    verify_raw("gemm", m, k, n, a, |x| x, b, |x| x, c, tol)
+}
+
+/// Verifies raw LUT-GEMM output (already dequantised by `Epilogue::Raw`)
+/// against checksums of the quantised operands.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_gemm_lut(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i16],
+    b: &[i16],
+    dequant: f32,
+    c: &[f32],
+    tol: &AbftTol,
+) -> Result<(), TensorError> {
+    verify_raw(
+        "gemm_lut",
+        m,
+        k,
+        n,
+        a,
+        f32::from,
+        b,
+        move |x| f32::from(x) * dequant,
+        c,
+        tol,
+    )
+}
+
+/// Applies an epilogue element-wise to a raw `[M,N]` accumulator buffer —
+/// bit-identical to the fused kernels because [`Epilogue::apply`] is a pure
+/// per-element function.
+fn apply_epilogue(out: &mut [f32], n: usize, epi: &Epilogue) {
+    if matches!(epi, Epilogue::Raw) {
+        return;
+    }
+    for (i, orow) in out.chunks_mut(n).enumerate() {
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = epi.apply(*o, i, j);
+        }
+    }
+}
+
+/// ABFT-protected tiled f32 GEMM: multiply with a raw epilogue, verify the
+/// Huang–Abraham checksums, then apply `epi`. On detection the (corrupt)
+/// buffer contents are unspecified and must be discarded.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32_abft(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    epi: &Epilogue,
+    tol: &AbftTol,
+) -> Result<(), TensorError> {
+    gemm::gemm_f32(m, k, n, a, b, out, &Epilogue::Raw);
+    verify_gemm_f32(m, k, n, a, b, out, tol)?;
+    apply_epilogue(out, n, epi);
+    Ok(())
+}
+
+/// ABFT-protected LUT GEMM — integer twin of [`gemm_f32_abft`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_lut_abft(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i16],
+    b: &[i16],
+    table: &LutTable,
+    dequant: f32,
+    out: &mut [f32],
+    epi: &Epilogue,
+    tol: &AbftTol,
+) -> Result<(), TensorError> {
+    gemm::gemm_lut(m, k, n, a, b, table, dequant, out, &Epilogue::Raw);
+    verify_gemm_lut(m, k, n, a, b, dequant, out, tol)?;
+    apply_epilogue(out, n, epi);
+    Ok(())
+}
+
+/// ABFT-protected dense layer: [`crate::ops::matmul_ex`] semantics
+/// (bit-identical output) with checksum verification of the product.
+pub fn matmul_abft(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    precision: Precision,
+    mul: MulApprox,
+) -> Result<Tensor, TensorError> {
+    mul.validate()?;
+    let (m, ka) = a.shape().as_mat()?;
+    let (kb, n) = b.shape().as_mat()?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            detail: format!("inner dims {ka} vs {kb}"),
+        });
+    }
+    if let Some(bt) = bias {
+        if bt.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "bias_add",
+                detail: format!("bias len {} != cols {n}", bt.len()),
+            });
+        }
+    }
+    let (qa, qb);
+    let (a, b) = match precision {
+        Precision::Fp32 => (a, b),
+        Precision::Fp16 => {
+            qa = a.to_f16();
+            qb = b.to_f16();
+            (&qa, &qb)
+        }
+    };
+    let epi = Epilogue::Dense {
+        bias: bias.map(|t| t.data()),
+        fp16: precision == Precision::Fp16,
+    };
+    let mut out = vec![0.0f32; m * n];
+    match mul {
+        MulApprox::Exact => {
+            let tol = AbftTol::exact(m, ka, n);
+            gemm_f32_abft(m, ka, n, a.data(), b.data(), &mut out, &epi, &tol)?;
+        }
+        MulApprox::Lut { bits } => {
+            let table = lut::lut_for(bits);
+            let aq = lut::quantize_symmetric(a.data(), bits);
+            let bq = lut::quantize_symmetric(b.data(), bits);
+            let dq = aq.scale * bq.scale;
+            let tol = AbftTol::lut(ka, dq);
+            gemm_lut_abft(m, ka, n, &aq.q, &bq.q, table, dq, &mut out, &epi, &tol)?;
+        }
+    }
+    Tensor::from_vec(Shape::mat(m, n), out)
+}
+
+/// ABFT-protected convolution: [`crate::ops::conv2d`] semantics
+/// (bit-identical output, any knob setting) with every lowered GEMM's
+/// checksums verified before its epilogue is applied.
+pub fn conv2d_abft(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    im2col::conv2d_lowered_abft(input, weight, bias, params, false)
+}
+
+/// ABFT-protected fused conv+ReLU — twin of
+/// [`crate::ops::conv2d_fused_relu`].
+pub fn conv2d_fused_relu_abft(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    im2col::conv2d_lowered_abft(input, weight, bias, params, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{conv2d, matmul_ex};
+    use crate::{ConvApprox, PerforationDim};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::uniform(Shape::mat(m, k), -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(Shape::mat(k, n), -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(Shape::vec(n), -0.5, 0.5, &mut rng);
+        (a, b, bias)
+    }
+
+    fn assert_bits_eq(x: &Tensor, y: &Tensor, ctx: &str) {
+        assert_eq!(x.shape(), y.shape(), "{ctx}: shapes");
+        for (i, (p, q)) in x.data().iter().zip(y.data()).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{ctx}: elem {i}: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn clean_matmul_passes_and_is_bit_identical_every_knob() {
+        let (a, b, bias) = mats(13, 37, 21, 9);
+        let muls = [
+            MulApprox::Exact,
+            MulApprox::Lut { bits: 8 },
+            MulApprox::Lut { bits: 6 },
+            MulApprox::Lut { bits: 4 },
+        ];
+        for precision in Precision::ALL {
+            for mul in muls {
+                if precision == Precision::Fp16 && !mul.is_exact() {
+                    continue;
+                }
+                let plain = matmul_ex(&a, &b, Some(&bias), precision, mul).unwrap();
+                let abft = matmul_abft(&a, &b, Some(&bias), precision, mul)
+                    .unwrap_or_else(|e| panic!("clean {precision:?}/{mul:?} flagged: {e}"));
+                assert_bits_eq(&plain, &abft, &format!("{precision:?}/{mul:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_conv_passes_and_is_bit_identical_across_approximations() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Tensor::uniform(Shape::nchw(2, 3, 9, 11), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::nchw(4, 3, 3, 3), -0.5, 0.5, &mut rng);
+        let b = Tensor::uniform(Shape::vec(4), -0.2, 0.2, &mut rng);
+        for (name, params) in [
+            (
+                "exact",
+                Conv2dParams {
+                    pad: (1, 1),
+                    ..Default::default()
+                },
+            ),
+            (
+                "fp16",
+                Conv2dParams {
+                    pad: (1, 1),
+                    precision: Precision::Fp16,
+                    ..Default::default()
+                },
+            ),
+            (
+                "sampling",
+                Conv2dParams {
+                    pad: (1, 1),
+                    approx: ConvApprox::FilterSampling { k: 2, offset: 1 },
+                    ..Default::default()
+                },
+            ),
+            (
+                "perforated",
+                Conv2dParams {
+                    pad: (1, 1),
+                    approx: ConvApprox::Perforation {
+                        dim: PerforationDim::Col,
+                        k: 3,
+                        offset: 0,
+                    },
+                    ..Default::default()
+                },
+            ),
+            (
+                "lut",
+                Conv2dParams {
+                    pad: (1, 1),
+                    mul: MulApprox::Lut { bits: 6 },
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let plain = conv2d(&x, &w, Some(&b), params).unwrap();
+            let abft = conv2d_abft(&x, &w, Some(&b), params)
+                .unwrap_or_else(|e| panic!("clean {name} flagged: {e}"));
+            assert_bits_eq(&plain, &abft, name);
+        }
+    }
+
+    #[test]
+    fn operand_corruption_after_checksum_capture_is_detected() {
+        let (a, b, _) = mats(24, 48, 32, 11);
+        let (m, k, n) = (24, 48, 32);
+        let tol = AbftTol::exact(m, k, n);
+        // Flip a high-mantissa bit in a working copy of A; the raw product
+        // of the corrupted copy must fail verification against the golden
+        // operands' checksums.
+        let mut bad_a = a.data().to_vec();
+        flip_bit(&mut bad_a, 7 * k + 3, 22);
+        let mut c = vec![0.0f32; m * n];
+        gemm::gemm_f32(m, k, n, &bad_a, b.data(), &mut c, &Epilogue::Raw);
+        assert!(matches!(
+            verify_gemm_f32(m, k, n, a.data(), b.data(), &c, &tol),
+            Err(TensorError::CorruptionDetected { .. })
+        ));
+        // Same for the activation operand B.
+        let mut bad_b = b.data().to_vec();
+        flip_bit(&mut bad_b, 5 * n + 17, 30);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm::gemm_f32(m, k, n, a.data(), &bad_b, &mut c2, &Epilogue::Raw);
+        assert!(matches!(
+            verify_gemm_f32(m, k, n, a.data(), b.data(), &c2, &tol),
+            Err(TensorError::CorruptionDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn accumulator_corruption_is_detected_including_nan() {
+        let (a, b, _) = mats(16, 40, 24, 12);
+        let (m, k, n) = (16, 40, 24);
+        let tol = AbftTol::exact(m, k, n);
+        let mut c = vec![0.0f32; m * n];
+        gemm::gemm_f32(m, k, n, a.data(), b.data(), &mut c, &Epilogue::Raw);
+        verify_gemm_f32(m, k, n, a.data(), b.data(), &c, &tol).unwrap();
+
+        // A flipped sign bit in one output element.
+        let mut bad = c.clone();
+        flip_bit(&mut bad, 3 * n + 4, 31);
+        assert!(verify_gemm_f32(m, k, n, a.data(), b.data(), &bad, &tol).is_err());
+
+        // An exponent flip that lands on NaN-adjacent garbage: the NaN-safe
+        // comparison must still trip (NaN fails every `<=`).
+        let mut nan = c;
+        nan[5 * n + 5] = f32::NAN;
+        assert!(verify_gemm_f32(m, k, n, a.data(), b.data(), &nan, &tol).is_err());
+    }
+
+    #[test]
+    fn flip_bit_is_bounds_safe_and_involutive() {
+        let mut v = vec![1.5f32, -2.25];
+        let orig = v.clone();
+        flip_bit(&mut v, 0, 22);
+        assert_ne!(v[0].to_bits(), orig[0].to_bits());
+        flip_bit(&mut v, 0, 22);
+        assert_eq!(v[0].to_bits(), orig[0].to_bits());
+        // Out-of-range index and bit are ignored.
+        flip_bit(&mut v, 99, 3);
+        flip_bit(&mut v, 0, 32);
+        assert_eq!(v[0].to_bits(), orig[0].to_bits());
+    }
+
+    #[test]
+    fn empty_dims_verify_trivially() {
+        let tol = AbftTol::exact(0, 4, 0);
+        verify_gemm_f32(0, 4, 0, &[], &[], &[], &tol).unwrap();
+    }
+}

@@ -151,7 +151,12 @@ fn panel_rows<const R: usize, const V: usize>(
         let brow = &b[base..base + V * LANES];
         let mut bv = [[0.0f32; LANES]; V];
         for (c, bvc) in bv.iter_mut().enumerate() {
-            *bvc = brow[c * LANES..(c + 1) * LANES].try_into().unwrap();
+            *bvc = match brow[c * LANES..(c + 1) * LANES].try_into() {
+                Ok(v) => v,
+                // The slice is exactly LANES long by construction; keep the
+                // zero-cost reinterpret without an unwrap in the hot loop.
+                Err(_) => unreachable!("panel slice is exactly LANES wide"),
+            };
         }
         for (r, accr) in acc.iter_mut().enumerate() {
             let av = arows[r][kk];
@@ -195,7 +200,10 @@ fn panel_row<const V: usize>(arow: &[f32], b: &[f32], n: usize, j0: usize, dst: 
         let base = kk * n + j0;
         let brow = &b[base..base + V * LANES];
         for (c, accv) in acc.iter_mut().enumerate() {
-            let bb: &[f32; LANES] = brow[c * LANES..(c + 1) * LANES].try_into().unwrap();
+            let bb: &[f32; LANES] = match brow[c * LANES..(c + 1) * LANES].try_into() {
+                Ok(v) => v,
+                Err(_) => unreachable!("panel slice is exactly LANES wide"),
+            };
             for (l, s) in accv.iter_mut().enumerate() {
                 *s = av.mul_add(bb[l], *s);
             }

@@ -283,6 +283,32 @@ pub fn conv2d_lowered(
     params: Conv2dParams,
     fuse_relu: bool,
 ) -> Result<Tensor, TensorError> {
+    conv2d_lowered_impl(input, weight, bias, params, fuse_relu, false)
+}
+
+/// ABFT twin of [`conv2d_lowered`]: every lowered GEMM runs with a raw
+/// epilogue, its Huang–Abraham checksums are verified against the packed
+/// panels ([`super::abft`]), and only then is the epilogue applied — so
+/// clean outputs stay bit-identical while corrupted accumulators surface
+/// as [`TensorError::CorruptionDetected`].
+pub(crate) fn conv2d_lowered_abft(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    fuse_relu: bool,
+) -> Result<Tensor, TensorError> {
+    conv2d_lowered_impl(input, weight, bias, params, fuse_relu, true)
+}
+
+fn conv2d_lowered_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    fuse_relu: bool,
+    verify: bool,
+) -> Result<Tensor, TensorError> {
     params.approx.validate()?;
     params.mul.validate()?;
     let (_, c, _, _) = input.shape().as_nchw()?;
@@ -381,7 +407,29 @@ pub fn conv2d_lowered(
 
     let mut out = vec![0.0f32; n * k * ho * wo];
     let bias_data = bias.map(|t| t.data());
+    // Set by the verifying gemm closures on a failed checksum: the closure
+    // signature cannot return an error, so detection is carried out-of-band
+    // (and remaining gemms are skipped — the output is discarded anyway).
+    let corrupt = std::cell::RefCell::new(None::<String>);
     match params.mul {
+        MulApprox::Exact if verify => {
+            run_lowered::<f32>(
+                &plan,
+                input.data(),
+                weight.data(),
+                bias_data,
+                &mut out,
+                &|m, kd, nd, a, bm, dst, epi| {
+                    if corrupt.borrow().is_some() {
+                        return;
+                    }
+                    let tol = super::abft::AbftTol::exact(m, kd, nd);
+                    if let Err(e) = super::abft::gemm_f32_abft(m, kd, nd, a, bm, dst, epi, &tol) {
+                        *corrupt.borrow_mut() = Some(e.to_string());
+                    }
+                },
+            );
+        }
         MulApprox::Exact => {
             run_lowered::<f32>(
                 &plan,
@@ -397,17 +445,44 @@ pub fn conv2d_lowered(
             let qi = lut::quantize_symmetric(input.data(), bits);
             let qw = lut::quantize_symmetric(weight.data(), bits);
             let dq = qi.scale * qw.scale;
-            run_lowered::<i16>(
-                &plan,
-                &qi.q,
-                &qw.q,
-                bias_data,
-                &mut out,
-                &move |m, kd, nd, a, bm, dst, epi| {
-                    gemm::gemm_lut(m, kd, nd, a, bm, table, dq, dst, epi)
-                },
-            );
+            if verify {
+                run_lowered::<i16>(
+                    &plan,
+                    &qi.q,
+                    &qw.q,
+                    bias_data,
+                    &mut out,
+                    &|m, kd, nd, a, bm, dst, epi| {
+                        if corrupt.borrow().is_some() {
+                            return;
+                        }
+                        let tol = super::abft::AbftTol::lut(kd, dq);
+                        if let Err(e) =
+                            super::abft::gemm_lut_abft(m, kd, nd, a, bm, table, dq, dst, epi, &tol)
+                        {
+                            *corrupt.borrow_mut() = Some(e.to_string());
+                        }
+                    },
+                );
+            } else {
+                run_lowered::<i16>(
+                    &plan,
+                    &qi.q,
+                    &qw.q,
+                    bias_data,
+                    &mut out,
+                    &move |m, kd, nd, a, bm, dst, epi| {
+                        gemm::gemm_lut(m, kd, nd, a, bm, table, dq, dst, epi)
+                    },
+                );
+            }
         }
+    }
+    if let Some(detail) = corrupt.into_inner() {
+        return Err(TensorError::CorruptionDetected {
+            op: "conv2d",
+            detail,
+        });
     }
     Tensor::from_vec(out_shape, out)
 }

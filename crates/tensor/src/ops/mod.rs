@@ -3,6 +3,7 @@
 //! Each kernel takes the *mechanism* parameters from [`crate::knobs`]
 //! directly; the tuner (in `at-core`) maps its integer knob ids onto these.
 
+pub mod abft;
 pub mod activation;
 pub mod conv;
 pub mod gemm;
@@ -14,6 +15,10 @@ pub mod reduce;
 pub mod reference;
 pub mod softmax;
 
+pub use abft::{
+    conv2d_abft, conv2d_fused_relu_abft, flip_bit, gemm_f32_abft, gemm_lut_abft, matmul_abft,
+    verify_gemm_f32, verify_gemm_lut, AbftTol,
+};
 pub use activation::{clipped_relu, map_unary, relu, tanh_op, UnaryOp};
 pub use conv::{conv2d, conv2d_fused_relu};
 pub use im2col::{conv2d_im2col, conv2d_lowered};

@@ -12,7 +12,7 @@
 //! re-pin it and say why in the commit.
 
 use at_tensor::ops::conv::Conv2dParams;
-use at_tensor::ops::{conv2d, matmul_ex};
+use at_tensor::ops::{conv2d, conv2d_abft, matmul_abft, matmul_ex};
 use at_tensor::{ConvApprox, MulApprox, PerforationDim, Precision, Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -153,5 +153,61 @@ fn golden_checksums_per_knob_family() {
         mismatches.is_empty(),
         "golden checksum mismatches — if intentional, re-pin:\n{}",
         mismatches.join("\n")
+    );
+}
+
+/// The ABFT-verified kernels must be *bit-identical* to the unverified
+/// ones — verification reads operands and output but never rewrites the
+/// result — so they pin to the very same golden checksums as above. A
+/// mismatch here means the checksummed path changed the numerics, which
+/// would silently invalidate every tradeoff curve shipped for the
+/// unverified kernels.
+#[test]
+fn abft_kernels_pin_to_the_same_golden_checksums() {
+    let x = tensor(Shape::nchw(1, 3, 8, 9), 123);
+    let w = tensor(Shape::nchw(4, 3, 3, 3), 124);
+    let cb = tensor(Shape::new(&[4]), 125);
+    let conv = conv2d_abft(
+        &x,
+        &w,
+        Some(&cb),
+        Conv2dParams {
+            pad: (1, 1),
+            stride: (1, 1),
+            groups: 1,
+            approx: ConvApprox::Exact,
+            precision: Precision::Fp32,
+            mul: MulApprox::Exact,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        checksum(&conv),
+        0xdbd011d3fc864330,
+        "conv2d_abft must match the pinned conv-exact-fp32 checksum"
+    );
+
+    let a = tensor(Shape::mat(7, 13), 126);
+    let b = tensor(Shape::mat(13, 9), 127);
+    let bias = tensor(Shape::new(&[9]), 128);
+    let mm = matmul_abft(&a, &b, Some(&bias), Precision::Fp32, MulApprox::Exact).unwrap();
+    assert_eq!(
+        checksum(&mm),
+        0x09e61479f654c555,
+        "matmul_abft must match the pinned matmul-exact-fp32 checksum"
+    );
+
+    let mm_lut = matmul_abft(
+        &a,
+        &b,
+        Some(&bias),
+        Precision::Fp32,
+        MulApprox::Lut { bits: 8 },
+    )
+    .unwrap();
+    assert_eq!(
+        checksum(&mm_lut),
+        0x27e41ce146a000b9,
+        "matmul_abft must match the pinned matmul-lutmul-8b checksum"
     );
 }

@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `fleet_sdc` corruption campaign, so
+//! `cargo run --release --bin fleet_sdc` works without `-p at-bench`;
+//! see `at_bench::fleet_sdc` for the experiment body.
+
+fn main() {
+    at_bench::fleet_sdc::run();
+}
